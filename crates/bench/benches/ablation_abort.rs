@@ -1,0 +1,7 @@
+//! `cargo bench --bench ablation_abort` — quantifies the value of the
+//! enhanced MAC layer's abort interface (the paper's conclusion).
+
+fn main() {
+    let result = amac_bench::experiments::ablation_abort::run_default();
+    println!("{}", result.table);
+}

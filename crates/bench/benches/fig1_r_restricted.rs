@@ -1,0 +1,7 @@
+//! `cargo bench --bench fig1_r_restricted` — regenerates this cell of the paper's
+//! Figure 1 and prints the measured table (see DESIGN.md §5).
+
+fn main() {
+    let result = amac_bench::experiments::fig1_r_restricted::run_default();
+    println!("{}", result.table);
+}

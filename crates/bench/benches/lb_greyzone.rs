@@ -1,0 +1,11 @@
+//! `cargo bench --bench lb_greyzone` — Figure 2 dual-line lower bound
+//! (`Ω(D·F_ack)`, Lemmas 3.19-3.20), experiment id `F2-LB-D`.
+
+fn main() {
+    let result = amac_bench::experiments::lower_bounds::run_default();
+    println!("{}", result.table);
+    println!(
+        "dual-line slope {:.1} ticks per hop (Θ(F_ack)); min ratio {:.2}",
+        result.line_fit.slope, result.line_min_ratio
+    );
+}

@@ -1,0 +1,11 @@
+//! `cargo bench --bench lb_star` — Lemma 3.18 choke-star lower bound
+//! (`Ω(k·F_ack)`), experiment id `F1-LB-K`.
+
+fn main() {
+    let result = amac_bench::experiments::lower_bounds::run_default();
+    println!("{}", result.table);
+    println!(
+        "choke-star min ratio {:.2} (must stay above a positive constant)",
+        result.star_min_ratio
+    );
+}

@@ -1,0 +1,87 @@
+//! `cargo bench --bench micro` — Criterion micro-benchmarks of the
+//! simulation substrate and the end-to-end algorithms (engineering
+//! throughput, not paper claims).
+
+use amac_core::{run_bmmb, Assignment, RunOptions};
+use amac_graph::{generators, DualGraph, NodeId};
+use amac_mac::policies::{EagerPolicy, LazyPolicy};
+use amac_mac::MacConfig;
+use amac_sim::{EventQueue, SimRng, Time};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = SimRng::seed(1);
+                (0..10_000u64)
+                    .map(|i| (Time::from_ticks(rng.below(1 << 20)), i))
+                    .collect::<Vec<_>>()
+            },
+            |items| {
+                let mut q = EventQueue::new();
+                for (t, v) in items {
+                    q.schedule(t, v);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_bmmb(c: &mut Criterion) {
+    let dual = DualGraph::reliable(generators::line(64).unwrap());
+    let cfg = MacConfig::from_ticks(2, 32);
+    let assignment = Assignment::all_at(NodeId::new(0), 4);
+    c.bench_function("bmmb_line64_k4_eager", |b| {
+        b.iter(|| {
+            let report = run_bmmb(
+                black_box(&dual),
+                cfg,
+                &assignment,
+                EagerPolicy::new(),
+                &RunOptions::fast(),
+            );
+            black_box(report.completion_ticks())
+        })
+    });
+    c.bench_function("bmmb_line64_k4_lazy", |b| {
+        b.iter(|| {
+            let report = run_bmmb(
+                black_box(&dual),
+                cfg,
+                &assignment,
+                LazyPolicy::new().prefer_duplicates(),
+                &RunOptions::fast(),
+            );
+            black_box(report.completion_ticks())
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    c.bench_function("grey_zone_sample_n100", |b| {
+        let mut rng = SimRng::seed(7);
+        b.iter(|| {
+            let net = generators::grey_zone_network(
+                &generators::GreyZoneConfig::new(100, 7.0),
+                &mut rng,
+            )
+            .unwrap();
+            black_box(net.dual.len())
+        })
+    });
+    c.bench_function("diameter_grid_20x20", |b| {
+        let g = generators::grid(20, 20).unwrap();
+        b.iter(|| black_box(amac_graph::algo::diameter(black_box(&g))))
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_bmmb, bench_topology);
+criterion_main!(benches);

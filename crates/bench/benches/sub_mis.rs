@@ -1,0 +1,7 @@
+//! `cargo bench --bench sub_mis` — FMMB subroutine measurement (Lemmas
+//! 4.5-4.8), experiment ids SUB-MIS / SUB-GATHER / SUB-SPREAD.
+
+fn main() {
+    let result = amac_bench::experiments::subroutines::run_default();
+    println!("{}", result.table);
+}

@@ -1,0 +1,42 @@
+//! `repro` — regenerate every table and figure of the paper in one run.
+//!
+//! Prints each experiment's table to stdout (plain text) and, with
+//! `--markdown`, emits the EXPERIMENTS.md dataset instead.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p amac-bench --bin repro            # text tables
+//! cargo run --release -p amac-bench --bin repro -- --markdown > EXPERIMENTS.data.md
+//! ```
+
+use amac_bench::experiments;
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let mut tables = Vec::new();
+
+    eprintln!("[1/7] F1-GG    standard model, G' = G ...");
+    tables.push(experiments::fig1_gg::run_default().table);
+    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ...");
+    tables.push(experiments::fig1_r_restricted::run_default().table);
+    eprintln!("[3/7] F1-ARB   standard model, arbitrary G' ...");
+    tables.push(experiments::fig1_arbitrary::run_default().table);
+    eprintln!("[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ...");
+    tables.push(experiments::lower_bounds::run_default().table);
+    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ...");
+    tables.push(experiments::fig1_fmmb::run_default().table);
+    eprintln!("[6/7] SUB-*    FMMB subroutines ...");
+    tables.push(experiments::subroutines::run_default().table);
+    eprintln!("[7/7] ABL      abort-interface ablation ...");
+    tables.push(experiments::ablation_abort::run_default().table);
+
+    for t in &tables {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{t}");
+        }
+    }
+    eprintln!("done: {} tables", tables.len());
+}

@@ -1,0 +1,210 @@
+//! `F1-ENH` — Figure 1, enhanced model, grey-zone `G′`:
+//! FMMB completes in `O((D·log n + k·log n + log³ n)·F_prog)` w.h.p.
+//! (Theorem 4.1) — with **no** `F_ack` term.
+//!
+//! Two sweeps:
+//!
+//! * the **crossover** sweep holds the network fixed and scales `F_ack`:
+//!   BMMB (standard model) degrades linearly while FMMB stays flat, and
+//!   the winner flips once `F_ack/F_prog` is large enough — the paper's
+//!   case for the abort interface;
+//! * the **size** sweep grows `n` (at constant deployment density) and
+//!   fits FMMB's completion rounds against the Theorem 4.1 round bound.
+
+use super::SweepPoint;
+use crate::fit::{proportional_fit, ProportionalFit};
+use crate::table::Table;
+use amac_core::{bounds, run_bmmb, run_fmmb, Assignment, FmmbParams, RunOptions};
+use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_mac::policies::LazyPolicy;
+use amac_mac::MacConfig;
+use amac_sim::SimRng;
+
+/// One crossover row: the same workload under both algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverPoint {
+    /// `F_ack` in ticks (`F_prog` fixed).
+    pub f_ack: u64,
+    /// BMMB completion ticks (standard MAC layer).
+    pub bmmb: u64,
+    /// FMMB completion ticks (enhanced MAC layer).
+    pub fmmb: u64,
+}
+
+/// Results of the `F1-ENH` experiment.
+#[derive(Clone, Debug)]
+pub struct Fig1Fmmb {
+    /// Crossover sweep over `F_ack`.
+    pub crossover: Vec<CrossoverPoint>,
+    /// Size sweep: FMMB completion vs the Theorem 4.1 bound.
+    pub size_sweep: Vec<SweepPoint>,
+    /// Proportional fit of FMMB time vs the Theorem 4.1 bound formula.
+    pub bound_fit: ProportionalFit,
+    /// The `F_ack` at which FMMB first beats BMMB, if any.
+    pub crossover_f_ack: Option<u64>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs the experiment.
+///
+/// `density` is nodes per unit area for the size sweep (the side length
+/// grows as `sqrt(n/density)`, keeping degree roughly constant so `D`
+/// grows with `sqrt(n)`).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    f_prog: u64,
+    f_acks: &[u64],
+    crossover_n: usize,
+    ns: &[usize],
+    density: f64,
+    k: usize,
+    seed: u64,
+) -> Fig1Fmmb {
+    let mut rng = SimRng::seed(seed);
+
+    // --- Crossover sweep ---
+    let side = (crossover_n as f64 / density).sqrt();
+    let net = connected_grey_zone_network(
+        &GreyZoneConfig::new(crossover_n, side).with_c(2.0),
+        500,
+        &mut rng,
+    )
+    .expect("connected sample");
+    let assignment = Assignment::random(crossover_n, k, &mut rng);
+    let params = FmmbParams::new(k, net.dual.diameter());
+    let mut crossover = Vec::new();
+    for &f_ack in f_acks {
+        let cfg = MacConfig::from_ticks(f_prog, f_ack);
+        let bmmb = run_bmmb(
+            &net.dual,
+            cfg,
+            &assignment,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        let fmmb = run_fmmb(
+            &net.dual,
+            cfg.enhanced(),
+            &assignment,
+            &params,
+            seed ^ 0xF,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        crossover.push(CrossoverPoint {
+            f_ack,
+            bmmb: bmmb.completion_ticks(),
+            fmmb: fmmb.completion_ticks(),
+        });
+    }
+    let crossover_f_ack = crossover.iter().find(|p| p.fmmb < p.bmmb).map(|p| p.f_ack);
+
+    // --- Size sweep (fixed moderate F_ack; FMMB does not depend on it) ---
+    let cfg = MacConfig::from_ticks(f_prog, 16 * f_prog).enhanced();
+    let mut size_sweep = Vec::new();
+    for &n in ns {
+        let side = (n as f64 / density).sqrt();
+        let net = connected_grey_zone_network(
+            &GreyZoneConfig::new(n, side).with_c(2.0),
+            500,
+            &mut rng,
+        )
+        .expect("connected sample");
+        let assignment = Assignment::random(n, k, &mut rng);
+        let d = net.dual.diameter();
+        let params = FmmbParams::new(k, d);
+        let report = run_fmmb(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seed ^ (n as u64),
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        size_sweep.push(SweepPoint {
+            param: n,
+            measured: super::ticks_or_end(report.completion, report.end_time),
+            bound: bounds::fmmb_enhanced(n, d, k, &cfg).ticks().max(1),
+        });
+    }
+    let bound_fit = proportional_fit(
+        &size_sweep
+            .iter()
+            .map(SweepPoint::as_fit_point)
+            .collect::<Vec<_>>(),
+    );
+
+    let mut table = Table::new(
+        format!("F1-ENH  FMMB vs BMMB, grey zone G' (n={crossover_n}, k={k}, F_prog={f_prog})"),
+        &["sweep", "value", "BMMB", "FMMB", "winner"],
+    );
+    for p in &crossover {
+        table.row([
+            "F_ack".to_string(),
+            p.f_ack.to_string(),
+            p.bmmb.to_string(),
+            p.fmmb.to_string(),
+            if p.fmmb < p.bmmb { "FMMB" } else { "BMMB" }.to_string(),
+        ]);
+    }
+    for p in &size_sweep {
+        table.row([
+            "n".to_string(),
+            p.param.to_string(),
+            String::new(),
+            format!("{} (bound {})", p.measured, p.bound),
+            format!("{:.2}x", p.ratio()),
+        ]);
+    }
+    match crossover_f_ack {
+        Some(f) => table.note(format!(
+            "FMMB wins from F_ack = {f} on (F_ack/F_prog = {}); its time is F_ack-independent",
+            f / f_prog
+        )),
+        None => table.note("no crossover in the swept F_ack range"),
+    };
+    table.note(format!(
+        "FMMB time <= {:.2} x (D log n + k log n + log^3 n) * F_prog across the size sweep",
+        bound_fit.max_ratio
+    ));
+
+    Fig1Fmmb {
+        crossover,
+        size_sweep,
+        bound_fit,
+        crossover_f_ack,
+        table,
+    }
+}
+
+/// Default parameterisation used by `cargo bench` and the `repro` binary.
+pub fn run_default() -> Fig1Fmmb {
+    run(2, &[8, 64, 512, 4096, 16384], 48, &[24, 48, 96], 2.0, 4, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmmb_time_is_f_ack_independent() {
+        let res = run(2, &[16, 1024], 24, &[16], 2.0, 2, 9);
+        let lo = res.crossover[0].fmmb;
+        let hi = res.crossover[1].fmmb;
+        // 64x larger F_ack: FMMB time unchanged (same schedule, same seed).
+        assert_eq!(lo, hi, "FMMB must not depend on F_ack");
+        // BMMB time grows dramatically.
+        assert!(res.crossover[1].bmmb > 4 * res.crossover[0].bmmb);
+    }
+
+    #[test]
+    fn crossover_exists_for_large_f_ack() {
+        let res = run(2, &[8, 16384], 32, &[16], 2.0, 3, 4);
+        assert!(
+            res.crossover_f_ack.is_some(),
+            "FMMB should win at F_ack/F_prog = 8192"
+        );
+    }
+}

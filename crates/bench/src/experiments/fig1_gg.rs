@@ -1,0 +1,168 @@
+//! `F1-GG` — Figure 1, standard model, `G′ = G`:
+//! BMMB completes in `O(D·F_prog + k·F_ack)` (prior work \[KLN11\],
+//! subsumed by Theorem 3.2 with `r = 1`).
+//!
+//! Two sweeps over line networks with no unreliable links, under the lazy
+//! duplicate-feeding scheduler (the harshest generic adversary):
+//!
+//! * sweep `D` at fixed `k` — the measured time must grow with slope
+//!   `Θ(F_prog)` per hop (the pipeline travels at progress speed);
+//! * sweep `k` at fixed `D` — slope `Θ(F_ack)` per message (each extra
+//!   message costs one acknowledgment at the bottleneck).
+
+use super::SweepPoint;
+use crate::fit::{linear_fit, proportional_fit, LinearFit, ProportionalFit};
+use crate::table::Table;
+use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
+use amac_graph::{generators, DualGraph, NodeId};
+use amac_mac::policies::LazyPolicy;
+use amac_mac::MacConfig;
+
+/// Results of the `F1-GG` experiment.
+#[derive(Clone, Debug)]
+pub struct Fig1Gg {
+    /// Sweep of `D` at fixed `k`.
+    pub d_sweep: Vec<SweepPoint>,
+    /// Sweep of `k` at fixed `D`.
+    pub k_sweep: Vec<SweepPoint>,
+    /// Linear fit of measured time vs `D` (slope ≈ `Θ(F_prog)`).
+    pub d_fit: LinearFit,
+    /// Linear fit of measured time vs `k` (slope ≈ `Θ(F_ack)`).
+    pub k_fit: LinearFit,
+    /// Proportional fit of measured vs bound (the big-O constant).
+    pub bound_fit: ProportionalFit,
+    /// Rendered table.
+    pub table: Table,
+}
+
+fn measure(d: usize, k: usize, config: MacConfig) -> SweepPoint {
+    let dual = DualGraph::reliable(generators::line(d + 1).expect("d >= 1"));
+    let assignment = Assignment::all_at(NodeId::new(0), k);
+    let report = run_bmmb(
+        &dual,
+        config,
+        &assignment,
+        LazyPolicy::new().prefer_duplicates(),
+        &RunOptions::fast(),
+    );
+    SweepPoint {
+        param: d,
+        measured: report.completion_ticks(),
+        bound: bounds::bmmb_reliable(d, k, &config).ticks(),
+    }
+}
+
+/// Runs the experiment with explicit sweep lists.
+pub fn run(config: MacConfig, ds: &[usize], fixed_k: usize, ks: &[usize], fixed_d: usize) -> Fig1Gg {
+    let d_sweep: Vec<SweepPoint> = ds.iter().map(|&d| measure(d, fixed_k, config)).collect();
+    let k_sweep: Vec<SweepPoint> = ks
+        .iter()
+        .map(|&k| {
+            let mut p = measure(fixed_d, k, config);
+            p.param = k;
+            p
+        })
+        .collect();
+
+    let d_fit = linear_fit(&d_sweep.iter().map(SweepPoint::as_param_point).collect::<Vec<_>>());
+    let k_fit = linear_fit(&k_sweep.iter().map(SweepPoint::as_param_point).collect::<Vec<_>>());
+    let bound_fit = proportional_fit(
+        &d_sweep
+            .iter()
+            .chain(&k_sweep)
+            .map(SweepPoint::as_fit_point)
+            .collect::<Vec<_>>(),
+    );
+
+    let mut table = Table::new(
+        format!(
+            "F1-GG  BMMB, G'=G (line, lazy+dup scheduler, {config})"
+        ),
+        &["sweep", "value", "measured", "D*Fp + k*Fa", "ratio"],
+    );
+    for p in &d_sweep {
+        table.row([
+            format!("D (k={fixed_k})"),
+            p.param.to_string(),
+            p.measured.to_string(),
+            p.bound.to_string(),
+            format!("{:.2}", p.ratio()),
+        ]);
+    }
+    for p in &k_sweep {
+        table.row([
+            format!("k (D={fixed_d})"),
+            p.param.to_string(),
+            p.measured.to_string(),
+            p.bound.to_string(),
+            format!("{:.2}", p.ratio()),
+        ]);
+    }
+    table.note(format!(
+        "slope vs D = {:.1} ticks/hop (F_prog = {}), slope vs k = {:.1} ticks/msg (F_ack = {})",
+        d_fit.slope,
+        config.f_prog(),
+        k_fit.slope,
+        config.f_ack()
+    ));
+    table.note(format!(
+        "measured <= {:.2} x bound across all points (paper: O(D*F_prog + k*F_ack))",
+        bound_fit.max_ratio
+    ));
+
+    Fig1Gg {
+        d_sweep,
+        k_sweep,
+        d_fit,
+        k_fit,
+        bound_fit,
+        table,
+    }
+}
+
+/// Default parameterisation used by `cargo bench` and the `repro` binary.
+pub fn run_default() -> Fig1Gg {
+    let config = MacConfig::from_ticks(2, 64);
+    run(config, &[8, 16, 32, 64, 96], 4, &[1, 2, 4, 8, 16], 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_slope_tracks_f_prog_not_f_ack() {
+        let config = MacConfig::from_ticks(2, 64);
+        let res = run(config, &[8, 16, 32], 2, &[1, 2, 4], 12);
+        // Progress speed: a few ticks per hop, far below F_ack = 64.
+        assert!(
+            res.d_fit.slope < 16.0,
+            "D-slope {:.1} should be Θ(F_prog), not F_ack",
+            res.d_fit.slope
+        );
+        assert!(res.d_fit.slope >= 1.0);
+        assert!(res.d_fit.r2 > 0.9, "scaling should be clean, r2 = {:.3}", res.d_fit.r2);
+    }
+
+    #[test]
+    fn k_slope_tracks_f_ack() {
+        let config = MacConfig::from_ticks(2, 64);
+        let res = run(config, &[8, 16], 2, &[1, 2, 4, 8], 12);
+        assert!(
+            res.k_fit.slope >= 32.0 && res.k_fit.slope <= 160.0,
+            "k-slope {:.1} should be Θ(F_ack = 64)",
+            res.k_fit.slope
+        );
+    }
+
+    #[test]
+    fn measured_within_constant_of_bound() {
+        let res = run(MacConfig::from_ticks(2, 48), &[8, 24], 3, &[2, 6], 10);
+        assert!(
+            res.bound_fit.max_ratio <= 3.0,
+            "worst ratio {:.2} too large for an O(.) claim",
+            res.bound_fit.max_ratio
+        );
+        assert_eq!(res.table.len(), 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! `F1-LB-K` and `F2-LB-D` — the Θ-matching lower bounds of Figure 1's
+//! grey-zone/arbitrary cell:
+//!
+//! * Lemma 3.18 (choke star): any algorithm needs `Ω(k·F_ack)`;
+//! * Lemmas 3.19–3.20 (Figure 2 dual lines): `Ω(D·F_ack)` under the grey
+//!   zone constraint.
+//!
+//! Each sweep reports `measured / bound`; the lower bound is reproduced
+//! when the ratio stays above a positive constant as the parameter grows.
+
+use crate::fit::{linear_fit, LinearFit};
+use crate::table::Table;
+use amac_core::RunOptions;
+use amac_lower::{run_choke_star, run_dual_line, LowerBoundReport};
+use amac_mac::MacConfig;
+
+/// Results of both lower-bound experiments.
+#[derive(Clone, Debug)]
+pub struct LowerBounds {
+    /// Choke-star sweep over `k`.
+    pub star: Vec<LowerBoundReport>,
+    /// Dual-line sweep over `D`.
+    pub line: Vec<LowerBoundReport>,
+    /// Fit of dual-line measured time vs `D` (slope ≈ `Θ(F_ack)`).
+    pub line_fit: LinearFit,
+    /// Smallest ratio observed in the star sweep.
+    pub star_min_ratio: f64,
+    /// Smallest ratio observed in the line sweep.
+    pub line_min_ratio: f64,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs both sweeps.
+pub fn run(config: MacConfig, ks: &[usize], ds: &[usize]) -> LowerBounds {
+    let options = RunOptions::fast();
+    let star: Vec<LowerBoundReport> = ks
+        .iter()
+        .map(|&k| run_choke_star(k, config, &options))
+        .collect();
+    let line: Vec<LowerBoundReport> = ds
+        .iter()
+        .map(|&d| run_dual_line(d, config, &options))
+        .collect();
+
+    let line_fit = linear_fit(
+        &line
+            .iter()
+            .map(|r| (r.parameter as f64, r.completion_ticks as f64))
+            .collect::<Vec<_>>(),
+    );
+    let star_min_ratio = star.iter().map(|r| r.ratio).fold(f64::INFINITY, f64::min);
+    let line_min_ratio = line.iter().map(|r| r.ratio).fold(f64::INFINITY, f64::min);
+
+    let mut table = Table::new(
+        format!("F1-LB-K / F2-LB-D  lower bounds ({config})"),
+        &["construction", "param", "measured", "bound", "ratio"],
+    );
+    for r in &star {
+        table.row([
+            "choke star (Lem 3.18)".to_string(),
+            format!("k={}", r.parameter),
+            r.completion_ticks.to_string(),
+            format!("k*Fa={}", r.bound_ticks),
+            format!("{:.2}", r.ratio),
+        ]);
+    }
+    for r in &line {
+        table.row([
+            "dual line (Fig 2)".to_string(),
+            format!("D={}", r.parameter),
+            r.completion_ticks.to_string(),
+            format!("D*Fa={}", r.bound_ticks),
+            format!("{:.2}", r.ratio),
+        ]);
+    }
+    table.note(format!(
+        "ratios bounded below: star >= {star_min_ratio:.2}, dual line >= {line_min_ratio:.2} (Ω holds)"
+    ));
+    table.note(format!(
+        "dual-line slope {:.1} ticks per hop of D ~ Θ(F_ack = {})",
+        line_fit.slope,
+        config.f_ack()
+    ));
+
+    LowerBounds {
+        star,
+        line,
+        line_fit,
+        star_min_ratio,
+        line_min_ratio,
+        table,
+    }
+}
+
+/// Default parameterisation used by `cargo bench` and the `repro` binary.
+pub fn run_default() -> LowerBounds {
+    run(MacConfig::from_ticks(2, 64), &[4, 8, 16, 32], &[4, 8, 16, 32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_bounded_below_by_constant() {
+        let res = run(MacConfig::from_ticks(2, 48), &[4, 16], &[4, 12]);
+        assert!(res.star_min_ratio >= 0.6, "star ratio {:.2}", res.star_min_ratio);
+        assert!(res.line_min_ratio >= 0.5, "line ratio {:.2}", res.line_min_ratio);
+    }
+
+    #[test]
+    fn dual_line_slope_is_theta_f_ack() {
+        let config = MacConfig::from_ticks(2, 48);
+        let res = run(config, &[4], &[4, 8, 16]);
+        let f_ack = config.f_ack().ticks() as f64;
+        assert!(
+            res.line_fit.slope >= 0.5 * f_ack && res.line_fit.slope <= 4.0 * f_ack,
+            "slope {:.1} not Θ(F_ack = {f_ack})",
+            res.line_fit.slope
+        );
+    }
+}

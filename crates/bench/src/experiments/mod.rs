@@ -1,0 +1,57 @@
+//! One module per experiment in the reproduction plan (see DESIGN.md §5).
+//!
+//! | id | module | paper artifact |
+//! |---|---|---|
+//! | `F1-GG` | [`fig1_gg`] | Fig. 1 standard/`G′=G`: `O(D·F_prog + k·F_ack)` |
+//! | `F1-RR` | [`fig1_r_restricted`] | Fig. 1 standard/`r`-restricted: Thm 3.2/3.16 |
+//! | `F1-ARB` | [`fig1_arbitrary`] | Fig. 1 standard/arbitrary: Thm 3.1 upper bound |
+//! | `F1-LB-K` | [`lower_bounds`] | Lemma 3.18 choke star `Ω(k·F_ack)` |
+//! | `F2-LB-D` | [`lower_bounds`] | Fig. 2 + Lemmas 3.19–3.20 `Ω(D·F_ack)` |
+//! | `F1-ENH` | [`fig1_fmmb`] | Fig. 1 enhanced/grey-zone: Thm 4.1 |
+//! | `SUB-MIS` | [`subroutines`] | Lemma 4.5 MIS in `O(log³ n)` rounds |
+//! | `SUB-GATHER` | [`subroutines`] | Lemma 4.6 gather in `O(k + log n)` periods |
+//! | `SUB-SPREAD` | [`subroutines`] | Lemmas 4.7–4.8 spread in `O((D+k) log n)` rounds |
+//! | `ABL-ABORT` | [`ablation_abort`] | ablation: FMMB without the abort interface |
+
+pub mod ablation_abort;
+pub mod fig1_arbitrary;
+pub mod fig1_fmmb;
+pub mod fig1_gg;
+pub mod fig1_r_restricted;
+pub mod lower_bounds;
+pub mod subroutines;
+
+use amac_sim::Time;
+
+/// One measured sweep point: a driving parameter, the measured completion
+/// time, and the paper's bound evaluated at that point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (`D`, `k`, `r`, `n`, or `F_ack`).
+    pub param: usize,
+    /// Measured completion time in ticks.
+    pub measured: u64,
+    /// The bound formula evaluated at this point, in ticks.
+    pub bound: u64,
+}
+
+impl SweepPoint {
+    /// `measured / bound`.
+    pub fn ratio(&self) -> f64 {
+        self.measured as f64 / self.bound as f64
+    }
+
+    /// As an `(bound, measured)` float pair for proportional fitting.
+    pub fn as_fit_point(&self) -> (f64, f64) {
+        (self.bound as f64, self.measured as f64)
+    }
+
+    /// As a `(param, measured)` float pair for linear fitting.
+    pub fn as_param_point(&self) -> (f64, f64) {
+        (self.param as f64, self.measured as f64)
+    }
+}
+
+pub(crate) fn ticks_or_end(completion: Option<Time>, end: Time) -> u64 {
+    completion.map(|t| t.ticks()).unwrap_or(end.ticks())
+}

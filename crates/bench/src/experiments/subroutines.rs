@@ -1,0 +1,321 @@
+//! `SUB-MIS`, `SUB-GATHER`, `SUB-SPREAD` — the three FMMB subroutines,
+//! measured individually with an instrumented runner:
+//!
+//! * **MIS** (Lemma 4.5): rounds until every node has decided (joined or
+//!   covered), versus the scheduled `O(log³ n)` segment; validity rate
+//!   over seeds;
+//! * **gather** (Lemma 4.6): rounds from the gather segment start until
+//!   every message is owned by an MIS node, versus `O(k + log n)` periods;
+//! * **spread** (Lemmas 4.7–4.8): rounds from gather completion until MMB
+//!   completion, versus `O((D + k)·log n)`.
+
+use crate::table::Table;
+use amac_core::{Assignment, Delivered, Fmmb, FmmbParams, MessageId, MisStatus};
+use amac_graph::{algo, DualGraph, NodeId, NodeSet};
+use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_mac::{MacConfig, Policy, Runtime};
+use amac_sim::{SimRng, Time};
+use std::collections::HashSet;
+
+/// Milestones of one instrumented FMMB run, in rounds (`F_prog + 2` ticks
+/// each).
+#[derive(Clone, Copy, Debug)]
+pub struct Milestones {
+    /// Round by which every node had decided its MIS status.
+    pub all_decided_round: Option<u64>,
+    /// Round by which every message was owned by some MIS node.
+    pub gather_done_round: Option<u64>,
+    /// Round by which the MMB problem was solved.
+    pub completion_round: Option<u64>,
+    /// Whether the resulting MIS was a maximal independent set of `G`.
+    pub mis_valid: bool,
+    /// The scheduled MIS segment length in rounds.
+    pub mis_segment_rounds: u64,
+    /// The gather segment start (rounds).
+    pub gather_start_round: u64,
+}
+
+/// Runs FMMB while checking node-state milestones once per round.
+pub fn run_instrumented<P: Policy>(
+    dual: &DualGraph,
+    config: MacConfig,
+    assignment: &Assignment,
+    params: &FmmbParams,
+    seed: u64,
+    policy: P,
+) -> Milestones {
+    assert!(config.is_enhanced(), "FMMB requires the enhanced model");
+    let n = dual.len();
+    let schedule = params.schedule(n);
+    let round_ticks = config.f_prog().ticks() + 2;
+    let root = SimRng::seed(seed);
+    let nodes: Vec<Fmmb> = (0..n)
+        .map(|i| Fmmb::new(schedule.clone(), params.activation_probability, root.split(i as u64)))
+        .collect();
+    let mut rt = Runtime::new(dual.clone(), config, nodes, policy).without_trace();
+    for (node, msg) in assignment.arrivals() {
+        rt.inject(*node, *msg);
+    }
+
+    let all_ids: HashSet<MessageId> = assignment.message_ids().collect();
+    let mut tracker = amac_core::CompletionTracker::new(dual, assignment);
+    let mut milestones = Milestones {
+        all_decided_round: None,
+        gather_done_round: None,
+        completion_round: None,
+        mis_valid: false,
+        mis_segment_rounds: schedule.mis_rounds(),
+        gather_start_round: schedule.mis_rounds(),
+    };
+
+    let mut round = 0u64;
+    loop {
+        let outcome = rt.run_until(Time::from_ticks((round + 1) * round_ticks));
+        for rec in rt.take_outputs() {
+            let Delivered(id) = rec.out;
+            tracker.record(rec.time, rec.node, id);
+        }
+        if milestones.all_decided_round.is_none() {
+            let decided = (0..n)
+                .all(|i| rt.node(NodeId::new(i)).mis_status() != MisStatus::Undecided);
+            if decided {
+                milestones.all_decided_round = Some(round);
+            }
+        }
+        if milestones.gather_done_round.is_none() {
+            let mut owned: HashSet<MessageId> = HashSet::new();
+            for i in 0..n {
+                let node = rt.node(NodeId::new(i));
+                if node.in_mis() {
+                    owned.extend(node.message_set());
+                }
+            }
+            if all_ids.iter().all(|id| owned.contains(id)) {
+                milestones.gather_done_round = Some(round);
+            }
+        }
+        if milestones.completion_round.is_none() && tracker.is_complete() {
+            milestones.completion_round = Some(round);
+        }
+        round += 1;
+        if outcome == amac_mac::RunOutcome::Idle || milestones.completion_round.is_some() {
+            break;
+        }
+    }
+
+    let mut mis = NodeSet::new(n);
+    for i in 0..n {
+        if rt.node(NodeId::new(i)).in_mis() {
+            mis.insert(NodeId::new(i));
+        }
+    }
+    milestones.mis_valid = algo::is_maximal_independent(dual.g(), &mis);
+    milestones
+}
+
+/// One row of the MIS sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct MisPoint {
+    /// Network size.
+    pub n: usize,
+    /// `⌈log₂ n⌉³` (the bound shape).
+    pub log_cubed: u64,
+    /// Mean rounds until all nodes decided (over the seeds).
+    pub decided_rounds: f64,
+    /// Scheduled MIS segment rounds.
+    pub segment_rounds: u64,
+    /// Fraction of seeds yielding a valid maximal independent set.
+    pub validity_rate: f64,
+}
+
+/// Results of the subroutine experiments.
+#[derive(Clone, Debug)]
+pub struct Subroutines {
+    /// MIS sweep over `n`.
+    pub mis: Vec<MisPoint>,
+    /// Gather sweep over `k`: `(k, gather rounds used, k + log n)`.
+    pub gather: Vec<(usize, u64, u64)>,
+    /// Spread sweep over `n` (growing `D`):
+    /// `(n, D, spread rounds used, (D + k) * log n)`.
+    pub spread: Vec<(usize, usize, u64, u64)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs all three subroutine experiments.
+pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64]) -> Subroutines {
+    let cfg = MacConfig::from_ticks(f_prog, 8 * f_prog).enhanced();
+    let mut rng = SimRng::seed(1234);
+
+    // --- SUB-MIS: sweep n, several seeds each ---
+    let mut mis = Vec::new();
+    for &n in ns {
+        let side = (n as f64 / density).sqrt();
+        let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+            .expect("connected sample");
+        let params = FmmbParams::new(1, net.dual.diameter());
+        let assignment = Assignment::all_at(NodeId::new(0), 1);
+        let mut decided_sum = 0.0;
+        let mut valid = 0usize;
+        for &seed in seeds {
+            let m = run_instrumented(
+                &net.dual,
+                cfg,
+                &assignment,
+                &params,
+                seed,
+                amac_mac::policies::LazyPolicy::new(),
+            );
+            decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
+            valid += usize::from(m.mis_valid);
+        }
+        let lg = amac_core::bounds::log2_ceil(n).max(1);
+        mis.push(MisPoint {
+            n,
+            log_cubed: lg * lg * lg,
+            decided_rounds: decided_sum / seeds.len() as f64,
+            segment_rounds: params.schedule(n).mis_rounds(),
+            validity_rate: valid as f64 / seeds.len() as f64,
+        });
+    }
+
+    // --- SUB-GATHER: sweep k on a fixed network ---
+    let n_fixed = *ns.last().expect("non-empty ns");
+    let side = (n_fixed as f64 / density).sqrt();
+    let net = connected_grey_zone_network(
+        &GreyZoneConfig::new(n_fixed, side).with_c(2.0),
+        500,
+        &mut rng,
+    )
+    .expect("connected sample");
+    let lg = amac_core::bounds::log2_ceil(n_fixed).max(1);
+    let mut gather = Vec::new();
+    for &k in ks {
+        let params = FmmbParams::new(k, net.dual.diameter());
+        let assignment = Assignment::random(n_fixed, k, &mut rng);
+        let m = run_instrumented(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seeds[0],
+            amac_mac::policies::LazyPolicy::new(),
+        );
+        let used = m
+            .gather_done_round
+            .map(|g| g.saturating_sub(m.gather_start_round))
+            .unwrap_or(u64::MAX);
+        gather.push((k, used, k as u64 + lg));
+    }
+
+    // --- SUB-SPREAD: sweep n (D grows with sqrt n at fixed density) ---
+    let k_fixed = *ks.first().expect("non-empty ks");
+    let mut spread = Vec::new();
+    for &n in ns {
+        let side = (n as f64 / density).sqrt();
+        let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+            .expect("connected sample");
+        let d = net.dual.diameter();
+        let params = FmmbParams::new(k_fixed, d);
+        let assignment = Assignment::random(n, k_fixed, &mut rng);
+        let m = run_instrumented(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seeds[0],
+            amac_mac::policies::LazyPolicy::new(),
+        );
+        let used = match (m.completion_round, m.gather_done_round) {
+            (Some(c), Some(g)) => c.saturating_sub(g),
+            _ => u64::MAX,
+        };
+        let lg = amac_core::bounds::log2_ceil(n).max(1);
+        spread.push((n, d, used, (d as u64 + k_fixed as u64) * lg));
+    }
+
+    let mut table = Table::new(
+        format!("SUB-*  FMMB subroutines (grey zone, density {density}, F_prog={f_prog})"),
+        &["subroutine", "param", "rounds used", "bound shape", "note"],
+    );
+    for p in &mis {
+        table.row([
+            "MIS (Lem 4.5)".to_string(),
+            format!("n={}", p.n),
+            format!("{:.0}", p.decided_rounds),
+            format!("log^3 n = {}", p.log_cubed),
+            format!("segment {}, valid {:.0}%", p.segment_rounds, p.validity_rate * 100.0),
+        ]);
+    }
+    for (k, used, bound) in &gather {
+        table.row([
+            "gather (Lem 4.6)".to_string(),
+            format!("k={k}"),
+            used.to_string(),
+            format!("k + log n = {bound}"),
+            String::new(),
+        ]);
+    }
+    for (n, d, used, bound) in &spread {
+        table.row([
+            "spread (Lem 4.7/4.8)".to_string(),
+            format!("n={n}"),
+            used.to_string(),
+            format!("(D+k)*log n = {bound}"),
+            format!("D={d}"),
+        ]);
+    }
+    table.note("rounds used are until the milestone, not the (longer) fixed schedule");
+
+    Subroutines {
+        mis,
+        gather,
+        spread,
+        table,
+    }
+}
+
+/// Default parameterisation used by `cargo bench` and the `repro` binary.
+pub fn run_default() -> Subroutines {
+    run(2, &[16, 32, 64], &[2, 4, 8], 2.0, &[1, 2, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumented_run_reaches_all_milestones() {
+        let mut rng = SimRng::seed(8);
+        let net = connected_grey_zone_network(&GreyZoneConfig::new(20, 3.2), 200, &mut rng)
+            .expect("connected");
+        let cfg = MacConfig::from_ticks(2, 16).enhanced();
+        let params = FmmbParams::new(2, net.dual.diameter());
+        let assignment = Assignment::random(20, 2, &mut rng);
+        let m = run_instrumented(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            3,
+            amac_mac::policies::LazyPolicy::new(),
+        );
+        assert!(m.mis_valid);
+        assert!(m.all_decided_round.is_some());
+        assert!(m.gather_done_round.is_some());
+        assert!(m.completion_round.is_some());
+        // Milestones are ordered: decide, then gather, then complete.
+        assert!(m.gather_done_round >= m.all_decided_round);
+        assert!(m.completion_round >= m.gather_done_round);
+    }
+
+    #[test]
+    fn small_sweep_produces_full_table() {
+        let res = run(2, &[16, 24], &[2], 2.0, &[1]);
+        assert_eq!(res.mis.len(), 2);
+        assert_eq!(res.gather.len(), 1);
+        assert_eq!(res.spread.len(), 2);
+        assert!(res.mis.iter().all(|p| p.validity_rate > 0.0));
+        assert!(!res.table.is_empty());
+    }
+}

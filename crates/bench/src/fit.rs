@@ -1,0 +1,135 @@
+//! Least-squares fits for scaling-law analysis.
+//!
+//! Experiments fit measured completion times against the paper's bound
+//! formulas. Two fit shapes cover everything needed: a general linear fit
+//! `y = a·x + b` (for per-parameter slopes) and a proportional fit
+//! `y = c·x` through the origin (for measured-vs-bound constants).
+
+/// A linear least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Fits `y = slope·x + intercept` to the points.
+///
+/// # Panics
+///
+/// Panics on fewer than 2 points or zero variance in `x`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_bench::fit::linear_fit;
+///
+/// let f = linear_fit(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+/// assert!((f.slope - 2.0).abs() < 1e-9);
+/// assert!((f.intercept - 1.0).abs() < 1e-9);
+/// assert!(f.r2 > 0.999);
+/// ```
+pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values must not be constant");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 1e-12 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit { slope, intercept, r2 }
+}
+
+/// A proportional least-squares fit `y ≈ ratio·x` (through the origin).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProportionalFit {
+    /// Fitted constant `c` in `y = c·x`.
+    pub ratio: f64,
+    /// Worst-case observed `y/x` (upper envelope).
+    pub max_ratio: f64,
+    /// Best-case observed `y/x` (lower envelope).
+    pub min_ratio: f64,
+}
+
+/// Fits `y = c·x` and reports the ratio envelope. This is the
+/// "measured / bound" constant experiments report: an upper bound holds
+/// empirically when `max_ratio` is a small constant; a lower bound holds
+/// when `min_ratio` stays above a positive constant.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or any `x ≤ 0`.
+pub fn proportional_fit(points: &[(f64, f64)]) -> ProportionalFit {
+    assert!(!points.is_empty(), "need at least one point");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let mut max_ratio = f64::NEG_INFINITY;
+    let mut min_ratio = f64::INFINITY;
+    for &(x, y) in points {
+        assert!(x > 0.0, "bound values must be positive");
+        num += x * y;
+        den += x * x;
+        max_ratio = max_ratio.max(y / x);
+        min_ratio = min_ratio.min(y / x);
+    }
+    ProportionalFit {
+        ratio: num / den,
+        max_ratio,
+        min_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 4.0 * i as f64 - 2.0)).collect();
+        let f = linear_fit(&pts);
+        assert!((f.slope - 4.0).abs() < 1e-9);
+        assert!((f.intercept + 2.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_has_lower_r2() {
+        let pts = vec![(1.0, 2.0), (2.0, 7.0), (3.0, 4.0), (4.0, 11.0)];
+        let f = linear_fit(&pts);
+        assert!(f.r2 < 1.0);
+        assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linear_fit_needs_points() {
+        linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn proportional_envelope() {
+        let f = proportional_fit(&[(10.0, 20.0), (20.0, 30.0), (30.0, 60.0)]);
+        assert!((f.max_ratio - 2.0).abs() < 1e-9);
+        assert!((f.min_ratio - 1.5).abs() < 1e-9);
+        assert!(f.ratio > 1.4 && f.ratio < 2.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn proportional_rejects_nonpositive_x() {
+        proportional_fit(&[(0.0, 1.0)]);
+    }
+}

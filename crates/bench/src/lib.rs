@@ -1,0 +1,26 @@
+//! # amac-bench — the Figure 1 reproduction harness
+//!
+//! Parameter sweeps, scaling-law fits, and table rendering that regenerate
+//! every cell of the paper's Figure 1 (the results table) and Figure 2
+//! (the lower-bound network), plus the three FMMB subroutine guarantees.
+//!
+//! Each experiment lives in [`experiments`] and produces both structured
+//! data (sweep points, fits) and a rendered [`table::Table`]. The
+//! `benches/` targets print these tables under `cargo bench`; the `repro`
+//! binary emits the EXPERIMENTS.md dataset.
+//!
+//! ```no_run
+//! // Regenerate the G' = G cell of Figure 1 and print it:
+//! let result = amac_bench::experiments::fig1_gg::run_default();
+//! println!("{}", result.table);
+//! assert!(result.bound_fit.max_ratio < 3.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod fit;
+pub mod table;
+
+pub use experiments::SweepPoint;

@@ -1,0 +1,130 @@
+//! Closed-form bound calculators for every cell of the paper's Figure 1.
+//!
+//! These are the formulas the experiment harness fits measured completion
+//! times against. Upper bounds omit the big-O constant (the experiments
+//! report the measured constant); the `r`-restricted case additionally has
+//! the paper's *exact* Theorem 3.16 expression.
+
+use amac_mac::MacConfig;
+use amac_sim::Duration;
+
+/// `D·F_prog + k·F_ack` — BMMB with `G′ = G` (Figure 1, standard/`G′=G`,
+/// from prior work \[KLN11\]).
+pub fn bmmb_reliable(d: usize, k: usize, config: &MacConfig) -> Duration {
+    config.f_prog() * d as u64 + config.f_ack() * k as u64
+}
+
+/// `(D + k)·F_ack` — BMMB with arbitrary (or grey zone) `G′`
+/// (Theorem 3.1); also the matching lower bound of Theorem 3.17.
+pub fn bmmb_arbitrary(d: usize, k: usize, config: &MacConfig) -> Duration {
+    config.f_ack() * (d + k) as u64
+}
+
+/// `D·F_prog + r·k·F_ack` — BMMB with an `r`-restricted `G′`
+/// (Theorem 3.2, asymptotic form).
+pub fn bmmb_r_restricted(d: usize, k: usize, r: usize, config: &MacConfig) -> Duration {
+    config.f_prog() * d as u64 + config.f_ack() * (r * k) as u64
+}
+
+/// The exact Theorem 3.16 deadline
+/// `t₁ = (D + (r+1)·k − 2)·F_prog + r·(k−1)·F_ack`: all `k ≤ |K|` messages
+/// are received everywhere by `t₁`.
+pub fn bmmb_r_restricted_exact(d: usize, k: usize, r: usize, config: &MacConfig) -> Duration {
+    let prog_steps = (d + (r + 1) * k).saturating_sub(2) as u64;
+    let ack_steps = (r * k.saturating_sub(1)) as u64;
+    config.f_prog() * prog_steps + config.f_ack() * ack_steps
+}
+
+/// `(D·log n + k·log n + log³ n)·F_prog` — FMMB in the enhanced model with
+/// grey zone `G′` (Theorem 4.1), no `F_ack` term.
+pub fn fmmb_enhanced(n: usize, d: usize, k: usize, config: &MacConfig) -> Duration {
+    let lg = log2_ceil(n).max(1);
+    let rounds = (d as u64) * lg + (k as u64) * lg + lg * lg * lg;
+    config.f_prog() * rounds
+}
+
+/// `Ω(k·F_ack)` choke-point lower bound (Lemma 3.18), reported as
+/// `k·F_ack`.
+pub fn lower_choke(k: usize, config: &MacConfig) -> Duration {
+    config.f_ack() * k as u64
+}
+
+/// `Ω(D·F_ack)` grey-zone lower bound (Lemmas 3.19–3.20), reported as
+/// `D·F_ack`.
+pub fn lower_grey_zone(d: usize, config: &MacConfig) -> Duration {
+    config.f_ack() * d as u64
+}
+
+/// `⌈log₂ n⌉`, with `log2_ceil(0) = 0` and `log2_ceil(1) = 0`.
+pub fn log2_ceil(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MacConfig {
+        MacConfig::from_ticks(2, 40)
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn reliable_bound_formula() {
+        // 10*2 + 3*40 = 140
+        assert_eq!(bmmb_reliable(10, 3, &cfg()).ticks(), 140);
+    }
+
+    #[test]
+    fn arbitrary_bound_formula() {
+        assert_eq!(bmmb_arbitrary(10, 3, &cfg()).ticks(), 13 * 40);
+    }
+
+    #[test]
+    fn r_restricted_bounds() {
+        // asymptotic: 10*2 + 2*3*40 = 260
+        assert_eq!(bmmb_r_restricted(10, 3, 2, &cfg()).ticks(), 260);
+        // exact: (10 + 3*3 - 2)*2 + 2*2*40 = 34 + 160 = 194
+        assert_eq!(bmmb_r_restricted_exact(10, 3, 2, &cfg()).ticks(), 194);
+        // k = 0 edge: no ack term, saturating prog term
+        assert_eq!(bmmb_r_restricted_exact(1, 0, 2, &cfg()).ticks(), 0);
+    }
+
+    #[test]
+    fn r_one_exact_matches_reliable_shape() {
+        // r = 1: t1 = (D + 2k - 2) Fprog + (k-1) Fack — same asymptotic
+        // shape as the G' = G bound.
+        let t = bmmb_r_restricted_exact(10, 3, 1, &cfg());
+        assert_eq!(t.ticks(), (10 + 6 - 2) * 2 + 2 * 40);
+    }
+
+    #[test]
+    fn fmmb_bound_has_no_ack_term() {
+        let a = fmmb_enhanced(64, 10, 5, &MacConfig::from_ticks(2, 40));
+        let b = fmmb_enhanced(64, 10, 5, &MacConfig::from_ticks(2, 4000));
+        assert_eq!(a, b, "F_ack must not appear in the FMMB bound");
+        // (10*6 + 5*6 + 216) * 2 = (60 + 30 + 216) * 2
+        assert_eq!(a.ticks(), 306 * 2);
+    }
+
+    #[test]
+    fn lower_bound_formulas() {
+        assert_eq!(lower_choke(5, &cfg()).ticks(), 200);
+        assert_eq!(lower_grey_zone(7, &cfg()).ticks(), 280);
+    }
+}

@@ -1,0 +1,37 @@
+//! The Fast Multi-Message Broadcast (FMMB) algorithm (paper Section 4).
+//!
+//! FMMB runs in the **enhanced** abstract MAC layer (timers, abort,
+//! knowledge of `F_prog`) with a grey-zone restricted `G′`, and solves MMB
+//! in `O((D·log n + k·log n + log³ n) · F_prog)` rounds w.h.p. — no
+//! `F_ack` term at all, which the standard model provably cannot achieve
+//! (Theorem 3.17).
+//!
+//! Time is divided into lock-step rounds of `F_prog + 2` ticks: a node
+//! "broadcasting in round `t`" initiates the broadcast at the round start
+//! and aborts it at the round end if not yet acknowledged. The algorithm
+//! then composes three subroutines over this round structure:
+//!
+//! 1. **MIS** (`O(log³ n)` rounds, Lemmas 4.3–4.5): phases of a random-bit
+//!    election (silent nodes that hear anyone step back; survivors join)
+//!    followed by randomized announcements that permanently deactivate
+//!    dominated neighbors. Produces a maximal independent set of `G`
+//!    w.h.p.
+//! 2. **Gather** (`O(k + log n)` three-round periods, Lemma 4.6): active
+//!    MIS nodes announce; non-MIS nodes offer one pending message each;
+//!    MIS nodes acknowledge — moving every message to some MIS node.
+//! 3. **Spread** (`O((D + k) log n)` rounds, Lemmas 4.7–4.8): BMMB over
+//!    the overlay `H` (MIS nodes within ≤ 3 `G`-hops), implemented by a
+//!    randomized local-broadcast procedure with two-hop relays.
+//!
+//! See [`FmmbParams`] for how the paper's asymptotic segment lengths map
+//! to concrete constants, and [`run_fmmb`] for the harness.
+
+mod harness;
+mod node;
+mod packet;
+mod params;
+
+pub use harness::{run_fmmb, FmmbReport};
+pub use node::{Fmmb, MisStatus};
+pub use packet::FmmbPacket;
+pub use params::{FmmbParams, Schedule, Segment};

@@ -1,0 +1,470 @@
+//! The FMMB node automaton: lock-step rounds over the enhanced abstract
+//! MAC layer, running the MIS, gather, and spread subroutines in sequence
+//! (paper Section 4).
+
+use super::packet::FmmbPacket;
+use super::params::{Schedule, Segment};
+use crate::mmb::{Delivered, MessageId, MmbMessage};
+use amac_graph::NodeId;
+use amac_mac::{Automaton, Ctx};
+use amac_sim::{Duration, SimRng};
+use std::collections::{HashSet, VecDeque};
+
+/// A node's MIS status during and after the MIS subroutine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MisStatus {
+    /// Still competing (neither joined nor covered).
+    Undecided,
+    /// Joined the MIS (a dominator).
+    InMis,
+    /// Permanently inactive: heard an announcement from a `G`-neighbor that
+    /// joined the MIS (a dominated node).
+    Covered,
+}
+
+/// One FMMB process.
+///
+/// Runs in the **enhanced** abstract MAC layer: it uses `F_prog` knowledge
+/// and timers to form lock-step rounds of `F_prog + 2` ticks, and aborts
+/// any broadcast still unacknowledged at a round boundary. The paper's
+/// analysis needs exactly these powers (Theorem 4.1); the standard model
+/// provably cannot match this performance (Theorem 3.17).
+///
+/// Construction requires the global [`Schedule`] (identical on every node)
+/// and a per-node random stream.
+#[derive(Debug)]
+pub struct Fmmb {
+    schedule: Schedule,
+    activation_probability: f64,
+    use_abort: bool,
+    rng: SimRng,
+    round: u64,
+    broadcast_this_round: bool,
+    // --- MIS subroutine state ---
+    status: MisStatus,
+    temp_inactive: bool,
+    joined_this_phase: bool,
+    elect_bits: u128,
+    mis_finalized: bool,
+    // --- round receive buffer ---
+    rcvd: Vec<FmmbPacket>,
+    // --- message sets (gather + spread) ---
+    mv: VecDeque<MmbMessage>,
+    mv_ids: HashSet<MessageId>,
+    heard_active: bool,
+    pending_ack: Option<MmbMessage>,
+    // --- spread state ---
+    sent_ids: HashSet<MessageId>,
+    current_spread: Option<MmbMessage>,
+    spread_broadcast_this_phase: bool,
+    relay: Option<MmbMessage>,
+    // --- delivery bookkeeping ---
+    known: HashSet<MessageId>,
+}
+
+const ROUND_TIMER: u64 = 0;
+
+impl Fmmb {
+    /// Creates an FMMB process with the given global schedule, activation
+    /// probability (the `1/Θ(c²)` of the paper), and node-local randomness.
+    pub fn new(schedule: Schedule, activation_probability: f64, rng: SimRng) -> Fmmb {
+        Fmmb {
+            schedule,
+            activation_probability,
+            use_abort: true,
+            rng,
+            round: 0,
+            broadcast_this_round: false,
+            status: MisStatus::Undecided,
+            temp_inactive: false,
+            joined_this_phase: false,
+            elect_bits: 0,
+            mis_finalized: false,
+            rcvd: Vec::new(),
+            mv: VecDeque::new(),
+            mv_ids: HashSet::new(),
+            heard_active: false,
+            pending_ack: None,
+            sent_ids: HashSet::new(),
+            current_spread: None,
+            spread_broadcast_this_phase: false,
+            relay: None,
+            known: HashSet::new(),
+        }
+    }
+
+    /// The node's MIS status (final once the MIS segment has ended).
+    pub fn mis_status(&self) -> MisStatus {
+        self.status
+    }
+
+    /// `true` if this node joined the MIS.
+    pub fn in_mis(&self) -> bool {
+        self.status == MisStatus::InMis
+    }
+
+    /// Number of distinct MMB messages this node has learned.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// `true` if the node has learned message `id`.
+    pub fn knows(&self, id: MessageId) -> bool {
+        self.known.contains(&id)
+    }
+
+    /// The node's current message set `M_v` (owned messages).
+    pub fn message_set(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.mv.iter().map(|m| m.id)
+    }
+
+    /// Messages this node has spread over the overlay (`M'_v`).
+    pub fn spread_sent_count(&self) -> usize {
+        self.sent_ids.len()
+    }
+
+    /// Disables the abort interface (the paper's ablation): the node never
+    /// aborts, so rounds must stretch to `F_ack + 2` ticks to let every
+    /// broadcast complete naturally — losing the `F_ack`-independence that
+    /// Theorem 4.1 credits to the abort interface.
+    pub fn without_abort(mut self) -> Fmmb {
+        self.use_abort = false;
+        self
+    }
+
+    /// Rounds last `F_prog + 2` ticks: strictly longer than `F_prog`, with
+    /// one tick of slack so a forced progress delivery (due at
+    /// `round start + F_prog + 1` at the latest) lands strictly before the
+    /// round-end abort rather than racing it. Without the abort interface
+    /// a round must outlast the acknowledgment bound instead.
+    fn round_len(&self, ctx: &Ctx<'_, FmmbPacket, Delivered>) -> Duration {
+        if self.use_abort {
+            ctx.f_prog() + Duration::TICK + Duration::TICK
+        } else {
+            ctx.f_ack() + Duration::TICK + Duration::TICK
+        }
+    }
+
+    fn learn(&mut self, m: MmbMessage, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        if self.known.insert(m.id) {
+            ctx.output(Delivered(m.id));
+        }
+    }
+
+    fn is_g_neighbor(ctx: &Ctx<'_, FmmbPacket, Delivered>, from: NodeId) -> bool {
+        ctx.reliable_neighbors().contains(&from)
+    }
+
+    fn elect_active(&self) -> bool {
+        self.status == MisStatus::Undecided && !self.temp_inactive
+    }
+
+    fn resample_bits(&mut self) {
+        let lo = self.rng.next() as u128;
+        let hi = (self.rng.next() as u128) << 64;
+        let mask = (1u128 << self.schedule.election_rounds) - 1;
+        self.elect_bits = (hi | lo) & mask;
+    }
+
+    fn finalize_mis(&mut self) {
+        self.mis_finalized = true;
+    }
+
+    fn try_bcast(&mut self, pkt: FmmbPacket, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        if !ctx.has_broadcast_in_flight() {
+            ctx.bcast(pkt);
+            self.broadcast_this_round = true;
+        }
+    }
+
+    /// Decides this node's action at the start of round `self.round`.
+    fn round_start(&mut self, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        let me = ctx.id();
+        match self.schedule.segment(self.round) {
+            Segment::MisElection { round_in, .. } => {
+                if round_in == 0 {
+                    self.resample_bits();
+                    self.temp_inactive = false;
+                }
+                if self.elect_active() && (self.elect_bits >> round_in) & 1 == 1 {
+                    self.try_bcast(FmmbPacket::Elect { bits: self.elect_bits, from: me }, ctx);
+                }
+            }
+            Segment::MisAnnounce { .. } => {
+                if self.joined_this_phase && self.rng.chance(self.activation_probability) {
+                    self.try_bcast(FmmbPacket::MisAnnounce { from: me }, ctx);
+                }
+            }
+            Segment::Gather { round_in, .. } => {
+                if !self.mis_finalized {
+                    self.finalize_mis();
+                }
+                match round_in {
+                    0 => {
+                        self.heard_active = false;
+                        self.pending_ack = None;
+                        if self.in_mis() && self.rng.chance(self.activation_probability) {
+                            self.try_bcast(FmmbPacket::GatherActive { from: me }, ctx);
+                        }
+                    }
+                    1 => {
+                        if !self.in_mis() && self.heard_active {
+                            if let Some(&m) = self.mv.front() {
+                                self.try_bcast(FmmbPacket::GatherMsg { msg: m, from: me }, ctx);
+                            }
+                        }
+                    }
+                    _ => {
+                        if self.in_mis() {
+                            if let Some(m) = self.pending_ack {
+                                self.try_bcast(FmmbPacket::GatherAck { msg: m, from: me }, ctx);
+                            }
+                        }
+                    }
+                }
+            }
+            Segment::Spread { period, round_in, .. } => {
+                if !self.mis_finalized {
+                    self.finalize_mis();
+                }
+                match round_in {
+                    0 => {
+                        if period == 0 {
+                            // Phase start: pick one unsent owned message.
+                            self.current_spread = self
+                                .mv
+                                .iter()
+                                .find(|m| !self.sent_ids.contains(&m.id))
+                                .copied();
+                            self.spread_broadcast_this_phase = false;
+                        }
+                        if self.in_mis() {
+                            if let Some(m) = self.current_spread {
+                                if self.rng.chance(self.activation_probability) {
+                                    self.try_bcast(FmmbPacket::Spread { msg: m, from: me }, ctx);
+                                    self.spread_broadcast_this_phase = true;
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some(m) = self.relay.take() {
+                            self.try_bcast(FmmbPacket::Spread { msg: m, from: me }, ctx);
+                        }
+                    }
+                }
+            }
+            Segment::Done => {}
+        }
+    }
+
+    /// Processes the outcome of the round that just ended (`self.round`).
+    fn round_end(&mut self, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        match self.schedule.segment(self.round) {
+            Segment::MisElection { round_in, .. } => {
+                if self.elect_active() && !self.broadcast_this_round && !self.rcvd.is_empty() {
+                    // Heard someone (G or G' neighbor) while silent: step
+                    // back for the rest of this phase.
+                    self.temp_inactive = true;
+                }
+                if round_in == self.schedule.election_rounds - 1 && self.elect_active() {
+                    self.status = MisStatus::InMis;
+                    self.joined_this_phase = true;
+                }
+            }
+            Segment::MisAnnounce { round_in, .. } => {
+                if self.status == MisStatus::Undecided {
+                    let covered = self.rcvd.iter().any(|p| {
+                        matches!(p, FmmbPacket::MisAnnounce { from }
+                            if Self::is_g_neighbor(ctx, *from))
+                    });
+                    if covered {
+                        self.status = MisStatus::Covered;
+                    }
+                }
+                if round_in == self.schedule.announce_rounds - 1 {
+                    // Phase end: fresh MIS members go quiet; temporarily
+                    // inactive nodes reactivate.
+                    self.joined_this_phase = false;
+                    self.temp_inactive = false;
+                }
+            }
+            Segment::Gather { round_in, .. } => match round_in {
+                0 => {
+                    self.heard_active = self.rcvd.iter().any(|p| {
+                        matches!(p, FmmbPacket::GatherActive { from }
+                            if Self::is_g_neighbor(ctx, *from))
+                    });
+                }
+                1 => {
+                    if self.in_mis() {
+                        // Every offered message from a G-neighbor joins
+                        // M_u; only the first is acknowledged in round 3.
+                        let offered: Vec<MmbMessage> = self
+                            .rcvd
+                            .iter()
+                            .filter_map(|p| match p {
+                                FmmbPacket::GatherMsg { msg, from }
+                                    if Self::is_g_neighbor(ctx, *from) =>
+                                {
+                                    Some(*msg)
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        self.pending_ack = offered.first().copied();
+                        for m in offered {
+                            if self.mv_ids.insert(m.id) {
+                                self.mv.push_back(m);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if !self.in_mis() {
+                        let acked: Vec<MessageId> = self
+                            .rcvd
+                            .iter()
+                            .filter_map(|p| match p {
+                                FmmbPacket::GatherAck { msg, from }
+                                    if Self::is_g_neighbor(ctx, *from) =>
+                                {
+                                    Some(msg.id)
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        for id in acked {
+                            if self.mv_ids.remove(&id) {
+                                self.mv.retain(|m| m.id != id);
+                            }
+                        }
+                    }
+                    self.heard_active = false;
+                    self.pending_ack = None;
+                }
+            },
+            Segment::Spread { period, round_in, .. } => {
+                // Relay rule: the first spread message received this round
+                // is rebroadcast next round, within the period. We relay on
+                // receipt over G' links too: the adversarial scheduler may
+                // attribute a delivery to a G'-only instance even while a
+                // G-neighbor broadcasts the same content, and the paper's
+                // 7c-radius interference argument (Lemma 4.7) already
+                // accommodates relays displaced over grey-zone edges.
+                if round_in < 2 {
+                    self.relay = self.rcvd.iter().find_map(|p| match p {
+                        FmmbPacket::Spread { msg, .. } => Some(*msg),
+                        _ => None,
+                    });
+                } else {
+                    self.relay = None;
+                }
+                let _ = ctx;
+                // MIS nodes absorb everything they heard into M_v.
+                if self.in_mis() {
+                    let heard: Vec<MmbMessage> = self
+                        .rcvd
+                        .iter()
+                        .filter_map(|p| match p {
+                            FmmbPacket::Spread { msg, .. } => Some(*msg),
+                            _ => None,
+                        })
+                        .collect();
+                    for m in heard {
+                        if self.mv_ids.insert(m.id) {
+                            self.mv.push_back(m);
+                        }
+                    }
+                }
+                // Phase end: mark the phase's message as spread, but only
+                // if the node was actually active at least once — a phase
+                // in which the activation coin never landed must not
+                // silently discard the message (it is retried in a later
+                // phase; the paper's w.h.p. analysis makes such phases
+                // negligible, an implementation must survive them).
+                if period == self.schedule.lb_periods - 1 && round_in == 2 {
+                    if let Some(m) = self.current_spread.take() {
+                        if self.spread_broadcast_this_phase {
+                            self.sent_ids.insert(m.id);
+                        }
+                    }
+                }
+            }
+            Segment::Done => {}
+        }
+    }
+}
+
+impl Automaton for Fmmb {
+    type Msg = FmmbPacket;
+    type Env = MmbMessage;
+    type Out = Delivered;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        self.round_start(ctx);
+        ctx.set_timer(self.round_len(ctx), ROUND_TIMER);
+    }
+
+    fn on_env(&mut self, input: MmbMessage, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        self.learn(input, ctx);
+        if self.mv_ids.insert(input.id) {
+            self.mv.push_back(input);
+        }
+    }
+
+    fn on_receive(&mut self, pkt: FmmbPacket, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        if let Some(m) = pkt.mmb_message() {
+            self.learn(m, ctx);
+        }
+        self.rcvd.push(pkt);
+    }
+
+    fn on_ack(&mut self, _msg: FmmbPacket, _ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        // Round bookkeeping happens at the timer; nothing to do here.
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+        debug_assert_eq!(tag, ROUND_TIMER);
+        if ctx.has_broadcast_in_flight() {
+            debug_assert!(
+                self.use_abort,
+                "without abort, rounds outlast F_ack so broadcasts always complete"
+            );
+            ctx.abort();
+        }
+        self.round_end(ctx);
+        self.rcvd.clear();
+        self.broadcast_this_round = false;
+        self.round += 1;
+        if self.schedule.segment(self.round) != Segment::Done {
+            self.round_start(ctx);
+            ctx.set_timer(self.round_len(ctx), ROUND_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmmb::params::FmmbParams;
+
+    #[test]
+    fn fresh_node_state() {
+        let sched = FmmbParams::new(1, 1).schedule(8);
+        let node = Fmmb::new(sched, 0.25, SimRng::seed(1));
+        assert_eq!(node.mis_status(), MisStatus::Undecided);
+        assert!(!node.in_mis());
+        assert_eq!(node.known_count(), 0);
+        assert_eq!(node.spread_sent_count(), 0);
+        assert_eq!(node.message_set().count(), 0);
+    }
+
+    #[test]
+    fn resample_masks_to_election_rounds() {
+        let sched = FmmbParams::new(1, 1).schedule(8); // 4*3 = 12 election rounds
+        let mut node = Fmmb::new(sched.clone(), 0.25, SimRng::seed(2));
+        node.resample_bits();
+        assert!(node.elect_bits < (1u128 << sched.election_rounds));
+    }
+}

@@ -1,0 +1,163 @@
+//! The wire format of FMMB: small control packets, each carrying at most
+//! one MMB message (respecting the model's constant-messages-per-broadcast
+//! rule).
+
+use crate::mmb::MmbMessage;
+use amac_graph::NodeId;
+use amac_mac::{MacMessage, MessageKey};
+
+/// A packet broadcast by an FMMB node.
+///
+/// Every variant carries the sender id (`from`), because receivers must
+/// distinguish messages arriving from reliable (`G`) neighbors from those
+/// arriving over unreliable (`G′ \ G`) links — the model lets nodes tell
+/// their neighbor lists apart, and FMMB's subroutines act only on
+/// `G`-neighbor traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FmmbPacket {
+    /// MIS election broadcast: the sender's random bit string for the
+    /// current phase.
+    Elect {
+        /// The 4·log n random bits `b(v)`.
+        bits: u128,
+        /// Sender.
+        from: NodeId,
+    },
+    /// MIS announcement: the sender joined the MIS this phase.
+    MisAnnounce {
+        /// Sender (a fresh MIS member).
+        from: NodeId,
+    },
+    /// Gather period round 1: an active MIS node announcing itself.
+    GatherActive {
+        /// Sender (an active MIS node).
+        from: NodeId,
+    },
+    /// Gather period round 2: a non-MIS node offering one of its messages.
+    GatherMsg {
+        /// The offered MMB message.
+        msg: MmbMessage,
+        /// Sender (a non-MIS node).
+        from: NodeId,
+    },
+    /// Gather period round 3: an MIS node acknowledging receipt of `msg`.
+    GatherAck {
+        /// The acknowledged MMB message.
+        msg: MmbMessage,
+        /// Sender (an MIS node).
+        from: NodeId,
+    },
+    /// Spread segment: an MMB message travelling over the overlay (origin
+    /// broadcast or relay hop).
+    Spread {
+        /// The MMB message being spread.
+        msg: MmbMessage,
+        /// Sender of this hop (origin MIS node or relay).
+        from: NodeId,
+    },
+}
+
+impl FmmbPacket {
+    /// The embedded MMB message, if this packet carries one.
+    pub fn mmb_message(&self) -> Option<MmbMessage> {
+        match self {
+            FmmbPacket::GatherMsg { msg, .. }
+            | FmmbPacket::GatherAck { msg, .. }
+            | FmmbPacket::Spread { msg, .. } => Some(*msg),
+            _ => None,
+        }
+    }
+
+    /// The sender recorded in the packet.
+    pub fn from(&self) -> NodeId {
+        match self {
+            FmmbPacket::Elect { from, .. }
+            | FmmbPacket::MisAnnounce { from }
+            | FmmbPacket::GatherActive { from }
+            | FmmbPacket::GatherMsg { from, .. }
+            | FmmbPacket::GatherAck { from, .. }
+            | FmmbPacket::Spread { from, .. } => *from,
+        }
+    }
+}
+
+impl MacMessage for FmmbPacket {
+    /// A semantic key mixing the variant, sender, and payload; used only by
+    /// adversarial schedulers to recognise repeats.
+    fn key(&self) -> MessageKey {
+        let (tag, from, payload): (u64, u64, u64) = match self {
+            FmmbPacket::Elect { bits, from } => (1, from.index() as u64, *bits as u64),
+            FmmbPacket::MisAnnounce { from } => (2, from.index() as u64, 0),
+            FmmbPacket::GatherActive { from } => (3, from.index() as u64, 0),
+            FmmbPacket::GatherMsg { msg, from } => (4, from.index() as u64, msg.id.0),
+            FmmbPacket::GatherAck { msg, from } => (5, from.index() as u64, msg.id.0),
+            FmmbPacket::Spread { msg, from } => (6, from.index() as u64, msg.id.0),
+        };
+        // Simple mix; collisions only blunt adversary heuristics.
+        let mut h = tag
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(from.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        h ^= payload.wrapping_mul(0x94D0_49BB_1331_11EB);
+        MessageKey(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmb::MessageId;
+
+    fn msg(i: u64) -> MmbMessage {
+        MmbMessage {
+            id: MessageId(i),
+            origin: NodeId::new(0),
+        }
+    }
+
+    #[test]
+    fn embedded_message_extraction() {
+        assert_eq!(
+            FmmbPacket::Spread { msg: msg(3), from: NodeId::new(1) }.mmb_message(),
+            Some(msg(3))
+        );
+        assert_eq!(
+            FmmbPacket::GatherMsg { msg: msg(4), from: NodeId::new(1) }.mmb_message(),
+            Some(msg(4))
+        );
+        assert_eq!(
+            FmmbPacket::Elect { bits: 5, from: NodeId::new(1) }.mmb_message(),
+            None
+        );
+        assert_eq!(
+            FmmbPacket::MisAnnounce { from: NodeId::new(2) }.mmb_message(),
+            None
+        );
+    }
+
+    #[test]
+    fn from_accessor_covers_variants() {
+        let v = NodeId::new(7);
+        for p in [
+            FmmbPacket::Elect { bits: 0, from: v },
+            FmmbPacket::MisAnnounce { from: v },
+            FmmbPacket::GatherActive { from: v },
+            FmmbPacket::GatherMsg { msg: msg(1), from: v },
+            FmmbPacket::GatherAck { msg: msg(1), from: v },
+            FmmbPacket::Spread { msg: msg(1), from: v },
+        ] {
+            assert_eq!(p.from(), v);
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_variants_and_payloads() {
+        let a = FmmbPacket::GatherMsg { msg: msg(1), from: NodeId::new(0) }.key();
+        let b = FmmbPacket::GatherAck { msg: msg(1), from: NodeId::new(0) }.key();
+        let c = FmmbPacket::GatherMsg { msg: msg(2), from: NodeId::new(0) }.key();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Same content, same key (so duplicates are recognisable).
+        let a2 = FmmbPacket::GatherMsg { msg: msg(1), from: NodeId::new(0) }.key();
+        assert_eq!(a, a2);
+    }
+}

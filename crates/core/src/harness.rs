@@ -1,0 +1,305 @@
+//! End-to-end MMB execution harness: wires an algorithm, a topology, an
+//! assignment, and a scheduler policy into one run and reports completion
+//! metrics.
+
+use crate::bmmb::Bmmb;
+use crate::mmb::{Assignment, CompletionTracker, Delivered};
+use amac_graph::{DualGraph, NodeId};
+use amac_mac::{validate, Automaton, MacConfig, Policy, RunOutcome, Runtime, ValidationReport};
+use amac_sim::stats::Counters;
+use amac_sim::Time;
+use std::fmt;
+
+/// Options controlling a harness run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Validate the recorded trace against the MAC model after the run.
+    pub validate: bool,
+    /// Stop as soon as the MMB problem is solved (all required deliveries
+    /// happened) instead of running the algorithm to quiescence.
+    pub stop_on_completion: bool,
+    /// Hard time horizon; the run stops when the next event would exceed
+    /// it.
+    pub horizon: Time,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            validate: true,
+            stop_on_completion: false,
+            horizon: Time::MAX,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Default options but without post-hoc validation (for large sweeps).
+    pub fn fast() -> RunOptions {
+        RunOptions {
+            validate: false,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Stops the simulation at the moment of MMB completion.
+    pub fn stopping_on_completion(mut self) -> RunOptions {
+        self.stop_on_completion = true;
+        self
+    }
+
+    /// Sets the time horizon.
+    pub fn with_horizon(mut self, horizon: Time) -> RunOptions {
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Result of one MMB run.
+#[derive(Clone, Debug)]
+pub struct MmbReport {
+    /// Time of the last *required* delivery (MMB solved), if reached.
+    pub completion: Option<Time>,
+    /// Simulated time when the run stopped.
+    pub end_time: Time,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Required deliveries still missing (0 when solved).
+    pub missing: usize,
+    /// Total deliver outputs observed.
+    pub deliveries: usize,
+    /// Message instances broadcast over the MAC layer.
+    pub instances: usize,
+    /// MAC-level event counters.
+    pub counters: Counters,
+    /// Trace validation report, when requested.
+    pub validation: Option<ValidationReport>,
+}
+
+impl MmbReport {
+    /// `true` when the problem was solved and (if validated) the execution
+    /// conformed to the model.
+    pub fn solved_and_valid(&self) -> bool {
+        self.completion.is_some() && self.validation.as_ref().map_or(true, |v| v.is_ok())
+    }
+
+    /// Completion time in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run did not complete.
+    pub fn completion_ticks(&self) -> u64 {
+        self.completion.expect("MMB run did not complete").ticks()
+    }
+}
+
+impl fmt::Display for MmbReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.completion {
+            Some(t) => write!(f, "solved at t={t}")?,
+            None => write!(f, "unsolved ({} deliveries missing)", self.missing)?,
+        }
+        write!(
+            f,
+            "; stopped at t={} ({:?}), {} instances, {} deliveries",
+            self.end_time, self.outcome, self.instances, self.deliveries
+        )
+    }
+}
+
+/// Runs an arbitrary MMB automaton (anything consuming [`crate::MmbMessage`]
+/// env events and emitting [`Delivered`] outputs) and tracks completion.
+pub fn run_mmb<A, P, F>(
+    dual: &DualGraph,
+    config: MacConfig,
+    assignment: &Assignment,
+    make_node: F,
+    policy: P,
+    options: &RunOptions,
+) -> MmbReport
+where
+    A: Automaton<Env = crate::MmbMessage, Out = Delivered>,
+    P: Policy,
+    F: FnMut(NodeId) -> A,
+{
+    let mut make_node = make_node;
+    let nodes = (0..dual.len()).map(|i| make_node(NodeId::new(i))).collect();
+    let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if !options.validate {
+        rt = rt.without_trace();
+    }
+    for (node, msg) in assignment.arrivals() {
+        rt.inject(*node, *msg);
+    }
+
+    let mut tracker = CompletionTracker::new(dual, assignment);
+    let mut deliveries = 0usize;
+    let outcome = loop {
+        if options.stop_on_completion && tracker.is_complete() {
+            break RunOutcome::Stopped;
+        }
+        let step_outcome = rt.run_until_next(options.horizon);
+        for rec in rt.take_outputs() {
+            deliveries += 1;
+            let Delivered(id) = rec.out;
+            tracker.record(rec.time, rec.node, id);
+        }
+        if let Some(o) = step_outcome {
+            break o;
+        }
+    };
+
+    let validation = if options.validate {
+        rt.trace()
+            .map(|t| validate(t, dual, rt.config(), outcome == RunOutcome::Idle))
+    } else {
+        None
+    };
+
+    MmbReport {
+        completion: tracker.completed_at(),
+        end_time: rt.now(),
+        outcome,
+        missing: tracker.remaining(),
+        deliveries,
+        instances: rt.instances_started(),
+        counters: rt.counters().clone(),
+        validation,
+    }
+}
+
+/// Runs the BMMB protocol over `dual` (convenience wrapper around
+/// [`run_mmb`]).
+///
+/// # Examples
+///
+/// ```
+/// use amac_core::{run_bmmb, Assignment, RunOptions};
+/// use amac_graph::{generators, DualGraph, NodeId};
+/// use amac_mac::{policies::LazyPolicy, MacConfig};
+///
+/// let dual = DualGraph::reliable(generators::line(10)?);
+/// let report = run_bmmb(
+///     &dual,
+///     MacConfig::from_ticks(2, 30),
+///     &Assignment::all_at(NodeId::new(0), 2),
+///     LazyPolicy::new().prefer_duplicates(),
+///     &RunOptions::default(),
+/// );
+/// assert!(report.solved_and_valid());
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn run_bmmb<P: Policy>(
+    dual: &DualGraph,
+    config: MacConfig,
+    assignment: &Assignment,
+    policy: P,
+    options: &RunOptions,
+) -> MmbReport {
+    run_mmb(dual, config, assignment, |_| Bmmb::new(), policy, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use amac_graph::generators;
+    use amac_mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
+    use amac_sim::SimRng;
+
+    fn line_dual(n: usize) -> DualGraph {
+        DualGraph::reliable(generators::line(n).unwrap())
+    }
+
+    #[test]
+    fn bmmb_completes_and_validates_on_line() {
+        let dual = line_dual(12);
+        let cfg = MacConfig::from_ticks(2, 30);
+        let a = Assignment::all_at(NodeId::new(0), 3);
+        let report = run_bmmb(&dual, cfg, &a, LazyPolicy::new(), &RunOptions::default());
+        assert!(report.solved_and_valid(), "{report}");
+        assert_eq!(report.missing, 0);
+        assert_eq!(report.deliveries, 3 * 12);
+    }
+
+    #[test]
+    fn completion_time_within_reliable_bound() {
+        // G' = G: completion must be within a small constant of
+        // D*Fprog + k*Fack even under the duplicate-feeding lazy adversary.
+        let dual = line_dual(16);
+        let cfg = MacConfig::from_ticks(2, 40);
+        let k = 4;
+        let a = Assignment::all_at(NodeId::new(0), k);
+        let report = run_bmmb(
+            &dual,
+            cfg,
+            &a,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::default(),
+        );
+        let bound = bounds::bmmb_reliable(dual.diameter(), k, &cfg).ticks();
+        let measured = report.completion_ticks();
+        assert!(
+            measured <= 3 * bound,
+            "measured {measured} should be O(bound {bound})"
+        );
+    }
+
+    #[test]
+    fn stop_on_completion_halts_early() {
+        let dual = line_dual(10);
+        let cfg = MacConfig::from_ticks(2, 100);
+        let a = Assignment::all_at(NodeId::new(0), 1);
+        let stopped = run_bmmb(
+            &dual,
+            cfg,
+            &a,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        let full = run_bmmb(&dual, cfg, &a, LazyPolicy::new(), &RunOptions::fast());
+        assert!(stopped.completion.is_some());
+        assert!(stopped.end_time <= full.end_time);
+    }
+
+    #[test]
+    fn horizon_truncates_unsolved_runs() {
+        let dual = line_dual(40);
+        let cfg = MacConfig::from_ticks(2, 100);
+        let a = Assignment::all_at(NodeId::new(0), 5);
+        let report = run_bmmb(
+            &dual,
+            cfg,
+            &a,
+            LazyPolicy::new(),
+            &RunOptions::default().with_horizon(Time::from_ticks(10)),
+        );
+        assert_eq!(report.outcome, RunOutcome::TimeLimit);
+        assert!(report.completion.is_none());
+        assert!(report.missing > 0);
+        // Truncated traces still validate (progress windows open at the
+        // horizon are skipped).
+        assert!(report.validation.unwrap().is_ok());
+    }
+
+    #[test]
+    fn random_scheduler_random_assignment_solves() {
+        let g = generators::grid(4, 5).unwrap();
+        let mut rng = SimRng::seed(3);
+        let dual = generators::r_restricted_augment(g, 2, 0.3, &mut rng).unwrap();
+        let cfg = MacConfig::from_ticks(2, 20);
+        let a = Assignment::random(20, 4, &mut rng);
+        let report = run_bmmb(&dual, cfg, &a, RandomPolicy::new(5), &RunOptions::default());
+        assert!(report.solved_and_valid(), "{report}");
+    }
+
+    #[test]
+    fn eager_policy_is_fastest() {
+        let dual = line_dual(20);
+        let cfg = MacConfig::from_ticks(2, 60);
+        let a = Assignment::all_at(NodeId::new(0), 3);
+        let eager = run_bmmb(&dual, cfg, &a, EagerPolicy::new(), &RunOptions::fast());
+        let lazy = run_bmmb(&dual, cfg, &a, LazyPolicy::new(), &RunOptions::fast());
+        assert!(eager.completion_ticks() <= lazy.completion_ticks());
+    }
+}

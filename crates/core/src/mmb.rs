@@ -1,0 +1,273 @@
+//! The multi-message broadcast (MMB) problem: messages, arrival
+//! assignments, and completion tracking (paper Section 2).
+
+use amac_graph::{algo, DualGraph, NodeId, NodeSet};
+use amac_mac::{MacMessage, MessageKey};
+use amac_sim::{SimRng, Time};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of one of the `k` MMB messages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An MMB message: an opaque black box with an identity and an origin.
+///
+/// The paper treats messages as uncombinable black boxes (no network
+/// coding) of which only a constant number fit in one local broadcast; our
+/// algorithms broadcast exactly one per packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MmbMessage {
+    /// Unique message identity.
+    pub id: MessageId,
+    /// The node the environment injected this message at.
+    pub origin: NodeId,
+}
+
+impl MacMessage for MmbMessage {
+    fn key(&self) -> MessageKey {
+        MessageKey(self.id.0)
+    }
+}
+
+/// Problem-level output: a node completed a `deliver(m)` event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivered(pub MessageId);
+
+/// The environment's plan: which node receives which message at time 0.
+///
+/// # Examples
+///
+/// ```
+/// use amac_core::Assignment;
+/// use amac_graph::NodeId;
+///
+/// // Three messages all starting at node 0.
+/// let a = Assignment::all_at(NodeId::new(0), 3);
+/// assert_eq!(a.k(), 3);
+/// assert_eq!(a.arrivals()[2].0, NodeId::new(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    arrivals: Vec<(NodeId, MmbMessage)>,
+}
+
+impl Assignment {
+    /// Builds an assignment from explicit `(node, message id)` pairs; the
+    /// message origin is set to the assigned node.
+    pub fn new<I: IntoIterator<Item = (NodeId, MessageId)>>(items: I) -> Assignment {
+        Assignment {
+            arrivals: items
+                .into_iter()
+                .map(|(node, id)| (node, MmbMessage { id, origin: node }))
+                .collect(),
+        }
+    }
+
+    /// All `k` messages start at a single node.
+    pub fn all_at(node: NodeId, k: usize) -> Assignment {
+        Assignment::new((0..k as u64).map(|i| (node, MessageId(i))))
+    }
+
+    /// One message per listed node, ids in list order — the paper's
+    /// *singleton assignment* (no node starts with more than one message).
+    pub fn singleton<I: IntoIterator<Item = NodeId>>(nodes: I) -> Assignment {
+        Assignment::new(
+            nodes
+                .into_iter()
+                .enumerate()
+                .map(|(i, node)| (node, MessageId(i as u64))),
+        )
+    }
+
+    /// `k` messages at uniformly random nodes of an `n`-node network.
+    pub fn random(n: usize, k: usize, rng: &mut SimRng) -> Assignment {
+        Assignment::new(
+            (0..k as u64).map(|i| (NodeId::new(rng.below(n as u64) as usize), MessageId(i))),
+        )
+    }
+
+    /// The number of messages `k`.
+    pub fn k(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The planned arrivals.
+    pub fn arrivals(&self) -> &[(NodeId, MmbMessage)] {
+        &self.arrivals
+    }
+
+    /// Iterates over the distinct message ids in the assignment.
+    pub fn message_ids(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.arrivals.iter().map(|(_, m)| m.id)
+    }
+}
+
+/// Tracks MMB completion: the problem is solved once every message `m`
+/// starting at node `u` has been delivered at every node of `u`'s
+/// `G`-component (the paper does **not** assume `G` connected).
+///
+/// Feed it `(time, node, message)` delivery events (in any order within a
+/// run; times must be non-decreasing for the completion timestamp to be
+/// exact) and query [`is_complete`](CompletionTracker::is_complete).
+#[derive(Clone, Debug)]
+pub struct CompletionTracker {
+    /// Per message: the set of nodes that still must deliver it.
+    outstanding: HashMap<MessageId, NodeSet>,
+    remaining_total: usize,
+    completed_at: Option<Time>,
+    duplicates: usize,
+}
+
+impl CompletionTracker {
+    /// Builds the obligation sets for `assignment` over `dual`'s reliable
+    /// layer.
+    pub fn new(dual: &DualGraph, assignment: &Assignment) -> CompletionTracker {
+        let mut outstanding = HashMap::new();
+        let mut remaining_total = 0;
+        for (node, msg) in assignment.arrivals() {
+            let comp = algo::component_of(dual.g(), *node);
+            remaining_total += comp.len();
+            outstanding.insert(msg.id, comp);
+        }
+        CompletionTracker {
+            outstanding,
+            remaining_total,
+            completed_at: None,
+            duplicates: 0,
+        }
+    }
+
+    /// Records a delivery. Returns `true` if this was a required, novel
+    /// delivery.
+    pub fn record(&mut self, time: Time, node: NodeId, id: MessageId) -> bool {
+        let Some(set) = self.outstanding.get_mut(&id) else {
+            self.duplicates += 1;
+            return false;
+        };
+        if node.index() < set.capacity() && set.remove(node) {
+            self.remaining_total -= 1;
+            if self.remaining_total == 0 {
+                self.completed_at = Some(time);
+            }
+            true
+        } else {
+            self.duplicates += 1;
+            false
+        }
+    }
+
+    /// `true` once every required delivery happened.
+    pub fn is_complete(&self) -> bool {
+        self.remaining_total == 0
+    }
+
+    /// The time of the last required delivery, if complete.
+    pub fn completed_at(&self) -> Option<Time> {
+        self.completed_at
+    }
+
+    /// Number of required deliveries still missing.
+    pub fn remaining(&self) -> usize {
+        self.remaining_total
+    }
+
+    /// Deliveries that were not required (repeats or off-component).
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+
+    /// The nodes still missing message `id` (`None` if `id` is unknown).
+    pub fn missing_for(&self, id: MessageId) -> Option<&NodeSet> {
+        self.outstanding.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac_graph::generators;
+
+    fn line_dual(n: usize) -> DualGraph {
+        DualGraph::reliable(generators::line(n).unwrap())
+    }
+
+    #[test]
+    fn assignment_constructors() {
+        let a = Assignment::all_at(NodeId::new(2), 4);
+        assert_eq!(a.k(), 4);
+        assert!(a.arrivals().iter().all(|(n, _)| *n == NodeId::new(2)));
+
+        let s = Assignment::singleton([NodeId::new(0), NodeId::new(3)]);
+        assert_eq!(s.k(), 2);
+        assert_eq!(s.arrivals()[1], (NodeId::new(3), MmbMessage {
+            id: MessageId(1),
+            origin: NodeId::new(3),
+        }));
+
+        let mut rng = SimRng::seed(1);
+        let r = Assignment::random(10, 5, &mut rng);
+        assert_eq!(r.k(), 5);
+        assert!(r.arrivals().iter().all(|(n, _)| n.index() < 10));
+    }
+
+    #[test]
+    fn message_key_is_id() {
+        let m = MmbMessage { id: MessageId(9), origin: NodeId::new(0) };
+        assert_eq!(m.key(), MessageKey(9));
+    }
+
+    #[test]
+    fn tracker_completes_when_component_covered() {
+        let dual = line_dual(3);
+        let a = Assignment::all_at(NodeId::new(0), 1);
+        let mut t = CompletionTracker::new(&dual, &a);
+        assert_eq!(t.remaining(), 3);
+        assert!(!t.is_complete());
+        assert!(t.record(Time::from_ticks(1), NodeId::new(0), MessageId(0)));
+        assert!(t.record(Time::from_ticks(2), NodeId::new(1), MessageId(0)));
+        assert!(!t.is_complete());
+        assert!(t.record(Time::from_ticks(5), NodeId::new(2), MessageId(0)));
+        assert!(t.is_complete());
+        assert_eq!(t.completed_at(), Some(Time::from_ticks(5)));
+    }
+
+    #[test]
+    fn tracker_counts_duplicates() {
+        let dual = line_dual(2);
+        let a = Assignment::all_at(NodeId::new(0), 1);
+        let mut t = CompletionTracker::new(&dual, &a);
+        t.record(Time::ZERO, NodeId::new(0), MessageId(0));
+        t.record(Time::ZERO, NodeId::new(0), MessageId(0));
+        t.record(Time::ZERO, NodeId::new(1), MessageId(99));
+        assert_eq!(t.duplicates(), 2);
+    }
+
+    #[test]
+    fn tracker_scopes_to_origin_component() {
+        // Disconnected G: nodes {0,1} and {2,3}; message starts at 0.
+        let g = amac_graph::Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let dual = DualGraph::reliable(g);
+        let a = Assignment::all_at(NodeId::new(0), 1);
+        let mut t = CompletionTracker::new(&dual, &a);
+        assert_eq!(t.remaining(), 2, "only the origin component is required");
+        t.record(Time::ZERO, NodeId::new(0), MessageId(0));
+        // Delivery at an off-component node is not required.
+        assert!(!t.record(Time::ZERO, NodeId::new(3), MessageId(0)));
+        t.record(Time::from_ticks(1), NodeId::new(1), MessageId(0));
+        assert!(t.is_complete());
+        assert!(t.missing_for(MessageId(0)).unwrap().is_empty());
+    }
+}

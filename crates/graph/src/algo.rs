@@ -1,0 +1,349 @@
+//! Graph algorithms used throughout the reproduction: BFS distances,
+//! diameters, connected components, and graph powers.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::{NodeId, NodeSet};
+use std::collections::VecDeque;
+
+/// Hop distance marker for "unreachable".
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Single-source BFS hop distances from `source`.
+///
+/// Returns a vector indexed by node; unreachable nodes get [`UNREACHABLE`].
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{Graph, NodeId, algo};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)])?;
+/// let d = algo::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[2], 2);
+/// assert_eq!(d[3], algo::UNREACHABLE);
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.len()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &u in g.neighbors(v) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distance between two nodes ([`UNREACHABLE`] if disconnected).
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> usize {
+    bfs_distances(g, u)[v.index()]
+}
+
+/// The eccentricity of `v`: the maximum finite distance from `v` to any node
+/// reachable from it. Returns 0 for an isolated node.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The diameter of `g`: the maximum eccentricity over all nodes, ignoring
+/// pairs in different components (matching the paper's use of `D` as the
+/// diameter of `G`, with MMB only required within components).
+///
+/// Runs BFS from every node; `O(n · (n + m))`. Fine at the network sizes the
+/// experiments use (`n ≤ ~10⁴`).
+pub fn diameter(g: &Graph) -> usize {
+    (0..g.len())
+        .map(|i| eccentricity(g, NodeId::new(i)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components of `g`, each returned as a [`NodeSet`], in order of
+/// their smallest member.
+pub fn components(g: &Graph) -> Vec<NodeSet> {
+    let mut seen = NodeSet::new(g.len());
+    let mut out = Vec::new();
+    for i in 0..g.len() {
+        let root = NodeId::new(i);
+        if seen.contains(root) {
+            continue;
+        }
+        let mut comp = NodeSet::new(g.len());
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        seen.insert(root);
+        comp.insert(root);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if seen.insert(u) {
+                    comp.insert(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+/// Returns the component of `g` containing `v`.
+pub fn component_of(g: &Graph, v: NodeId) -> NodeSet {
+    let dist = bfs_distances(g, v);
+    let mut comp = NodeSet::new(g.len());
+    for (i, d) in dist.iter().enumerate() {
+        if *d != UNREACHABLE {
+            comp.insert(NodeId::new(i));
+        }
+    }
+    comp
+}
+
+/// Returns `true` if `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.len() == 0 || component_of(g, NodeId::new(0)).len() == g.len()
+}
+
+/// The `r`-th power `Gʳ` of `g`: nodes `u ≠ v` are adjacent iff their hop
+/// distance in `g` is at most `r` (paper Section 3.2). `G¹ = G`; `G⁰` is
+/// edgeless.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{Graph, NodeId, algo};
+///
+/// let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let p2 = algo::power(&path, 2);
+/// assert!(p2.has_edge(NodeId::new(0), NodeId::new(2)));
+/// assert!(!p2.has_edge(NodeId::new(0), NodeId::new(3)));
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn power(g: &Graph, r: usize) -> Graph {
+    let mut b = GraphBuilder::new(g.len());
+    if r == 0 {
+        return b.build();
+    }
+    for i in 0..g.len() {
+        let v = NodeId::new(i);
+        // Bounded BFS to depth r.
+        let mut dist = vec![UNREACHABLE; g.len()];
+        let mut queue = VecDeque::new();
+        dist[i] = 0;
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[x.index()];
+            if dx == r {
+                continue;
+            }
+            for &u in g.neighbors(x) {
+                if dist[u.index()] == UNREACHABLE {
+                    dist[u.index()] = dx + 1;
+                    queue.push_back(u);
+                    if u.index() > i {
+                        b.add_edge(v, u);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `r`-hop closed neighborhood `N_G^r(v)`: all nodes within `r` hops of
+/// `v` in `g`, **including** `v` itself (paper Section 3.2 notation).
+pub fn r_neighborhood(g: &Graph, v: NodeId, r: usize) -> NodeSet {
+    let mut out = NodeSet::new(g.len());
+    let mut dist = vec![UNREACHABLE; g.len()];
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    out.insert(v);
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()];
+        if dx == r {
+            continue;
+        }
+        for &u in g.neighbors(x) {
+            if dist[u.index()] == UNREACHABLE {
+                dist[u.index()] = dx + 1;
+                out.insert(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+/// Checks that `set` is independent in `g`: no two members are adjacent.
+pub fn is_independent(g: &Graph, set: &NodeSet) -> bool {
+    set.iter()
+        .all(|v| g.neighbors(v).iter().all(|u| !set.contains(*u)))
+}
+
+/// Checks that `set` is a **maximal** independent set of `g`: independent,
+/// and every node is in `set` or has a `g`-neighbor in `set` (paper
+/// Lemma 4.5's two properties).
+pub fn is_maximal_independent(g: &Graph, set: &NodeSet) -> bool {
+    if !is_independent(g, set) {
+        return false;
+    }
+    g.nodes().all(|v| {
+        set.contains(v) || g.neighbors(v).iter().any(|u| set.contains(*u))
+    })
+}
+
+/// BFS distance from `v` to the nearest member of `targets`
+/// ([`UNREACHABLE`] if none is reachable).
+pub fn distance_to_set(g: &Graph, v: NodeId, targets: &NodeSet) -> usize {
+    if targets.contains(v) {
+        return 0;
+    }
+    let mut dist = vec![UNREACHABLE; g.len()];
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()];
+        for &u in g.neighbors(x) {
+            if dist[u.index()] == UNREACHABLE {
+                if targets.contains(u) {
+                    return dx + 1;
+                }
+                dist[u.index()] = dx + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    UNREACHABLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&path(6)), 5);
+        let cycle = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        assert_eq!(diameter(&cycle), 3);
+    }
+
+    #[test]
+    fn diameter_ignores_cross_component_pairs() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        assert_eq!(diameter(&g), 2);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2].len(), 1);
+        assert!(comps[2].contains(NodeId::new(5)));
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&path(4)));
+        assert!(!is_connected(&Graph::from_edges(3, [(0, 1)]).unwrap()));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+    }
+
+    #[test]
+    fn power_zero_is_edgeless_and_power_one_is_identity() {
+        let g = path(5);
+        assert_eq!(power(&g, 0).edge_count(), 0);
+        let p1 = power(&g, 1);
+        assert_eq!(p1, g);
+    }
+
+    #[test]
+    fn power_two_of_path() {
+        let g = path(5);
+        let p2 = power(&g, 2);
+        // Path 0-1-2-3-4: power-2 adds (0,2),(1,3),(2,4).
+        assert_eq!(p2.edge_count(), 7);
+        assert!(p2.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!p2.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn power_large_r_is_component_clique() {
+        let g = path(4);
+        let p = power(&g, 10);
+        assert_eq!(p.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn r_neighborhood_includes_self() {
+        let g = path(5);
+        let nbh = r_neighborhood(&g, NodeId::new(2), 1);
+        assert!(nbh.contains(NodeId::new(2)));
+        assert!(nbh.contains(NodeId::new(1)));
+        assert!(nbh.contains(NodeId::new(3)));
+        assert_eq!(nbh.len(), 3);
+        let nbh0 = r_neighborhood(&g, NodeId::new(2), 0);
+        assert_eq!(nbh0.len(), 1);
+    }
+
+    #[test]
+    fn independence_checks() {
+        let g = path(5);
+        let mut s = NodeSet::new(5);
+        s.insert(NodeId::new(0));
+        s.insert(NodeId::new(2));
+        s.insert(NodeId::new(4));
+        assert!(is_independent(&g, &s));
+        assert!(is_maximal_independent(&g, &s));
+        s.insert(NodeId::new(1));
+        assert!(!is_independent(&g, &s));
+        let mut sparse = NodeSet::new(5);
+        sparse.insert(NodeId::new(0));
+        assert!(is_independent(&g, &sparse));
+        assert!(!is_maximal_independent(&g, &sparse), "node 3 uncovered");
+    }
+
+    #[test]
+    fn distance_to_set_basics() {
+        let g = path(6);
+        let mut t = NodeSet::new(6);
+        t.insert(NodeId::new(5));
+        assert_eq!(distance_to_set(&g, NodeId::new(0), &t), 5);
+        assert_eq!(distance_to_set(&g, NodeId::new(5), &t), 0);
+        let empty = NodeSet::new(6);
+        assert_eq!(distance_to_set(&g, NodeId::new(0), &empty), UNREACHABLE);
+    }
+}

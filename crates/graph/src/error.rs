@@ -1,0 +1,117 @@
+//! Error types for graph construction and dual-graph validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The graph's node count.
+        n: usize,
+    },
+    /// An edge connected a node to itself; the model uses simple graphs.
+    SelfLoop {
+        /// The node with the attempted self loop.
+        node: usize,
+    },
+    /// A dual graph violated the invariant `E ⊆ E′` (a reliable edge is
+    /// missing from the unreliable-augmented graph `G′`).
+    NotSupergraph {
+        /// An example reliable edge missing from `G′`.
+        missing: (usize, usize),
+    },
+    /// The two layers of a dual graph have different node counts.
+    NodeCountMismatch {
+        /// Node count of `G`.
+        g: usize,
+        /// Node count of `G′`.
+        g_prime: usize,
+    },
+    /// A `G′` edge spans more than `r` hops in `G`, so the dual graph is not
+    /// `r`-restricted.
+    NotRRestricted {
+        /// The claimed restriction radius.
+        r: usize,
+        /// An offending `G′` edge.
+        edge: (usize, usize),
+        /// The `G`-hop distance between its endpoints (`usize::MAX` when
+        /// disconnected in `G`).
+        distance: usize,
+    },
+    /// An embedding was rejected while checking the grey zone constraint.
+    NotGreyZone {
+        /// Human-readable reason (which clause of the definition failed).
+        reason: String,
+    },
+    /// A generator was asked for a structurally impossible network.
+    InvalidParameter {
+        /// Human-readable description of the bad parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::NotSupergraph { missing } => write!(
+                f,
+                "G' does not contain reliable edge ({}, {}); dual graphs require E ⊆ E'",
+                missing.0, missing.1
+            ),
+            GraphError::NodeCountMismatch { g, g_prime } => {
+                write!(f, "G has {g} nodes but G' has {g_prime}")
+            }
+            GraphError::NotRRestricted { r, edge, distance } => write!(
+                f,
+                "G' edge ({}, {}) spans {distance} G-hops, more than the restriction r = {r}",
+                edge.0, edge.1
+            ),
+            GraphError::NotGreyZone { reason } => {
+                write!(f, "embedding violates the grey zone constraint: {reason}")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            GraphError::NodeOutOfRange { node: 9, n: 4 },
+            GraphError::SelfLoop { node: 2 },
+            GraphError::NotSupergraph { missing: (0, 1) },
+            GraphError::NodeCountMismatch { g: 3, g_prime: 4 },
+            GraphError::NotRRestricted { r: 2, edge: (0, 5), distance: 5 },
+            GraphError::NotGreyZone { reason: "too long".into() },
+            GraphError::InvalidParameter { reason: "n must be positive".into() },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,226 @@
+//! Random `G′` augmentations of a reliable base graph.
+//!
+//! These generators start from a given reliable layer `G` and add unreliable
+//! edges under the paper's two structural regimes:
+//!
+//! * [`r_restricted_augment`] — every added edge spans at most `r` hops in
+//!   `G` (the `r`-restricted constraint of Theorem 3.2);
+//! * [`arbitrary_augment`] — edges may span any distance (the arbitrary
+//!   `G′` regime of Theorem 3.1), including deliberately long-range ones.
+
+use crate::algo;
+use crate::dual::DualGraph;
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Adds unreliable edges between nodes at `G`-distance in `[2, r]`,
+/// including each candidate pair independently with probability `p`.
+///
+/// The resulting dual graph is `r`-restricted by construction (re-checked in
+/// debug builds). With `r = 1` no edges can be added and `G′ = G`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `r == 0` or `p ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::generators::{line, r_restricted_augment};
+/// use rand::SeedableRng;
+///
+/// let g = line(20)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let dual = r_restricted_augment(g, 4, 0.5, &mut rng)?;
+/// assert!(dual.check_r_restricted(4).is_ok());
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn r_restricted_augment<R: Rng + ?Sized>(
+    g: Graph,
+    r: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<DualGraph, GraphError> {
+    if r == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "restriction radius r must be at least 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("probability {p} outside [0, 1]"),
+        });
+    }
+    let mut b = GraphBuilder::new(g.len());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 0..g.len() {
+        let v = NodeId::new(i);
+        let dist = algo::bfs_distances(&g, v);
+        for j in (i + 1)..g.len() {
+            let d = dist[j];
+            if d >= 2 && d <= r && rng.gen_bool(p) {
+                b.try_add_edge_idx(i, j)?;
+            }
+        }
+    }
+    let dual = DualGraph::new(g, b.build())?;
+    debug_assert!(dual.check_r_restricted(r).is_ok());
+    Ok(dual)
+}
+
+/// Adds `count` unreliable edges sampled uniformly from all non-`G` pairs
+/// within the same `G`-component (so the MMB problem instance is unchanged)
+/// with **no** distance restriction — the arbitrary `G′` regime.
+///
+/// If fewer than `count` candidate pairs exist, all of them are added.
+///
+/// # Errors
+///
+/// Propagates graph construction errors (none expected for valid inputs).
+pub fn arbitrary_augment<R: Rng + ?Sized>(
+    g: Graph,
+    count: usize,
+    rng: &mut R,
+) -> Result<DualGraph, GraphError> {
+    let comps = algo::components(&g);
+    let mut comp_of = vec![0usize; g.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for v in comp.iter() {
+            comp_of[v.index()] = ci;
+        }
+    }
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for i in 0..g.len() {
+        for j in (i + 1)..g.len() {
+            if comp_of[i] == comp_of[j] && !g.has_edge(NodeId::new(i), NodeId::new(j)) {
+                candidates.push((i, j));
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    candidates.truncate(count);
+
+    let mut b = GraphBuilder::new(g.len());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for (i, j) in candidates {
+        b.try_add_edge_idx(i, j)?;
+    }
+    DualGraph::new(g, b.build())
+}
+
+/// Adds the *longest-range* `count` unreliable edges (by `G`-hop distance,
+/// within components): the most adversarial arbitrary `G′` in the sense of
+/// the paper's discussion — unreliability "covering long distances in `G`"
+/// is exactly what degrades broadcast.
+///
+/// # Errors
+///
+/// Propagates graph construction errors (none expected for valid inputs).
+pub fn long_range_augment(g: Graph, count: usize) -> Result<DualGraph, GraphError> {
+    let mut scored: Vec<(usize, usize, usize)> = Vec::new(); // (distance, i, j)
+    for i in 0..g.len() {
+        let dist = algo::bfs_distances(&g, NodeId::new(i));
+        for j in (i + 1)..g.len() {
+            let d = dist[j];
+            if d != algo::UNREACHABLE && d >= 2 {
+                scored.push((d, i, j));
+            }
+        }
+    }
+    scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    scored.truncate(count);
+
+    let mut b = GraphBuilder::new(g.len());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for (_, i, j) in scored {
+        b.try_add_edge_idx(i, j)?;
+    }
+    DualGraph::new(g, b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::line;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn r_restricted_respects_radius() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dual = r_restricted_augment(line(30).unwrap(), 3, 0.8, &mut rng).unwrap();
+        dual.check_r_restricted(3).unwrap();
+        assert!(dual.unreliable_edge_count() > 0, "p = 0.8 should add edges");
+        assert!(dual.restriction_radius().unwrap() <= 3);
+    }
+
+    #[test]
+    fn r_one_adds_nothing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dual = r_restricted_augment(line(10).unwrap(), 1, 1.0, &mut rng).unwrap();
+        assert!(dual.is_reliable_only());
+    }
+
+    #[test]
+    fn p_one_adds_every_candidate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dual = r_restricted_augment(line(6).unwrap(), 2, 1.0, &mut rng).unwrap();
+        // Path of 6 nodes: pairs at distance exactly 2 are (0,2),(1,3),(2,4),(3,5).
+        assert_eq!(dual.unreliable_edge_count(), 4);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(r_restricted_augment(line(5).unwrap(), 0, 0.5, &mut rng).is_err());
+        assert!(r_restricted_augment(line(5).unwrap(), 2, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn arbitrary_augment_adds_requested_count() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let dual = arbitrary_augment(line(20).unwrap(), 15, &mut rng).unwrap();
+        assert_eq!(dual.unreliable_edge_count(), 15);
+    }
+
+    #[test]
+    fn arbitrary_augment_caps_at_candidate_count() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Path of 4 nodes has 3 non-edges within the component.
+        let dual = arbitrary_augment(line(4).unwrap(), 100, &mut rng).unwrap();
+        assert_eq!(dual.unreliable_edge_count(), 3);
+    }
+
+    #[test]
+    fn arbitrary_augment_stays_within_components() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let dual = arbitrary_augment(g, 100, &mut rng).unwrap();
+        for i in 0..3 {
+            for j in 3..6 {
+                assert!(
+                    !dual.g_prime().has_edge(NodeId::new(i), NodeId::new(j)),
+                    "edge across components added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_range_prefers_distant_pairs() {
+        let dual = long_range_augment(line(20).unwrap(), 1).unwrap();
+        assert_eq!(dual.unreliable_edge_count(), 1);
+        // The single longest-range pair on a 20-path is (0, 19), distance 19.
+        assert!(dual.g_prime().has_edge(NodeId::new(0), NodeId::new(19)));
+        assert_eq!(dual.restriction_radius(), Some(19));
+    }
+}

@@ -1,0 +1,274 @@
+//! Deterministic textbook topologies for the reliable layer `G`.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::NodeId;
+
+/// A path (line) graph `0 — 1 — … — (n−1)`, diameter `n − 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::generators::line;
+///
+/// let g = line(5)?;
+/// assert_eq!(g.edge_count(), 4);
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn line(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "line graph needs at least 1 node".into(),
+        });
+    }
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+/// A cycle graph on `n ≥ 3` nodes, diameter `⌊n/2⌋`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: "ring needs at least 3 nodes".into(),
+        });
+    }
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// A `rows × cols` grid graph, diameter `rows + cols − 2`.
+///
+/// Node `(r, c)` has index `r * cols + c`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "grid dimensions must be positive".into(),
+        });
+    }
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.try_add_edge_idx(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                b.try_add_edge_idx(v, v + cols)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A star with `n − 1` leaves centred on node `0`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "star needs at least 2 nodes".into(),
+        });
+    }
+    Graph::from_edges(n, (1..n).map(|i| (0, i)))
+}
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "complete graph needs at least 1 node".into(),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.try_add_edge_idx(i, j)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A complete `arity`-ary tree with `n` nodes; node `v > 0` is connected to
+/// `(v − 1) / arity`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n == 0` or `arity == 0`.
+pub fn tree(n: usize, arity: usize) -> Result<Graph, GraphError> {
+    if n == 0 || arity == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "tree needs positive size and arity".into(),
+        });
+    }
+    Graph::from_edges(n, (1..n).map(move |v| (v, (v - 1) / arity)))
+}
+
+/// A barbell: two cliques of size `clique` joined by a path of `bridge`
+/// intermediate nodes. Total nodes: `2 * clique + bridge`.
+///
+/// Useful as a congestion-plus-distance stress topology.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `clique < 1`.
+pub fn barbell(clique: usize, bridge: usize) -> Result<Graph, GraphError> {
+    if clique < 1 {
+        return Err(GraphError::InvalidParameter {
+            reason: "barbell cliques need at least 1 node".into(),
+        });
+    }
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n);
+    // Left clique: 0..clique; right clique: clique+bridge..n.
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            b.try_add_edge_idx(i, j)?;
+        }
+    }
+    let right = clique + bridge;
+    for i in right..n {
+        for j in (i + 1)..n {
+            b.try_add_edge_idx(i, j)?;
+        }
+    }
+    // Path through the bridge.
+    let mut prev = clique - 1; // a node of the left clique
+    for v in clique..clique + bridge {
+        b.try_add_edge_idx(prev, v)?;
+        prev = v;
+    }
+    b.try_add_edge_idx(prev, right)?;
+    Ok(b.build())
+}
+
+/// The star-plus-bridge network of the paper's Lemma 3.18: nodes
+/// `u_1 … u_{k−1}` all connected to the hub `u_k`, which is additionally
+/// connected to the receiver `v`. Total `k + 1` nodes.
+///
+/// Returns the graph plus the ids of the hub and the receiver.
+///
+/// The hub is the *choke point* through which all `k` messages must pass,
+/// inducing the `Ω(k · F_ack)` lower bound.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k < 1`.
+pub fn choke_star(k: usize) -> Result<(Graph, NodeId, NodeId), GraphError> {
+    if k < 1 {
+        return Err(GraphError::InvalidParameter {
+            reason: "choke star needs k >= 1 messages".into(),
+        });
+    }
+    // Indices: 0..k-1 are the leaves u_1..u_{k-1}; k-1 is the hub u_k;
+    // k is the receiver v.
+    let hub = k - 1;
+    let receiver = k;
+    let mut b = GraphBuilder::new(k + 1);
+    for leaf in 0..hub {
+        b.try_add_edge_idx(leaf, hub)?;
+    }
+    b.try_add_edge_idx(hub, receiver)?;
+    Ok((b.build(), NodeId::new(hub), NodeId::new(receiver)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn line_diameter() {
+        let g = line(10).unwrap();
+        assert_eq!(algo::diameter(&g), 9);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn single_node_line() {
+        let g = line(1).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(algo::diameter(&ring(8).unwrap()), 4);
+        assert_eq!(algo::diameter(&ring(9).unwrap()), 4);
+        assert!(ring(2).is_err());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.len(), 12);
+        assert_eq!(algo::diameter(&g), 5);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert!(grid(0, 3).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6).unwrap();
+        assert_eq!(g.degree(NodeId::new(0)), 5);
+        assert_eq!(algo::diameter(&g), 2);
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(algo::diameter(&g), 1);
+    }
+
+    #[test]
+    fn tree_is_connected_acyclic() {
+        let g = tree(15, 2).unwrap();
+        assert_eq!(g.edge_count(), 14);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), 6); // perfect binary tree of depth 3
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 3).unwrap();
+        assert_eq!(g.len(), 11);
+        assert!(algo::is_connected(&g));
+        // clique edges 2*6, path edges bridge+1 = 4
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn choke_star_shape() {
+        let (g, hub, receiver) = choke_star(5).unwrap();
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.degree(hub), 5); // 4 leaves + receiver
+        assert_eq!(g.degree(receiver), 1);
+        assert!(g.has_edge(hub, receiver));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn choke_star_k1_is_single_edge() {
+        let (g, hub, receiver) = choke_star(1).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_ne!(hub, receiver);
+    }
+}

@@ -1,0 +1,189 @@
+//! The lower-bound network `C` of paper Figure 2.
+//!
+//! Two parallel lines `a_1 … a_D` and `b_1 … b_D`. `G` consists of the two
+//! (disconnected) line graphs. `G′` adds, for every `i < D`, the cross edges
+//! `a_i — b_{i+1}` and `b_i — a_{i+1}`. Message `m_0` starts at `a_1`,
+//! `m_1` at `b_1`; the adversarial scheduler of Lemmas 3.19–3.20 uses the
+//! cross edges to make the two messages delay each other, forcing
+//! `Ω(D · F_ack)`.
+//!
+//! The construction is grey-zone-restricted: we also return an embedding
+//! witnessing the constraint with constant `c = 1.5` (lines at vertical
+//! separation 1.1, horizontal spacing 0.9).
+
+use crate::dual::DualGraph;
+use crate::error::GraphError;
+use crate::geometry::{Embedding, Point};
+use crate::graph::GraphBuilder;
+use crate::node::NodeId;
+
+/// Horizontal spacing between consecutive line nodes in the witness
+/// embedding. Must be in `(0.5, 1]` so lines are paths in the unit disk
+/// graph.
+const SPACING: f64 = 0.9;
+/// Vertical separation between the two lines; `> 1` so no cross pair is a
+/// `G` edge.
+const LINE_GAP: f64 = 1.1;
+/// Grey zone constant witnessing the construction:
+/// `sqrt(SPACING² + LINE_GAP²) ≈ 1.43 ≤ 1.5`.
+pub const DUAL_LINE_C: f64 = 1.5;
+
+/// The generated Figure 2 network with convenient node accessors.
+#[derive(Clone, Debug)]
+pub struct DualLineNetwork {
+    /// The dual graph `(G, G′)`.
+    pub dual: DualGraph,
+    /// Embedding witnessing the grey zone constraint with [`DUAL_LINE_C`].
+    pub embedding: Embedding,
+    /// Line length `D` (each line has `D` nodes).
+    pub d: usize,
+}
+
+impl DualLineNetwork {
+    /// Node `a_i` (1-based, `1 ≤ i ≤ D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of `1..=D`.
+    pub fn a(&self, i: usize) -> NodeId {
+        assert!((1..=self.d).contains(&i), "a_{i} out of range 1..={}", self.d);
+        NodeId::new(i - 1)
+    }
+
+    /// Node `b_i` (1-based, `1 ≤ i ≤ D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of `1..=D`.
+    pub fn b(&self, i: usize) -> NodeId {
+        assert!((1..=self.d).contains(&i), "b_{i} out of range 1..={}", self.d);
+        NodeId::new(self.d + i - 1)
+    }
+
+    /// Returns `Some(i)` if `v` is `a_i`, else `None`.
+    pub fn a_index(&self, v: NodeId) -> Option<usize> {
+        (v.index() < self.d).then_some(v.index() + 1)
+    }
+
+    /// Returns `Some(i)` if `v` is `b_i`, else `None`.
+    pub fn b_index(&self, v: NodeId) -> Option<usize> {
+        (v.index() >= self.d && v.index() < 2 * self.d).then(|| v.index() - self.d + 1)
+    }
+}
+
+/// Builds the Figure 2 network with line length `d ≥ 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `d < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::generators::dual_line;
+///
+/// let net = dual_line(10)?;
+/// assert_eq!(net.dual.len(), 20);
+/// // Reliable edges stay within a line; cross edges are unreliable.
+/// assert!(net.dual.g().has_edge(net.a(1), net.a(2)));
+/// assert!(!net.dual.g().has_edge(net.a(1), net.b(2)));
+/// assert!(net.dual.g_prime().has_edge(net.a(1), net.b(2)));
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn dual_line(d: usize) -> Result<DualLineNetwork, GraphError> {
+    if d < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "dual line network needs line length d >= 2".into(),
+        });
+    }
+    let n = 2 * d;
+    let mut g = GraphBuilder::new(n);
+    // Line A occupies indices 0..d, line B occupies d..2d.
+    for i in 0..d - 1 {
+        g.try_add_edge_idx(i, i + 1)?;
+        g.try_add_edge_idx(d + i, d + i + 1)?;
+    }
+    let g = g.build();
+
+    let mut gp = GraphBuilder::new(n);
+    for (u, v) in g.edges() {
+        gp.add_edge(u, v);
+    }
+    // Cross edges: a_i — b_{i+1} and b_i — a_{i+1} for i in 1..D (1-based).
+    for i in 0..d - 1 {
+        gp.try_add_edge_idx(i, d + i + 1)?; // a_{i+1} (0-based i) — b_{i+2}
+        gp.try_add_edge_idx(d + i, i + 1)?;
+    }
+    let dual = DualGraph::new(g, gp.build())?;
+
+    let mut positions = Vec::with_capacity(n);
+    for i in 0..d {
+        positions.push(Point::new(i as f64 * SPACING, 0.0));
+    }
+    for i in 0..d {
+        positions.push(Point::new(i as f64 * SPACING, LINE_GAP));
+    }
+    let embedding = Embedding::new(positions);
+    debug_assert!(dual.check_grey_zone(&embedding, DUAL_LINE_C).is_ok());
+
+    Ok(DualLineNetwork { dual, embedding, d })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn shape_matches_figure_2() {
+        let net = dual_line(8).unwrap();
+        assert_eq!(net.dual.len(), 16);
+        // G: two lines => 2 * (d-1) edges.
+        assert_eq!(net.dual.g().edge_count(), 14);
+        // Cross edges: 2 * (d-1).
+        assert_eq!(net.dual.unreliable_edge_count(), 14);
+        // Lines are separate G-components.
+        assert_eq!(algo::components(net.dual.g()).len(), 2);
+    }
+
+    #[test]
+    fn cross_edges_connect_offset_indices() {
+        let net = dual_line(5).unwrap();
+        for i in 1..5 {
+            assert!(net.dual.g_prime().has_edge(net.a(i), net.b(i + 1)));
+            assert!(net.dual.g_prime().has_edge(net.b(i), net.a(i + 1)));
+            assert!(!net.dual.g().has_edge(net.a(i), net.b(i + 1)));
+        }
+        // Same-index cross pairs are NOT connected.
+        for i in 1..=5 {
+            assert!(!net.dual.g_prime().has_edge(net.a(i), net.b(i)));
+        }
+    }
+
+    #[test]
+    fn grey_zone_witness_verifies() {
+        let net = dual_line(12).unwrap();
+        net.dual.check_grey_zone(&net.embedding, DUAL_LINE_C).unwrap();
+    }
+
+    #[test]
+    fn node_accessors_roundtrip() {
+        let net = dual_line(6).unwrap();
+        assert_eq!(net.a_index(net.a(3)), Some(3));
+        assert_eq!(net.b_index(net.b(6)), Some(6));
+        assert_eq!(net.b_index(net.a(3)), None);
+        assert_eq!(net.a_index(net.b(1)), None);
+    }
+
+    #[test]
+    fn minimum_size_rejected() {
+        assert!(dual_line(1).is_err());
+        assert!(dual_line(2).is_ok());
+    }
+
+    #[test]
+    fn line_diameter_is_d_minus_one() {
+        let net = dual_line(9).unwrap();
+        assert_eq!(net.dual.diameter(), 8);
+    }
+}

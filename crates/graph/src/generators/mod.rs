@@ -1,0 +1,23 @@
+//! Topology generators for every experiment in the reproduction.
+//!
+//! * [`classic`] — deterministic textbook topologies (`line`, `ring`,
+//!   `grid`, `star`, `tree`, `barbell`, `complete`) plus the Lemma 3.18
+//!   [`choke_star`].
+//! * [`geometric`] — random grey-zone networks (unit disk `G` with bounded
+//!   unreliable augmentation) witnessing the paper's geometric constraint.
+//! * [`augment`] — `r`-restricted and arbitrary random `G′` augmentations of
+//!   a given reliable layer.
+//! * [`lower_bound`] — the Figure 2 dual-line network `C`.
+
+pub mod augment;
+pub mod classic;
+pub mod geometric;
+pub mod lower_bound;
+
+pub use augment::{arbitrary_augment, long_range_augment, r_restricted_augment};
+pub use classic::{barbell, choke_star, complete, grid, line, ring, star, tree};
+pub use geometric::{
+    connected_grey_zone_network, embedded_line, grey_zone_network, GreyZoneConfig,
+    GreyZoneNetwork,
+};
+pub use lower_bound::{dual_line, DualLineNetwork, DUAL_LINE_C};

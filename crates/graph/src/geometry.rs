@@ -1,0 +1,279 @@
+//! Planar embeddings for the grey zone constraint.
+//!
+//! The grey zone restriction (paper Section 2) asks for positions
+//! `p(v) ∈ ℝ²` such that `(u,v) ∈ E` **iff** `‖p(u) − p(v)‖ ≤ 1` (so `G` is
+//! the unit disk graph of the embedding) and every `G′` edge has length at
+//! most the universal constant `c ≥ 1`. The annulus of radii `(1, c]` is the
+//! *grey zone* in which communication is uncertain.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::NodeId;
+use std::fmt;
+
+/// A point in the Euclidean plane.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A planar embedding: one position per node.
+///
+/// Used to build unit disk graphs and to witness the grey zone constraint.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Embedding {
+    positions: Vec<Point>,
+}
+
+impl Embedding {
+    /// Creates an embedding from explicit positions.
+    pub fn new(positions: Vec<Point>) -> Self {
+        Embedding { positions }
+    }
+
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if no nodes are embedded.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn position(&self, v: NodeId) -> Point {
+        self.positions[v.index()]
+    }
+
+    /// All positions, indexed by node.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Distance between two embedded nodes.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.position(u).distance(self.position(v))
+    }
+
+    /// Builds the **unit disk graph** of this embedding: nodes are adjacent
+    /// iff their distance is at most `radius`.
+    ///
+    /// The grey zone definition uses `radius = 1.0` for `G`; passing `c`
+    /// yields the densest admissible `G′`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amac_graph::geometry::{Embedding, Point};
+    /// use amac_graph::NodeId;
+    ///
+    /// let e = Embedding::new(vec![
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(0.9, 0.0),
+    ///     Point::new(2.5, 0.0),
+    /// ]);
+    /// let g = e.unit_disk_graph(1.0);
+    /// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+    /// assert!(!g.has_edge(NodeId::new(1), NodeId::new(2)));
+    /// ```
+    pub fn unit_disk_graph(&self, radius: f64) -> Graph {
+        let n = self.len();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.positions[i].distance(self.positions[j]) <= radius {
+                    b.add_edge(NodeId::new(i), NodeId::new(j));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Verifies the grey zone constraint for a dual graph `(g, g_prime)`
+    /// against this embedding with grey zone constant `c`:
+    ///
+    /// 1. `(u,v) ∈ E(g)` **iff** `‖p(u) − p(v)‖ ≤ 1`;
+    /// 2. every edge of `g_prime` has length at most `c`.
+    ///
+    /// Note clause 2 is one-directional: pairs within distance `c` need
+    /// **not** be `G′`-neighbors (paper Section 2 emphasises this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotGreyZone`] describing the first violated
+    /// clause, or [`GraphError::NodeCountMismatch`] if sizes disagree.
+    pub fn check_grey_zone(
+        &self,
+        g: &Graph,
+        g_prime: &Graph,
+        c: f64,
+    ) -> Result<(), GraphError> {
+        if g.len() != self.len() || g_prime.len() != self.len() {
+            return Err(GraphError::NodeCountMismatch {
+                g: g.len(),
+                g_prime: g_prime.len(),
+            });
+        }
+        if c < 1.0 {
+            return Err(GraphError::NotGreyZone {
+                reason: format!("grey zone constant c = {c} must be at least 1"),
+            });
+        }
+        let n = self.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (u, v) = (NodeId::new(i), NodeId::new(j));
+                let d = self.distance(u, v);
+                let in_g = g.has_edge(u, v);
+                if in_g && d > 1.0 {
+                    return Err(GraphError::NotGreyZone {
+                        reason: format!("G edge ({u}, {v}) has length {d:.4} > 1"),
+                    });
+                }
+                if !in_g && d <= 1.0 {
+                    return Err(GraphError::NotGreyZone {
+                        reason: format!(
+                            "nodes {u}, {v} at distance {d:.4} ≤ 1 are not G-neighbors"
+                        ),
+                    });
+                }
+            }
+        }
+        for (u, v) in g_prime.edges() {
+            let d = self.distance(u, v);
+            if d > c {
+                return Err(GraphError::NotGreyZone {
+                    reason: format!("G' edge ({u}, {v}) has length {d:.4} > c = {c}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sphere-packing bound helper (paper Lemma 4.2): an upper bound on the size
+/// of a point set with pairwise distances in `(1, d]`. Any such set fits
+/// `O(d²)` points; we use the explicit constant `(2d + 1)²` (disks of radius
+/// `1/2` centred on the points are disjoint and fit in a disk of radius
+/// `d + 1/2`).
+pub fn sphere_packing_bound(d: f64) -> usize {
+    ((2.0 * d + 1.0).powi(2)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_embedding(n: usize, spacing: f64) -> Embedding {
+        Embedding::new((0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect())
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let e = Embedding::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        let d = e.distance(NodeId::new(0), NodeId::new(1));
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_disk_graph_on_a_line() {
+        let e = line_embedding(5, 0.8);
+        let g = e.unit_disk_graph(1.0);
+        // spacing 0.8: adjacent nodes at 0.8 connected, two apart at 1.6 not.
+        assert_eq!(g.edge_count(), 4);
+        let g2 = e.unit_disk_graph(1.7);
+        assert!(g2.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn grey_zone_accepts_udg_pair() {
+        let e = line_embedding(6, 0.9);
+        let g = e.unit_disk_graph(1.0);
+        let gp = e.unit_disk_graph(2.0);
+        e.check_grey_zone(&g, &gp, 2.0).unwrap();
+    }
+
+    #[test]
+    fn grey_zone_allows_sparse_g_prime() {
+        // G' need not include all pairs within distance c.
+        let e = line_embedding(4, 0.9);
+        let g = e.unit_disk_graph(1.0);
+        e.check_grey_zone(&g, &g, 3.0).unwrap();
+    }
+
+    #[test]
+    fn grey_zone_rejects_long_g_prime_edge() {
+        let e = line_embedding(5, 0.9);
+        let g = e.unit_disk_graph(1.0);
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        b.add_edge(NodeId::new(0), NodeId::new(4)); // length 3.6 > c
+        let gp = b.build();
+        let err = e.check_grey_zone(&g, &gp, 2.0).unwrap_err();
+        assert!(matches!(err, GraphError::NotGreyZone { .. }));
+    }
+
+    #[test]
+    fn grey_zone_rejects_non_udg_g() {
+        let e = line_embedding(3, 0.9);
+        // Missing an edge between nodes at distance 0.9 <= 1.
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let err = e.check_grey_zone(&g, &g, 2.0).unwrap_err();
+        assert!(matches!(err, GraphError::NotGreyZone { .. }));
+    }
+
+    #[test]
+    fn grey_zone_rejects_c_below_one() {
+        let e = line_embedding(2, 0.5);
+        let g = e.unit_disk_graph(1.0);
+        let err = e.check_grey_zone(&g, &g, 0.5).unwrap_err();
+        assert!(matches!(err, GraphError::NotGreyZone { .. }));
+    }
+
+    #[test]
+    fn packing_bound_grows_quadratically() {
+        assert!(sphere_packing_bound(1.0) >= 2);
+        let b2 = sphere_packing_bound(2.0);
+        let b4 = sphere_packing_bound(4.0);
+        assert!(b4 > b2);
+        assert!(b4 <= 4 * b2 + 16, "roughly quadratic growth");
+    }
+}

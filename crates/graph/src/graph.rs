@@ -1,0 +1,422 @@
+//! Undirected graphs in compressed adjacency form.
+
+use crate::error::GraphError;
+use crate::node::{NodeId, NodeSet};
+use std::fmt;
+
+/// An undirected simple graph over nodes `0..n` with sorted adjacency lists.
+///
+/// `Graph` is immutable once built (use [`GraphBuilder`] to construct one) and
+/// stores adjacency in a flat CSR (compressed sparse row) layout, so neighbor
+/// scans are contiguous and allocation-free.
+///
+/// In this workspace a `Graph` plays one of two roles inside a
+/// [`DualGraph`](crate::DualGraph): the *reliable* topology `G` or the
+/// *unreliable-augmented* topology `G′`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists; length `2 * |E|`.
+    adjacency: Vec<NodeId>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an iterator of undirected edges
+    /// given as index pairs.
+    ///
+    /// Duplicate edges (in either orientation) are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`GraphError::SelfLoop`] if an edge connects a node to itself.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.try_add_edge_idx(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds an edgeless graph with `n` nodes.
+    pub fn empty(n: usize) -> Graph {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Returns the number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns the sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= self.len()`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let i = v.index();
+        assert!(i < self.len(), "node {v} out of range (n = {})", self.len());
+        &self.adjacency[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Returns the degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.index() >= self.len()`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Returns the maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len())
+            .map(|i| self.degree(NodeId::new(i)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if `(u, v)` is an edge. Symmetric by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        assert!(v.index() < self.len(), "node {v} out of range (n = {})", self.len());
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + Clone + '_ {
+        (0..self.len()).map(NodeId::new)
+    }
+
+    /// Iterates over every undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Returns `true` if `other` contains every edge of `self` (and both have
+    /// the same node count). This is the subgraph relation used for the dual
+    /// graph invariant `E ⊆ E′`.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.edges().all(|(u, v)| other.has_edge(u, v))
+    }
+
+    /// Returns the neighbors of `v` in `self` that are **not** neighbors of
+    /// `v` in `base` — i.e. the `G′ \ G` neighborhood when `self = G′` and
+    /// `base = G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ or `v` is out of range.
+    pub fn extra_neighbors(&self, base: &Graph, v: NodeId) -> Vec<NodeId> {
+        assert_eq!(self.len(), base.len(), "node count mismatch");
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| !base.has_edge(v, u))
+            .collect()
+    }
+
+    /// Returns a new graph with the union of the edges of `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.len(), other.len(), "node count mismatch");
+        let mut b = GraphBuilder::new(self.len());
+        for (u, v) in self.edges().chain(other.edges()) {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Returns the set of nodes adjacent to any member of `set` (excluding
+    /// members themselves unless also adjacent to another member).
+    pub fn neighborhood(&self, set: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::new(self.len());
+        for v in set.iter() {
+            for &u in self.neighbors(v) {
+                out.insert(u);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.len())
+            .field("edges", &self.edge_count)
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(NodeId::new(0), NodeId::new(1));
+/// b.add_edge(NodeId::new(1), NodeId::new(2));
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Returns the node count the builder was created with.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an undirected edge. Duplicates are merged at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.try_add_edge_idx(u.index(), v.index())
+            .expect("invalid edge");
+        self
+    }
+
+    /// Adds an undirected edge given as raw indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn try_add_edge_idx(&mut self, u: usize, v: usize) -> Result<&mut Self, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32));
+        Ok(self)
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(&self) -> Graph {
+        let mut edges = self.edges.clone();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degrees = vec![0u32; self.n];
+        for &(u, v) in &edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut adjacency = vec![NodeId::new(0); acc as usize];
+        for &(u, v) in &edges {
+            adjacency[cursor[u as usize] as usize] = NodeId::new(v as usize);
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize] as usize] = NodeId::new(u as usize);
+            cursor[v as usize] += 1;
+        }
+        for i in 0..self.n {
+            adjacency[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
+        }
+        Graph {
+            offsets,
+            adjacency,
+            edge_count: edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert!(g.is_empty());
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn path_adjacency() {
+        let g = path(4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(2)]
+        );
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 3, n: 3 }));
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = path(3);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path(5);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn subgraph_relation() {
+        let g = path(4);
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        b.add_edge(NodeId::new(0), NodeId::new(3));
+        let bigger = b.build();
+        assert!(g.is_subgraph_of(&bigger));
+        assert!(!bigger.is_subgraph_of(&g));
+        assert!(g.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn extra_neighbors_reports_g_prime_only_links() {
+        let g = path(4);
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        b.add_edge(NodeId::new(0), NodeId::new(3));
+        let gp = b.build();
+        assert_eq!(gp.extra_neighbors(&g, NodeId::new(0)), vec![NodeId::new(3)]);
+        assert_eq!(gp.extra_neighbors(&g, NodeId::new(1)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn union_merges_edges() {
+        let a = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let b = Graph::from_edges(4, [(2, 3), (0, 1)]).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(u.has_edge(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    fn neighborhood_of_set() {
+        let g = path(5);
+        let mut s = NodeSet::new(5);
+        s.insert(NodeId::new(2));
+        let nbh = g.neighborhood(&s);
+        assert!(nbh.contains(NodeId::new(1)));
+        assert!(nbh.contains(NodeId::new(3)));
+        assert!(!nbh.contains(NodeId::new(2)));
+        assert_eq!(nbh.len(), 2);
+    }
+}

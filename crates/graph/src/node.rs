@@ -1,0 +1,372 @@
+//! Node identifiers and dense node sets.
+
+use std::fmt;
+
+/// A dense identifier for a node (wireless device) in a network.
+///
+/// Node identifiers are indices in `0..n` where `n` is the network size.
+/// The paper assumes nodes carry unique ids; we use the dense index itself
+/// as the unique id, which loses no generality for the algorithms studied
+/// (ids are only compared for equality and used as tie-breakers).
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+/// A fixed-capacity set of nodes backed by a bit vector.
+///
+/// All algorithm-facing set operations in this workspace (frontiers, visited
+/// sets, MIS membership, …) use `NodeSet` so that membership queries are
+/// `O(1)` and iteration is cache friendly.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{NodeId, NodeSet};
+///
+/// let mut s = NodeSet::new(10);
+/// s.insert(NodeId::new(3));
+/// s.insert(NodeId::new(7));
+/// assert!(s.contains(NodeId::new(3)));
+/// assert_eq!(s.len(), 2);
+/// let members: Vec<_> = s.iter().collect();
+/// assert_eq!(members, vec![NodeId::new(3), NodeId::new(7)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold nodes with indices in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a full set containing every node in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = NodeSet::new(capacity);
+        for i in 0..capacity {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Returns the capacity (the exclusive upper bound on node indices).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set contains no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `node` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= self.capacity()`.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Inserts `node`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= self.capacity()`.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `node`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= self.capacity()`.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all nodes from the set.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns `true` if `self` and `other` share no members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Returns `true` if every member of `self` is a member of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different capacities.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Collects nodes into a set sized to the largest index seen.
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let nodes: Vec<NodeId> = iter.into_iter().collect();
+        let cap = nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut s = NodeSet::new(cap);
+        for n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<T: IntoIterator<Item = NodeId>>(&mut self, iter: T) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`], produced by [`NodeSet::iter`].
+#[derive(Clone)]
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId::new(self.word_idx * 64 + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(NodeId::from(42u32), v);
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(NodeId::new(5)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(NodeId::new(0)));
+        assert!(s.insert(NodeId::new(64)));
+        assert!(s.insert(NodeId::new(129)));
+        assert!(!s.insert(NodeId::new(64)), "double insert reports false");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(NodeId::new(64)));
+        assert!(!s.remove(NodeId::new(64)), "double remove reports false");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::new(0)));
+        assert!(!s.contains(NodeId::new(64)));
+        assert!(s.contains(NodeId::new(129)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut s = NodeSet::new(200);
+        for i in [199, 0, 63, 64, 65, 100] {
+            s.insert(NodeId::new(i));
+        }
+        let got: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 100, 199]);
+    }
+
+    #[test]
+    fn full_set_contains_everything() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!((0..70).all(|i| s.contains(NodeId::new(i))));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut a = NodeSet::new(64);
+        let mut b = NodeSet::new(64);
+        a.insert(NodeId::new(1));
+        b.insert(NodeId::new(1));
+        b.insert(NodeId::new(2));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = NodeSet::new(64);
+        c.insert(NodeId::new(3));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: NodeSet = [NodeId::new(2), NodeId::new(5)].into_iter().collect();
+        assert!(s.contains(NodeId::new(2)));
+        assert!(s.contains(NodeId::new(5)));
+        assert_eq!(s.capacity(), 6);
+    }
+
+    #[test]
+    fn clear_empties_set() {
+        let mut s = NodeSet::full(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of set capacity")]
+    fn contains_out_of_range_panics() {
+        let s = NodeSet::new(4);
+        s.contains(NodeId::new(4));
+    }
+}

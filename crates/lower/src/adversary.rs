@@ -1,0 +1,212 @@
+//! The grey-zone adversary: the scheduler strategy behind the paper's
+//! `Ω(D·F_ack)` lower bound (Lemmas 3.19–3.20), specialised to the
+//! Figure 2 dual-line network `C`.
+//!
+//! The strategy mirrors the paper's staged schedule:
+//!
+//! * every acknowledgment is held for the full `F_ack`;
+//! * each line's *frontier message* (`m₀` travelling down line `A`, `m₁`
+//!   down line `B`) is delivered early over the **forward cross edge** to
+//!   the *other* line (`a_i → b_{i+1}`, `b_i → a_{i+1}`), seeding the next
+//!   frontier node with the wrong message — which BMMB's FIFO queue then
+//!   flushes for a full `F_ack` before the right message can move;
+//! * forced progress deliveries are satisfied with the most useless
+//!   message available: duplicates first, then the other line's message,
+//!   so the frontier message itself advances only when the model leaves no
+//!   alternative.
+//!
+//! Echo broadcasts (nodes re-flooding a message that crossed over) deliver
+//! to `G`-neighbors only — the paper's "deliver to all and only `G`
+//! neighbors" rule for non-frontier broadcasts — preventing the frontier
+//! messages from racing ahead over cross edges.
+
+use amac_graph::NodeId;
+use amac_mac::{BcastInfo, BcastPlan, ForcedCandidate, MessageKey, Policy, PolicyCtx};
+
+/// The Section 3.3 scheduler strategy for the dual-line network (see
+/// module docs).
+#[derive(Debug)]
+pub struct GreyZoneAdversary {
+    /// Line length `D` (nodes `0..d` are `a_1..a_D`, `d..2d` are
+    /// `b_1..b_D`).
+    d: usize,
+    /// Key of the message originating on line `A` (`m₀`).
+    key_a: MessageKey,
+    /// Key of the message originating on line `B` (`m₁`).
+    key_b: MessageKey,
+}
+
+impl GreyZoneAdversary {
+    /// Creates the adversary for a dual-line network of line length `d`
+    /// where the message with `key_a` starts at `a₁` and `key_b` at `b₁`.
+    pub fn new(d: usize, key_a: MessageKey, key_b: MessageKey) -> GreyZoneAdversary {
+        GreyZoneAdversary { d, key_a, key_b }
+    }
+
+    fn on_line_a(&self, v: NodeId) -> bool {
+        v.index() < self.d
+    }
+
+    /// The message the given node's line is waiting for.
+    fn frontier_key(&self, v: NodeId) -> MessageKey {
+        if self.on_line_a(v) {
+            self.key_a
+        } else {
+            self.key_b
+        }
+    }
+
+    /// The forward cross neighbor (`a_i → b_{i+1}` or `b_i → a_{i+1}`),
+    /// if the sender is not the last node of its line.
+    fn forward_cross(&self, sender: NodeId) -> Option<NodeId> {
+        let i = sender.index();
+        if self.on_line_a(sender) {
+            (i + 1 < self.d).then(|| NodeId::new(self.d + i + 1))
+        } else {
+            let line_pos = i - self.d;
+            (line_pos + 1 < self.d).then(|| NodeId::new(line_pos + 1))
+        }
+    }
+}
+
+impl Policy for GreyZoneAdversary {
+    fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan {
+        // Reliable neighbors wait until the ack deadline (flushed then).
+        // Only a *frontier* broadcast — a node sending its own line's
+        // message — crosses over, and only forward.
+        let mut unreliable = Vec::new();
+        if info.key == self.frontier_key(info.sender) {
+            if let Some(target) = self.forward_cross(info.sender) {
+                if ctx.dual.unreliable_neighbors(info.sender).contains(&target) {
+                    unreliable.push((target, ctx.config.f_prog()));
+                }
+            }
+        }
+        BcastPlan {
+            ack_delay: ctx.config.f_ack(),
+            reliable: Vec::new(),
+            unreliable,
+        }
+    }
+
+    fn pick_forced(
+        &mut self,
+        _ctx: &PolicyCtx<'_>,
+        receiver: NodeId,
+        candidates: &[ForcedCandidate],
+    ) -> usize {
+        // Most useless first: duplicates, then the other line's message,
+        // then cross-edge traffic, then the youngest instance. Only when
+        // every alternative is exhausted does the receiver's own frontier
+        // message get through.
+        let waiting_for = self.frontier_key(receiver);
+        let score = |c: &ForcedCandidate| {
+            (
+                u8::from(!c.duplicate_for_receiver),
+                u8::from(c.key == waiting_for),
+                u8::from(c.reliable_link),
+                std::cmp::Reverse(c.start),
+                c.instance,
+            )
+        };
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| score(c))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac_mac::{InstanceId, MacConfig};
+    use amac_graph::generators;
+    use amac_sim::{Duration, Time};
+
+    fn fixture() -> (amac_graph::DualGraph, MacConfig) {
+        let net = generators::dual_line(4).unwrap();
+        (net.dual, MacConfig::from_ticks(2, 20))
+    }
+
+    fn adversary() -> GreyZoneAdversary {
+        GreyZoneAdversary::new(4, MessageKey(0), MessageKey(1))
+    }
+
+    fn cand(i: u64, key: u64, dup: bool, reliable: bool, start: u64) -> ForcedCandidate {
+        ForcedCandidate {
+            instance: InstanceId::new(i),
+            sender: NodeId::new(0),
+            key: MessageKey(key),
+            start: Time::from_ticks(start),
+            duplicate_for_receiver: dup,
+            reliable_link: reliable,
+        }
+    }
+
+    #[test]
+    fn frontier_broadcast_crosses_forward_only() {
+        let (dual, config) = fixture();
+        let ctx = PolicyCtx { dual: &dual, config: &config, now: Time::ZERO };
+        let mut adv = adversary();
+        // a_1 (index 0) broadcasting m0: crosses to b_2 (index 5).
+        let plan = adv.plan_bcast(
+            &ctx,
+            &BcastInfo {
+                instance: InstanceId::new(0),
+                sender: NodeId::new(0),
+                key: MessageKey(0),
+            },
+        );
+        assert_eq!(plan.ack_delay, config.f_ack());
+        assert_eq!(plan.unreliable, vec![(NodeId::new(5), Duration::from_ticks(2))]);
+        // a_2 (index 1) broadcasting m1 (an echo): no cross deliveries.
+        let plan = adv.plan_bcast(
+            &ctx,
+            &BcastInfo {
+                instance: InstanceId::new(1),
+                sender: NodeId::new(1),
+                key: MessageKey(1),
+            },
+        );
+        assert!(plan.unreliable.is_empty());
+        // b_2 (index 5) broadcasting m1: crosses to a_3 (index 2).
+        let plan = adv.plan_bcast(
+            &ctx,
+            &BcastInfo {
+                instance: InstanceId::new(2),
+                sender: NodeId::new(5),
+                key: MessageKey(1),
+            },
+        );
+        assert_eq!(plan.unreliable, vec![(NodeId::new(2), Duration::from_ticks(2))]);
+    }
+
+    #[test]
+    fn last_line_node_has_no_forward_cross() {
+        let adv = adversary();
+        assert_eq!(adv.forward_cross(NodeId::new(3)), None); // a_4
+        assert_eq!(adv.forward_cross(NodeId::new(7)), None); // b_4
+        assert_eq!(adv.forward_cross(NodeId::new(2)), Some(NodeId::new(7)));
+        assert_eq!(adv.forward_cross(NodeId::new(6)), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn forced_pick_prefers_duplicates_then_other_line() {
+        let (dual, config) = fixture();
+        let ctx = PolicyCtx { dual: &dual, config: &config, now: Time::ZERO };
+        let mut adv = adversary();
+        // Receiver a_3 (line A) waits for m0 (key 0).
+        let receiver = NodeId::new(2);
+        // Duplicate beats everything.
+        let cands = vec![cand(0, 1, false, false, 0), cand(1, 0, true, true, 0)];
+        assert_eq!(adv.pick_forced(&ctx, receiver, &cands), 1);
+        // No duplicates: the other line's message (key 1) beats m0.
+        let cands = vec![cand(0, 0, false, true, 0), cand(1, 1, false, true, 0)];
+        assert_eq!(adv.pick_forced(&ctx, receiver, &cands), 1);
+        // Same key class: cross edge beats reliable.
+        let cands = vec![cand(0, 1, false, true, 0), cand(1, 1, false, false, 0)];
+        assert_eq!(adv.pick_forced(&ctx, receiver, &cands), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # amac-lower — executable lower bounds
+//!
+//! The paper's Section 3.3 lower-bound constructions as runnable
+//! adversarial scenarios:
+//!
+//! * **Lemma 3.18** — the [choke star](scenarios::run_choke_star): `k`
+//!   singleton messages behind a single bridge node force `Ω(k·F_ack)` for
+//!   any MMB algorithm (run here against BMMB under the lazy
+//!   duplicate-feeding scheduler).
+//! * **Lemmas 3.19–3.20 / Theorem 3.17** — the
+//!   [dual-line network `C`](scenarios::run_dual_line) of Figure 2 with the
+//!   [`GreyZoneAdversary`]: cross-line unreliable edges let two messages
+//!   delay each other, forcing `Ω(D·F_ack)` even though the network is
+//!   grey-zone restricted.
+//!
+//! Together these match BMMB's `O((D + k)·F_ack)` upper bound for
+//! arbitrary (and grey zone) `G′` — the `Θ((D+k)·F_ack)` cell of the
+//! paper's Figure 1.
+//!
+//! ```
+//! use amac_lower::scenarios::run_choke_star;
+//! use amac_core::RunOptions;
+//! use amac_mac::MacConfig;
+//!
+//! let report = run_choke_star(8, MacConfig::from_ticks(2, 40), &RunOptions::fast());
+//! // Ω(k·F_ack): the hub relays roughly one message per F_ack.
+//! assert!(report.ratio >= 0.6, "completion took Omega(k * F_ack)");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod adversary;
+pub mod scenarios;
+
+pub use adversary::GreyZoneAdversary;
+pub use scenarios::{
+    choke_star_instance, dual_line_instance, run_choke_star, run_dual_line, LowerBoundReport,
+};

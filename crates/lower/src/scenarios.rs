@@ -1,0 +1,203 @@
+//! Executable lower-bound scenarios: run an MMB algorithm against the
+//! paper's adversarial constructions and report how the measured time
+//! compares to the claimed bound.
+
+use crate::adversary::GreyZoneAdversary;
+use amac_core::{bounds, run_bmmb, Assignment, MessageId, MmbReport, RunOptions};
+use amac_graph::{generators, DualGraph, NodeId};
+use amac_mac::policies::LazyPolicy;
+use amac_mac::{MacConfig, MessageKey};
+use std::fmt;
+
+/// Outcome of a lower-bound scenario: the measured completion time versus
+/// the bound the construction is supposed to force.
+#[derive(Clone, Debug)]
+pub struct LowerBoundReport {
+    /// Scenario label (for tables).
+    pub label: &'static str,
+    /// The driving parameter (`k` for the choke star, `D` for the dual
+    /// line).
+    pub parameter: usize,
+    /// Measured completion time in ticks.
+    pub completion_ticks: u64,
+    /// The Ω-bound in ticks (`k·F_ack` or `D·F_ack`).
+    pub bound_ticks: u64,
+    /// `completion / bound`; the lower bound holds empirically when this
+    /// stays above a positive constant as the parameter grows.
+    pub ratio: f64,
+    /// The underlying run report.
+    pub run: MmbReport,
+}
+
+impl fmt::Display for LowerBoundReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: param={} measured={} bound={} ratio={:.2}",
+            self.label, self.parameter, self.completion_ticks, self.bound_ticks, self.ratio
+        )
+    }
+}
+
+/// Builds the Lemma 3.18 choke-star instance: `G′ = G`, `k` leaves-plus-hub
+/// messages (a *singleton assignment*), and the single receiver behind the
+/// hub.
+///
+/// Returns the dual graph and the assignment.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn choke_star_instance(k: usize) -> (DualGraph, Assignment) {
+    let (g, _hub, _receiver) = generators::choke_star(k).expect("k >= 1");
+    let dual = DualGraph::reliable(g);
+    // Nodes 0..k-1 are u_1..u_k (index k-1 is the hub u_k); each starts
+    // with one unique message. The receiver v (index k) starts with none.
+    let assignment = Assignment::new((0..k as u64).map(|i| (NodeId::new(i as usize), MessageId(i))));
+    (dual, assignment)
+}
+
+/// Runs BMMB on the choke star under the lazy duplicate-feeding scheduler
+/// and reports the measured time against the `Ω(k·F_ack)` bound
+/// (Lemma 3.18).
+pub fn run_choke_star(k: usize, config: MacConfig, options: &RunOptions) -> LowerBoundReport {
+    let (dual, assignment) = choke_star_instance(k);
+    let run = run_bmmb(
+        &dual,
+        config,
+        &assignment,
+        LazyPolicy::new().prefer_duplicates(),
+        options,
+    );
+    let completion_ticks = run
+        .completion
+        .map(|t| t.ticks())
+        .unwrap_or(run.end_time.ticks());
+    let bound_ticks = bounds::lower_choke(k, &config).ticks();
+    LowerBoundReport {
+        label: "choke-star (Lemma 3.18)",
+        parameter: k,
+        completion_ticks,
+        bound_ticks,
+        ratio: completion_ticks as f64 / bound_ticks as f64,
+        run,
+    }
+}
+
+/// Builds the Figure 2 dual-line instance: message `m₀` at `a₁`, message
+/// `m₁` at `b₁` (`k = 2`).
+pub fn dual_line_instance(d: usize) -> (DualGraph, Assignment) {
+    let net = generators::dual_line(d).expect("d >= 2");
+    let assignment = Assignment::new([
+        (net.a(1), MessageId(0)),
+        (net.b(1), MessageId(1)),
+    ]);
+    (net.dual, assignment)
+}
+
+/// Runs BMMB on the Figure 2 network against the Section 3.3 grey-zone
+/// adversary and reports the measured time against the `Ω(D·F_ack)` bound
+/// (Lemmas 3.19–3.20).
+pub fn run_dual_line(d: usize, config: MacConfig, options: &RunOptions) -> LowerBoundReport {
+    let (dual, assignment) = dual_line_instance(d);
+    let adversary = GreyZoneAdversary::new(d, MessageKey(0), MessageKey(1));
+    let run = run_bmmb(&dual, config, &assignment, adversary, options);
+    let completion_ticks = run
+        .completion
+        .map(|t| t.ticks())
+        .unwrap_or(run.end_time.ticks());
+    let bound_ticks = bounds::lower_grey_zone(d, &config).ticks();
+    LowerBoundReport {
+        label: "dual-line (Fig. 2, Lemmas 3.19-3.20)",
+        parameter: d,
+        completion_ticks,
+        bound_ticks,
+        ratio: completion_ticks as f64 / bound_ticks as f64,
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MacConfig {
+        MacConfig::from_ticks(2, 40)
+    }
+
+    #[test]
+    fn choke_star_forces_k_fack() {
+        // Ω(k·F_ack): the measured/bound ratio must stay above a positive
+        // constant as k grows (the constant is (k-1)/k-ish: the hub relays
+        // one message per F_ack).
+        for k in [4, 8, 16] {
+            let report = run_choke_star(k, cfg(), &RunOptions::default());
+            assert!(report.run.solved_and_valid(), "{}", report.run);
+            assert!(
+                report.ratio >= 0.6,
+                "k={k}: expected Ω(k*F_ack), got ratio {:.2}",
+                report.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn choke_star_ratio_stays_constant_as_k_grows() {
+        let r4 = run_choke_star(4, cfg(), &RunOptions::fast()).ratio;
+        let r32 = run_choke_star(32, cfg(), &RunOptions::fast()).ratio;
+        // The ratio must not vanish with k (that would mean o(k*F_ack)).
+        assert!(r32 >= 0.8 * r4.min(1.0), "ratio collapsed: {r4:.2} -> {r32:.2}");
+    }
+
+    #[test]
+    fn dual_line_forces_d_fack() {
+        // Ω(D·F_ack): the adversary makes the frontier advance one hop per
+        // F_ack (constant ≈ (D-1)/D after queue-flush accounting).
+        for d in [4, 8] {
+            let report = run_dual_line(d, cfg(), &RunOptions::default());
+            assert!(report.run.solved_and_valid(), "{}", report.run);
+            assert!(
+                report.ratio >= 0.5,
+                "d={d}: expected Ω(D*F_ack), got ratio {:.2}",
+                report.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn dual_line_scales_linearly_in_d() {
+        let cfg = cfg();
+        let t8 = run_dual_line(8, cfg, &RunOptions::fast()).completion_ticks;
+        let t16 = run_dual_line(16, cfg, &RunOptions::fast()).completion_ticks;
+        let growth = t16 as f64 / t8 as f64;
+        assert!(
+            (1.6..=2.6).contains(&growth),
+            "doubling D should roughly double time, got x{growth:.2}"
+        );
+    }
+
+    #[test]
+    fn dual_line_time_tracks_f_ack_not_f_prog() {
+        // The whole point of the lower bound: scaling F_ack up (with
+        // F_prog fixed) must scale the completion time proportionally.
+        let slow = MacConfig::from_ticks(2, 80);
+        let fast = MacConfig::from_ticks(2, 20);
+        let t_slow = run_dual_line(8, slow, &RunOptions::fast()).completion_ticks;
+        let t_fast = run_dual_line(8, fast, &RunOptions::fast()).completion_ticks;
+        let scale = t_slow as f64 / t_fast as f64;
+        assert!(
+            scale >= 2.5,
+            "quadrupling F_ack should scale time ~4x, got x{scale:.2}"
+        );
+    }
+
+    #[test]
+    fn instances_have_expected_shape() {
+        let (dual, assignment) = choke_star_instance(5);
+        assert_eq!(dual.len(), 6);
+        assert_eq!(assignment.k(), 5);
+        let (dual, assignment) = dual_line_instance(6);
+        assert_eq!(dual.len(), 12);
+        assert_eq!(assignment.k(), 2);
+    }
+}

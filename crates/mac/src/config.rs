@@ -1,0 +1,176 @@
+//! MAC layer configuration: the timing constants and the model variant.
+
+use amac_sim::Duration;
+use std::fmt;
+
+/// Which abstract MAC layer variant an execution runs under (paper
+/// Section 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelVariant {
+    /// The **standard** abstract MAC layer: event-driven nodes with no
+    /// clocks, no knowledge of `F_ack`/`F_prog`, and no abort interface.
+    Standard,
+    /// The **enhanced** abstract MAC layer: nodes may set timers, know
+    /// `F_ack` and `F_prog` (and `n`), and may abort broadcasts in
+    /// progress.
+    Enhanced,
+}
+
+impl fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelVariant::Standard => write!(f, "standard"),
+            ModelVariant::Enhanced => write!(f, "enhanced"),
+        }
+    }
+}
+
+/// Timing constants and variant for one execution of the abstract MAC
+/// layer.
+///
+/// The two constants bound the scheduler's freedom (paper Section 3.2.1):
+///
+/// * **acknowledgment bound** `F_ack`: a `bcast` is acknowledged within
+///   `F_ack`, and every reliable neighbor receives the message before the
+///   ack;
+/// * **progress bound** `F_prog`: a node with at least one `G`-neighbor
+///   broadcasting throughout an interval longer than `F_prog` receives
+///   *some* contending message within that interval.
+///
+/// In both theory and practice `F_prog ≪ F_ack`; experiments usually keep
+/// the ratio configurable.
+///
+/// # Examples
+///
+/// ```
+/// use amac_mac::{MacConfig, ModelVariant};
+/// use amac_sim::Duration;
+///
+/// let cfg = MacConfig::new(Duration::from_ticks(4), Duration::from_ticks(64));
+/// assert_eq!(cfg.f_prog().ticks(), 4);
+/// assert_eq!(cfg.f_ack().ticks(), 64);
+/// assert_eq!(cfg.variant(), ModelVariant::Standard);
+/// let enh = cfg.enhanced();
+/// assert_eq!(enh.variant(), ModelVariant::Enhanced);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MacConfig {
+    f_prog: Duration,
+    f_ack: Duration,
+    variant: ModelVariant,
+}
+
+impl MacConfig {
+    /// Creates a standard-variant configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ f_prog ≤ f_ack` (the model requires positive
+    /// bounds, and a progress bound above the ack bound would be vacuous).
+    pub fn new(f_prog: Duration, f_ack: Duration) -> MacConfig {
+        assert!(
+            f_prog.ticks() >= 1,
+            "F_prog must be at least one tick, got {f_prog:?}"
+        );
+        assert!(
+            f_ack >= f_prog,
+            "F_ack ({f_ack:?}) must be at least F_prog ({f_prog:?})"
+        );
+        MacConfig {
+            f_prog,
+            f_ack,
+            variant: ModelVariant::Standard,
+        }
+    }
+
+    /// Convenience constructor from raw tick counts.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`MacConfig::new`].
+    pub fn from_ticks(f_prog: u64, f_ack: u64) -> MacConfig {
+        MacConfig::new(Duration::from_ticks(f_prog), Duration::from_ticks(f_ack))
+    }
+
+    /// Switches to the enhanced variant (timers, abort, known bounds).
+    pub fn enhanced(mut self) -> MacConfig {
+        self.variant = ModelVariant::Enhanced;
+        self
+    }
+
+    /// Switches to the standard variant.
+    pub fn standard(mut self) -> MacConfig {
+        self.variant = ModelVariant::Standard;
+        self
+    }
+
+    /// The progress bound `F_prog`.
+    pub fn f_prog(&self) -> Duration {
+        self.f_prog
+    }
+
+    /// The acknowledgment bound `F_ack`.
+    pub fn f_ack(&self) -> Duration {
+        self.f_ack
+    }
+
+    /// The model variant.
+    pub fn variant(&self) -> ModelVariant {
+        self.variant
+    }
+
+    /// Returns `true` for the enhanced variant.
+    pub fn is_enhanced(&self) -> bool {
+        self.variant == ModelVariant::Enhanced
+    }
+}
+
+impl fmt::Display for MacConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} MAC layer (F_prog = {}, F_ack = {})",
+            self.variant, self.f_prog, self.f_ack
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let cfg = MacConfig::from_ticks(2, 50);
+        assert_eq!(cfg.f_prog(), Duration::from_ticks(2));
+        assert_eq!(cfg.f_ack(), Duration::from_ticks(50));
+        assert!(!cfg.is_enhanced());
+        assert!(cfg.enhanced().is_enhanced());
+        assert!(!cfg.enhanced().standard().is_enhanced());
+    }
+
+    #[test]
+    fn equal_bounds_allowed() {
+        let cfg = MacConfig::from_ticks(5, 5);
+        assert_eq!(cfg.f_prog(), cfg.f_ack());
+    }
+
+    #[test]
+    #[should_panic(expected = "F_prog must be at least one tick")]
+    fn zero_f_prog_rejected() {
+        MacConfig::from_ticks(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least F_prog")]
+    fn inverted_bounds_rejected() {
+        MacConfig::from_ticks(10, 5);
+    }
+
+    #[test]
+    fn display_mentions_variant() {
+        let s = MacConfig::from_ticks(2, 20).enhanced().to_string();
+        assert!(s.contains("enhanced"));
+        assert!(s.contains("F_ack"));
+    }
+}

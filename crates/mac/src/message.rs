@@ -1,0 +1,81 @@
+//! Message payloads carried by the abstract MAC layer.
+
+use std::fmt;
+
+/// A semantic key identifying *what a message says*, as opposed to the
+/// per-broadcast instance identity.
+///
+/// The model treats every local broadcast as a unique *instance*; two
+/// broadcasts of the same MMB message by different nodes are different
+/// instances carrying the same content. Adversarial schedulers use the key
+/// to recognise deliveries that are useless to the receiver (e.g. feeding a
+/// node duplicates it will discard), which is exactly the freedom the
+/// paper's lower-bound constructions exploit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageKey(pub u64);
+
+impl fmt::Debug for MessageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A payload transportable by the abstract MAC layer.
+///
+/// Implementors must be cheap to clone (payloads are cloned once per
+/// delivery); algorithms in this workspace use small enums or ids.
+///
+/// # Examples
+///
+/// ```
+/// use amac_mac::{MacMessage, MessageKey};
+///
+/// #[derive(Clone, Debug)]
+/// struct Flood(u64);
+///
+/// impl MacMessage for Flood {
+///     fn key(&self) -> MessageKey {
+///         MessageKey(self.0)
+///     }
+/// }
+///
+/// assert_eq!(Flood(7).key(), MessageKey(7));
+/// ```
+pub trait MacMessage: Clone + fmt::Debug + 'static {
+    /// The semantic key of this payload (see [`MessageKey`]). Payloads with
+    /// equal keys are interchangeable from the receiver's perspective.
+    fn key(&self) -> MessageKey;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Probe(u64);
+    impl MacMessage for Probe {
+        fn key(&self) -> MessageKey {
+            MessageKey(self.0 * 2)
+        }
+    }
+
+    #[test]
+    fn key_formats() {
+        assert_eq!(format!("{}", MessageKey(9)), "k9");
+        assert_eq!(format!("{:?}", MessageKey(9)), "k9");
+    }
+
+    #[test]
+    fn trait_object_friendly_usage() {
+        let p = Probe(21);
+        assert_eq!(p.key(), MessageKey(42));
+        let q = p.clone();
+        assert_eq!(q.key(), p.key());
+    }
+}

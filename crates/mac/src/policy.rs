@@ -1,0 +1,211 @@
+//! The message scheduler interface.
+//!
+//! The abstract MAC layer resolves all timing and unreliable-delivery
+//! choices **non-deterministically**: an adversarial *message scheduler*
+//! decides when each receiver gets each message, which `G′ \ G` neighbors
+//! receive it at all, and when the acknowledgment returns — constrained
+//! only by the model's guarantees. A [`Policy`] is one concrete scheduler.
+//!
+//! Upper bounds in the paper must hold for *every* valid policy; lower
+//! bounds need only *one*. The [`policies`](crate::policies) module ships
+//! generic schedulers (eager, lazy, random, duplicate-feeding); the
+//! `amac-lower` crate implements the specialized Section 3.3 adversary.
+//!
+//! The runtime clamps every plan into validity (delays within
+//! `[0, F_ack]`, deliveries before the ack) and enforces the progress bound
+//! itself, so *no policy can produce an invalid execution* — the policy
+//! only steers the adversarial freedom that remains.
+
+use crate::config::MacConfig;
+use crate::instance::InstanceId;
+use crate::message::MessageKey;
+use amac_graph::{DualGraph, NodeId};
+use amac_sim::{Duration, Time};
+
+/// Read-only context handed to policy callbacks.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// The network topology.
+    pub dual: &'a DualGraph,
+    /// Timing constants and variant.
+    pub config: &'a MacConfig,
+    /// Current simulated time.
+    pub now: Time,
+}
+
+/// Metadata describing a freshly initiated broadcast.
+#[derive(Clone, Debug)]
+pub struct BcastInfo {
+    /// The new instance's id.
+    pub instance: InstanceId,
+    /// Broadcasting node.
+    pub sender: NodeId,
+    /// Semantic key of the payload.
+    pub key: MessageKey,
+}
+
+/// A scheduling plan for one broadcast instance, produced by
+/// [`Policy::plan_bcast`].
+///
+/// All delays are relative to the broadcast time. The runtime clamps:
+///
+/// * `ack_delay` into `[1, F_ack]`;
+/// * every delivery delay into `[0, ack_delay]` (receive correctness:
+///   all `rcv`s precede the `ack`);
+/// * reliable neighbors missing from `reliable` receive at `ack_delay`
+///   (ack correctness: every `G`-neighbor receives before the ack).
+///
+/// Unreliable neighbors not listed in `unreliable` simply never receive the
+/// instance — the model permits this for `G′ \ G` links.
+#[derive(Clone, Debug, Default)]
+pub struct BcastPlan {
+    /// Delay from broadcast to acknowledgment.
+    pub ack_delay: Duration,
+    /// Planned delivery delays for reliable (`G`) neighbors.
+    pub reliable: Vec<(NodeId, Duration)>,
+    /// Planned delivery delays for unreliable (`G′ \ G`) neighbors; omitted
+    /// neighbors never receive.
+    pub unreliable: Vec<(NodeId, Duration)>,
+}
+
+impl BcastPlan {
+    /// A plan that delivers to every reliable neighbor and acks at the
+    /// given delay, with no unreliable deliveries.
+    pub fn uniform(ack_delay: Duration) -> BcastPlan {
+        BcastPlan {
+            ack_delay,
+            reliable: Vec::new(),
+            unreliable: Vec::new(),
+        }
+    }
+}
+
+/// A candidate instance for a forced progress delivery.
+///
+/// When the progress bound is about to expire for a receiver, the runtime
+/// collects the in-flight instances from `G′`-neighbors that have not yet
+/// delivered to that receiver and asks the policy to pick one. This is the
+/// scheduler's chance to satisfy the progress bound with the *least useful*
+/// message (e.g. a duplicate), the freedom at the heart of the paper's
+/// lower bounds.
+#[derive(Clone, Debug)]
+pub struct ForcedCandidate {
+    /// The candidate instance.
+    pub instance: InstanceId,
+    /// Its sender.
+    pub sender: NodeId,
+    /// Semantic key of its payload.
+    pub key: MessageKey,
+    /// When the instance's broadcast began.
+    pub start: Time,
+    /// `true` if the receiver has already received *some* message with the
+    /// same key (so this delivery would be semantically useless to it).
+    pub duplicate_for_receiver: bool,
+    /// `true` if the sender is a reliable (`G`) neighbor of the receiver.
+    pub reliable_link: bool,
+}
+
+/// A message scheduler: the adversary resolving the MAC layer's
+/// non-determinism.
+///
+/// Implementations may keep internal randomness or state; the runtime calls
+/// them deterministically, so a deterministic policy yields a fully
+/// reproducible execution.
+pub trait Policy {
+    /// Plans deliveries and acknowledgment for a new broadcast.
+    fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan;
+
+    /// Picks which candidate to deliver when the runtime must force a
+    /// delivery to `receiver` to uphold the progress bound. Returns an
+    /// index into `candidates` (non-empty; out-of-range values are treated
+    /// as 0).
+    ///
+    /// The default takes the oldest candidate.
+    fn pick_forced(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        receiver: NodeId,
+        candidates: &[ForcedCandidate],
+    ) -> usize {
+        let _ = (ctx, receiver);
+        debug_assert!(!candidates.is_empty());
+        0
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan {
+        (**self).plan_bcast(ctx, info)
+    }
+
+    fn pick_forced(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        receiver: NodeId,
+        candidates: &[ForcedCandidate],
+    ) -> usize {
+        (**self).pick_forced(ctx, receiver, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl Policy for Fixed {
+        fn plan_bcast(&mut self, _ctx: &PolicyCtx<'_>, _info: &BcastInfo) -> BcastPlan {
+            BcastPlan::uniform(Duration::from_ticks(5))
+        }
+    }
+
+    #[test]
+    fn uniform_plan_is_empty_lists() {
+        let p = BcastPlan::uniform(Duration::from_ticks(9));
+        assert_eq!(p.ack_delay.ticks(), 9);
+        assert!(p.reliable.is_empty());
+        assert!(p.unreliable.is_empty());
+    }
+
+    #[test]
+    fn default_forced_pick_is_first() {
+        let dual = DualGraph::reliable(amac_graph::generators::line(2).unwrap());
+        let config = MacConfig::from_ticks(1, 4);
+        let ctx = PolicyCtx {
+            dual: &dual,
+            config: &config,
+            now: Time::ZERO,
+        };
+        let mut p = Fixed;
+        let candidates = vec![ForcedCandidate {
+            instance: InstanceId::new(0),
+            sender: NodeId::new(0),
+            key: MessageKey(0),
+            start: Time::ZERO,
+            duplicate_for_receiver: false,
+            reliable_link: true,
+        }];
+        assert_eq!(p.pick_forced(&ctx, NodeId::new(1), &candidates), 0);
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let dual = DualGraph::reliable(amac_graph::generators::line(2).unwrap());
+        let config = MacConfig::from_ticks(1, 4);
+        let ctx = PolicyCtx {
+            dual: &dual,
+            config: &config,
+            now: Time::ZERO,
+        };
+        let mut boxed: Box<dyn Policy> = Box::new(Fixed);
+        let plan = boxed.plan_bcast(
+            &ctx,
+            &BcastInfo {
+                instance: InstanceId::new(0),
+                sender: NodeId::new(0),
+                key: MessageKey(1),
+            },
+        );
+        assert_eq!(plan.ack_delay.ticks(), 5);
+    }
+}

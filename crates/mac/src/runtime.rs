@@ -1,0 +1,915 @@
+//! The abstract MAC layer runtime: couples node automata, a message
+//! scheduler policy, and the dual-graph topology into a deterministic
+//! discrete-event execution that honours the model's five guarantees.
+//!
+//! ## How the guarantees are enforced
+//!
+//! * **Receive correctness** — at most one `rcv` per (instance, receiver);
+//!   receivers are always `G′`-neighbors of the sender; every `rcv` happens
+//!   no later than the instance's termination (pending deliveries are
+//!   flushed immediately before an `ack` and cancelled on `abort`, i.e.
+//!   `ε_abort = 0`).
+//! * **Ack correctness** — every reliable neighbor is delivered before the
+//!   `ack` (policies that omit a reliable neighbor get it scheduled at the
+//!   ack deadline); each instance terminates at most once.
+//! * **Termination** — every instance gets an `ack` (or an `abort` by its
+//!   sender) as long as the execution is run to idleness.
+//! * **Ack bound** — the requested ack delay is clamped into `[1, F_ack]`.
+//! * **Progress bound** — a window `(s, s+L]` with `L > F_prog` violates
+//!   the bound only if some `G`-neighbor instance spans it **and** no
+//!   receive from a *contending* instance (one not terminated before `s`)
+//!   has occurred by its end. A past receive therefore *covers* every
+//!   window that starts before its instance terminates. The runtime tracks,
+//!   per receiver `j`: the in-flight instances that already delivered to
+//!   `j` (*live protectors* — while any exists, no window can violate), and
+//!   the latest termination time `pf` among past protectors. When
+//!   unprotected, the earliest violating window starts at
+//!   `s = max(oldest connected start, pf)` and closes at `s + F_prog + 1`;
+//!   the runtime schedules a forced delivery for that instant, chosen by
+//!   the policy among in-flight `G′`-instances that have not yet delivered
+//!   to `j` (this is where an adversary feeds duplicates). Such a candidate
+//!   always exists when unprotected, since the spanning instance itself
+//!   qualifies.
+
+use crate::config::MacConfig;
+use crate::instance::InstanceId;
+use crate::message::{MacMessage, MessageKey};
+use crate::node::{Automaton, Command, Ctx};
+use crate::policy::{BcastInfo, ForcedCandidate, Policy, PolicyCtx};
+use crate::trace::{Trace, TraceKind};
+use amac_graph::{DualGraph, NodeId};
+use amac_sim::stats::Counters;
+use amac_sim::{Duration, EventId, EventQueue, Time};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Why a [`Runtime::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No deliverable events remain; the execution is quiescent.
+    Idle,
+    /// The next pending event lies beyond the requested time horizon.
+    TimeLimit,
+    /// The configured event-count safety cap was reached.
+    EventLimit,
+    /// The caller stopped the run (e.g. on problem completion) with events
+    /// still pending.
+    Stopped,
+}
+
+/// A problem-level output emitted by a node via [`Ctx::output`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputRecord<O> {
+    /// When the output was emitted.
+    pub time: Time,
+    /// The emitting node.
+    pub node: NodeId,
+    /// The output value.
+    pub out: O,
+}
+
+enum Ev<E> {
+    Start(NodeId),
+    Env(NodeId, E),
+    Deliver(InstanceId, NodeId),
+    AckDue(InstanceId),
+    ProgressCheck(NodeId),
+    Timer(NodeId, u64, u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Terminated {
+    Acked,
+    Aborted,
+}
+
+struct InstanceState<M> {
+    sender: NodeId,
+    msg: M,
+    key: MessageKey,
+    start: Time,
+    delivered: Vec<NodeId>,
+    pending: Vec<(NodeId, EventId)>,
+    ack_event: Option<EventId>,
+    terminated: Option<(Time, Terminated)>,
+}
+
+/// The abstract MAC layer execution engine.
+///
+/// Generic over the node [`Automaton`] `A` and the scheduler [`Policy`]
+/// `P`. Executions are fully deterministic given the topology, the node
+/// states, and the policy (including any seeds it holds).
+///
+/// # Examples
+///
+/// See [`crate`] documentation for an end-to-end example.
+pub struct Runtime<A: Automaton, P: Policy> {
+    dual: DualGraph,
+    config: MacConfig,
+    nodes: Vec<A>,
+    policy: P,
+    queue: EventQueue<Ev<A::Env>>,
+    instances: Vec<InstanceState<A::Msg>>,
+    in_flight_of: Vec<Option<InstanceId>>,
+    /// Per receiver: in-flight instances that already delivered to it.
+    live_protectors: Vec<BTreeSet<InstanceId>>,
+    /// Per receiver: latest termination time among past protectors.
+    protected_until: Vec<Option<Time>>,
+    connected: Vec<BTreeSet<InstanceId>>,
+    contending: Vec<BTreeSet<InstanceId>>,
+    check_scheduled: Vec<bool>,
+    seen_keys: Vec<HashSet<MessageKey>>,
+    timers: HashMap<u64, EventId>,
+    next_timer: u64,
+    outputs: Vec<OutputRecord<A::Out>>,
+    trace: Option<Trace>,
+    counters: Counters,
+    event_limit: u64,
+    started: bool,
+}
+
+impl<A: Automaton, P: Policy> Runtime<A, P> {
+    /// Creates a runtime over `dual` with one automaton per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != dual.len()`.
+    pub fn new(dual: DualGraph, config: MacConfig, nodes: Vec<A>, policy: P) -> Self {
+        assert_eq!(
+            nodes.len(),
+            dual.len(),
+            "need exactly one automaton per node"
+        );
+        let n = dual.len();
+        let mut queue = EventQueue::new();
+        for i in 0..n {
+            queue.schedule(Time::ZERO, Ev::Start(NodeId::new(i)));
+        }
+        Runtime {
+            dual,
+            config,
+            nodes,
+            policy,
+            queue,
+            instances: Vec::new(),
+            in_flight_of: vec![None; n],
+            live_protectors: vec![BTreeSet::new(); n],
+            protected_until: vec![None; n],
+            connected: vec![BTreeSet::new(); n],
+            contending: vec![BTreeSet::new(); n],
+            check_scheduled: vec![false; n],
+            seen_keys: vec![HashSet::new(); n],
+            timers: HashMap::new(),
+            next_timer: 0,
+            outputs: Vec::new(),
+            trace: Some(Trace::new()),
+            counters: Counters::new(),
+            event_limit: 200_000_000,
+            started: false,
+        }
+    }
+
+    /// Disables trace recording (saves memory on very long executions; the
+    /// validator then cannot be run on this execution).
+    pub fn without_trace(mut self) -> Self {
+        self.trace = None;
+        self
+    }
+
+    /// Sets the safety cap on processed events (default 2·10⁸).
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// The topology this execution runs over.
+    pub fn dual(&self) -> &DualGraph {
+        &self.dual
+    }
+
+    /// The MAC configuration.
+    pub fn config(&self) -> &MacConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Read access to a node automaton (for completion checks in tests and
+    /// harnesses).
+    pub fn node(&self, id: NodeId) -> &A {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of message instances started so far.
+    pub fn instances_started(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Event counters (`bcast`, `rcv`, `ack`, `abort`, `forced_rcv`,
+    /// `forced_ack`, …).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The recorded MAC-level trace, unless disabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// All outputs emitted so far.
+    pub fn outputs(&self) -> &[OutputRecord<A::Out>] {
+        &self.outputs
+    }
+
+    /// Drains and returns outputs emitted since the last call.
+    pub fn take_outputs(&mut self) -> Vec<OutputRecord<A::Out>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Schedules an environment input for `node` at the current time (use
+    /// before the first [`step`](Runtime::step) for the paper's time-0
+    /// `arrive` events, or mid-run for online arrivals).
+    pub fn inject(&mut self, node: NodeId, input: A::Env) {
+        self.queue.schedule(self.queue.now(), Ev::Env(node, input));
+    }
+
+    /// Schedules an environment input at an absolute future time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject_at(&mut self, at: Time, node: NodeId, input: A::Env) {
+        self.queue.schedule(at, Ev::Env(node, input));
+    }
+
+    /// Processes a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        self.started = true;
+        let Some((_, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.counters.incr("events");
+        match ev {
+            Ev::Start(node) => {
+                let cmds = self.callback(node, |n, ctx| n.on_start(ctx));
+                self.apply(node, cmds);
+            }
+            Ev::Env(node, input) => {
+                self.counters.incr("env");
+                let cmds = self.callback(node, |n, ctx| n.on_env(input, ctx));
+                self.apply(node, cmds);
+            }
+            Ev::Deliver(inst, to) => {
+                // Drop the pending entry for this receiver; the event
+                // already fired so there is nothing to cancel.
+                let st = &mut self.instances[inst.index()];
+                st.pending.retain(|(n, _)| *n != to);
+                self.deliver_core(inst, to, false);
+            }
+            Ev::AckDue(inst) => {
+                if self.instances[inst.index()].terminated.is_none() {
+                    self.ack_instance(inst, false);
+                }
+            }
+            Ev::ProgressCheck(node) => self.progress_check(node),
+            Ev::Timer(node, tag, key) => {
+                if self.timers.remove(&key).is_some() {
+                    self.counters.incr("timer");
+                    let cmds = self.callback(node, |n, ctx| n.on_timer(tag, ctx));
+                    self.apply(node, cmds);
+                }
+            }
+        }
+        true
+    }
+
+    /// Processes the next event if it lies within `horizon`: returns `None`
+    /// after processing one event, or `Some(outcome)` when the run should
+    /// stop. Lets harnesses interleave stepping with their own checks
+    /// (completion detection, output draining).
+    pub fn run_until_next(&mut self, horizon: Time) -> Option<RunOutcome> {
+        if self.counters.get("events") >= self.event_limit {
+            return Some(RunOutcome::EventLimit);
+        }
+        match self.queue.peek_time() {
+            None => Some(RunOutcome::Idle),
+            Some(t) if t > horizon => Some(RunOutcome::TimeLimit),
+            Some(_) => {
+                self.step();
+                None
+            }
+        }
+    }
+
+    /// Runs until quiescence or until the next event would lie beyond
+    /// `horizon`.
+    pub fn run_until(&mut self, horizon: Time) -> RunOutcome {
+        loop {
+            if let Some(outcome) = self.run_until_next(horizon) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Runs to quiescence (bounded by the event-count safety cap).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(Time::MAX)
+    }
+
+    /// Consumes the runtime, returning the recorded trace (if any).
+    pub fn into_trace(self) -> Option<Trace> {
+        self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn callback<F>(&mut self, node: NodeId, f: F) -> Vec<Command<A::Msg, A::Out>>
+    where
+        F: FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Out>),
+    {
+        let now = self.queue.now();
+        let mut ctx = Ctx {
+            node,
+            now,
+            config: &self.config,
+            dual: &self.dual,
+            in_flight: self.in_flight_of[node.index()].is_some(),
+            commands: Vec::new(),
+            next_timer: &mut self.next_timer,
+        };
+        f(&mut self.nodes[node.index()], &mut ctx);
+        ctx.commands
+    }
+
+    fn apply(&mut self, node: NodeId, commands: Vec<Command<A::Msg, A::Out>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Bcast(msg) => self.start_instance(node, msg),
+                Command::Abort => self.abort_in_flight(node),
+                Command::SetTimer { id, delay, tag } => {
+                    let ev = self
+                        .queue
+                        .schedule_after(delay, Ev::Timer(node, tag, id.0));
+                    self.timers.insert(id.0, ev);
+                }
+                Command::CancelTimer(id) => {
+                    if let Some(ev) = self.timers.remove(&id.0) {
+                        self.queue.cancel(ev);
+                    }
+                }
+                Command::Output(out) => {
+                    self.outputs.push(OutputRecord {
+                        time: self.queue.now(),
+                        node,
+                        out,
+                    });
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, inst: InstanceId, node: NodeId, kind: TraceKind, key: MessageKey) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(self.queue.now(), inst, node, kind, key);
+        }
+    }
+
+    fn start_instance(&mut self, sender: NodeId, msg: A::Msg) {
+        assert!(
+            self.in_flight_of[sender.index()].is_none(),
+            "node {sender} issued a second bcast without ack/abort (user well-formedness)"
+        );
+        let now = self.queue.now();
+        let id = InstanceId::new(self.instances.len() as u64);
+        let key = msg.key();
+        self.seen_keys[sender.index()].insert(key);
+        self.counters.incr("bcast");
+
+        let plan = {
+            let ctx = PolicyCtx {
+                dual: &self.dual,
+                config: &self.config,
+                now,
+            };
+            self.policy.plan_bcast(
+                &ctx,
+                &BcastInfo {
+                    instance: id,
+                    sender,
+                    key,
+                },
+            )
+        };
+
+        let f_ack = self.config.f_ack();
+        let ack_delay = plan.ack_delay.max(Duration::TICK).min(f_ack);
+
+        // Delivery delays: reliable neighbors default to the ack deadline;
+        // policy overrides are clamped into [0, ack_delay].
+        let mut delays: Vec<(NodeId, Duration)> = self
+            .dual
+            .reliable_neighbors(sender)
+            .iter()
+            .map(|&j| (j, ack_delay))
+            .collect();
+        for (j, d) in &plan.reliable {
+            if let Some(slot) = delays.iter_mut().find(|(n, _)| n == j) {
+                slot.1 = (*d).min(ack_delay);
+            }
+        }
+        for (j, d) in &plan.unreliable {
+            if self.dual.unreliable_neighbors(sender).contains(j) {
+                delays.push((*j, (*d).min(ack_delay)));
+            }
+        }
+
+        self.record(id, sender, TraceKind::Bcast, key);
+
+        let mut pending = Vec::with_capacity(delays.len());
+        for (j, d) in delays {
+            let ev = self.queue.schedule(now + d, Ev::Deliver(id, j));
+            pending.push((j, ev));
+        }
+        let ack_event = self.queue.schedule(now + ack_delay, Ev::AckDue(id));
+
+        self.instances.push(InstanceState {
+            sender,
+            msg,
+            key,
+            start: now,
+            delivered: Vec::new(),
+            pending,
+            ack_event: Some(ack_event),
+            terminated: None,
+        });
+        self.in_flight_of[sender.index()] = Some(id);
+
+        for &j in self.dual.reliable_neighbors(sender) {
+            self.connected[j.index()].insert(id);
+        }
+        for &j in self.dual.all_neighbors(sender) {
+            self.contending[j.index()].insert(id);
+        }
+        for i in 0..self.dual.reliable_neighbors(sender).len() {
+            let j = self.dual.reliable_neighbors(sender)[i];
+            self.ensure_check(j);
+        }
+    }
+
+    /// The earliest instant at which the progress bound could be violated
+    /// for receiver `j`, or `None` while no violation is possible (no
+    /// spanning `G`-neighbor instance, or a live protector exists).
+    fn deadline(&self, j: NodeId) -> Option<Time> {
+        let oldest = *self.connected[j.index()].iter().next()?;
+        if !self.live_protectors[j.index()].is_empty() {
+            // Some in-flight instance already delivered to j: every window
+            // starting before its termination is covered.
+            return None;
+        }
+        let b_min = self.instances[oldest.index()].start;
+        let s = match self.protected_until[j.index()] {
+            Some(pf) => b_min.max(pf),
+            None => b_min,
+        };
+        Some(s + self.config.f_prog() + Duration::TICK)
+    }
+
+    fn ensure_check(&mut self, j: NodeId) {
+        if self.check_scheduled[j.index()] {
+            return;
+        }
+        if let Some(d) = self.deadline(j) {
+            let at = d.max(self.queue.now());
+            self.queue.schedule(at, Ev::ProgressCheck(j));
+            self.check_scheduled[j.index()] = true;
+        }
+    }
+
+    fn progress_check(&mut self, j: NodeId) {
+        self.check_scheduled[j.index()] = false;
+        let now = self.queue.now();
+        let Some(d) = self.deadline(j) else {
+            return;
+        };
+        if now < d {
+            self.ensure_check(j);
+            return;
+        }
+        // The progress bound is due: force a delivery. A candidate always
+        // exists here — j is unprotected, so no in-flight contender has
+        // delivered to it, and the spanning connected instance qualifies.
+        let candidates: Vec<ForcedCandidate> = self.contending[j.index()]
+            .iter()
+            .filter_map(|&id| {
+                let st = &self.instances[id.index()];
+                if st.terminated.is_some() || st.delivered.contains(&j) {
+                    return None;
+                }
+                Some(ForcedCandidate {
+                    instance: id,
+                    sender: st.sender,
+                    key: st.key,
+                    start: st.start,
+                    duplicate_for_receiver: self.seen_keys[j.index()].contains(&st.key),
+                    reliable_link: self.connected[j.index()].contains(&id),
+                })
+            })
+            .collect();
+        if candidates.is_empty() {
+            // Defensive fallback (unreachable by the invariant above):
+            // terminate the oldest connected instance to restore validity.
+            debug_assert!(false, "unprotected receiver with no forced candidates");
+            if let Some(&oldest) = self.connected[j.index()].iter().next() {
+                self.counters.incr("forced_ack");
+                self.ack_instance(oldest, true);
+            }
+            self.ensure_check(j);
+            return;
+        }
+        let idx = {
+            let ctx = PolicyCtx {
+                dual: &self.dual,
+                config: &self.config,
+                now,
+            };
+            let i = self.policy.pick_forced(&ctx, j, &candidates);
+            if i < candidates.len() {
+                i
+            } else {
+                0
+            }
+        };
+        let chosen = candidates[idx].instance;
+        self.counters.incr("forced_rcv");
+        // Cancel the planned delivery (if any) and deliver now.
+        let st = &mut self.instances[chosen.index()];
+        if let Some(pos) = st.pending.iter().position(|(n, _)| *n == j) {
+            let (_, ev) = st.pending.remove(pos);
+            self.queue.cancel(ev);
+        }
+        self.deliver_core(chosen, j, true);
+        self.ensure_check(j);
+    }
+
+    fn deliver_core(&mut self, inst: InstanceId, to: NodeId, forced: bool) {
+        let st = &mut self.instances[inst.index()];
+        if st.terminated.is_some() || st.delivered.contains(&to) {
+            return;
+        }
+        st.delivered.push(to);
+        let key = st.key;
+        let msg = st.msg.clone();
+        let _ = forced;
+        self.counters.incr("rcv");
+        self.record(inst, to, TraceKind::Rcv, key);
+        self.seen_keys[to.index()].insert(key);
+        // The delivering instance is in flight, so it now protects `to`
+        // from progress violations until it terminates.
+        self.live_protectors[to.index()].insert(inst);
+        let cmds = self.callback(to, |n, ctx| n.on_receive(msg, ctx));
+        self.apply(to, cmds);
+    }
+
+    fn ack_instance(&mut self, inst: InstanceId, forced: bool) {
+        debug_assert!(self.instances[inst.index()].terminated.is_none());
+        let _ = forced;
+        // Flush pending deliveries: every rcv precedes the ack.
+        let pend = std::mem::take(&mut self.instances[inst.index()].pending);
+        for (to, ev) in pend {
+            self.queue.cancel(ev);
+            self.deliver_core(inst, to, false);
+        }
+        let now = self.queue.now();
+        let (sender, key, msg) = {
+            let st = &mut self.instances[inst.index()];
+            if let Some(ev) = st.ack_event.take() {
+                self.queue.cancel(ev);
+            }
+            st.terminated = Some((now, Terminated::Acked));
+            (st.sender, st.key, st.msg.clone())
+        };
+        self.counters.incr("ack");
+        self.record(inst, sender, TraceKind::Ack, key);
+        self.cleanup_instance(inst, sender);
+        let cmds = self.callback(sender, |n, ctx| n.on_ack(msg, ctx));
+        self.apply(sender, cmds);
+    }
+
+    fn abort_in_flight(&mut self, node: NodeId) {
+        let inst = self.in_flight_of[node.index()]
+            .unwrap_or_else(|| panic!("node {node} aborted with no broadcast in flight"));
+        let now = self.queue.now();
+        let (sender, key) = {
+            let st = &mut self.instances[inst.index()];
+            debug_assert!(st.terminated.is_none());
+            for (_, ev) in st.pending.drain(..) {
+                self.queue.cancel(ev);
+            }
+            if let Some(ev) = st.ack_event.take() {
+                self.queue.cancel(ev);
+            }
+            st.terminated = Some((now, Terminated::Aborted));
+            (st.sender, st.key)
+        };
+        self.counters.incr("abort");
+        self.record(inst, sender, TraceKind::Abort, key);
+        self.cleanup_instance(inst, sender);
+    }
+
+    fn cleanup_instance(&mut self, inst: InstanceId, sender: NodeId) {
+        self.in_flight_of[sender.index()] = None;
+        for &j in self.dual.reliable_neighbors(sender) {
+            self.connected[j.index()].remove(&inst);
+        }
+        for &j in self.dual.all_neighbors(sender) {
+            self.contending[j.index()].remove(&inst);
+        }
+        // Receivers protected by this instance lose that protection at its
+        // termination time; their next possible violation window starts
+        // here, so (re)arm their progress checks.
+        let now = self.queue.now();
+        let receivers = self.instances[inst.index()].delivered.clone();
+        for j in receivers {
+            if self.live_protectors[j.index()].remove(&inst) {
+                let pf = &mut self.protected_until[j.index()];
+                *pf = Some(pf.map_or(now, |t| t.max(now)));
+                self.ensure_check(j);
+            }
+        }
+    }
+}
+
+impl<A: Automaton, P: Policy> fmt::Debug for Runtime<A, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.queue.now())
+            .field("instances", &self.instances.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::EagerPolicy;
+
+    #[derive(Clone, Debug)]
+    struct Token(u64);
+    impl MacMessage for Token {
+        fn key(&self) -> MessageKey {
+            MessageKey(self.0)
+        }
+    }
+
+    /// Floods a single token: the source broadcasts on start; every node
+    /// forwards the first copy it receives.
+    struct Flooder {
+        is_source: bool,
+        got: Option<u64>,
+    }
+
+    impl Automaton for Flooder {
+        type Msg = Token;
+        type Env = ();
+        type Out = u64;
+
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Token, u64>) {
+            if self.is_source {
+                self.got = Some(7);
+                ctx.output(7);
+                ctx.bcast(Token(7));
+            }
+        }
+
+        fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, u64>) {
+            if self.got.is_none() {
+                self.got = Some(msg.0);
+                ctx.output(msg.0);
+                if !ctx.has_broadcast_in_flight() {
+                    ctx.bcast(msg);
+                }
+            }
+        }
+
+        fn on_ack(&mut self, _msg: Token, _ctx: &mut Ctx<'_, Token, u64>) {}
+    }
+
+    fn line_dual(n: usize) -> DualGraph {
+        DualGraph::reliable(amac_graph::generators::line(n).unwrap())
+    }
+
+    fn flooders(n: usize) -> Vec<Flooder> {
+        (0..n)
+            .map(|i| Flooder {
+                is_source: i == 0,
+                got: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flood_reaches_every_node() {
+        let dual = line_dual(10);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(10), EagerPolicy::new());
+        assert_eq!(rt.run(), RunOutcome::Idle);
+        assert_eq!(rt.outputs().len(), 10, "all nodes delivered the token");
+        for i in 0..10 {
+            assert_eq!(rt.node(NodeId::new(i)).got, Some(7));
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_and_consistent() {
+        let dual = line_dual(5);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(5), EagerPolicy::new());
+        rt.run();
+        let trace = rt.trace().unwrap();
+        assert_eq!(trace.count(TraceKind::Bcast), 5);
+        assert_eq!(trace.count(TraceKind::Ack), 5);
+        assert!(trace.count(TraceKind::Rcv) >= 4);
+    }
+
+    #[test]
+    fn counters_track_events() {
+        let dual = line_dual(4);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(4), EagerPolicy::new());
+        rt.run();
+        assert_eq!(rt.counters().get("bcast"), 4);
+        assert_eq!(rt.counters().get("ack"), 4);
+        assert!(rt.counters().get("events") > 0);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let dual = line_dual(50);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(50), EagerPolicy::new());
+        let outcome = rt.run_until(Time::from_ticks(5));
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert!(rt.now() <= Time::from_ticks(5));
+        assert_eq!(rt.run(), RunOutcome::Idle);
+        assert_eq!(rt.outputs().len(), 50);
+    }
+
+    #[test]
+    fn event_limit_stops_execution() {
+        let dual = line_dual(30);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt =
+            Runtime::new(dual, cfg, flooders(30), EagerPolicy::new()).with_event_limit(10);
+        assert_eq!(rt.run(), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn without_trace_disables_recording() {
+        let dual = line_dual(3);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(3), EagerPolicy::new()).without_trace();
+        rt.run();
+        assert!(rt.trace().is_none());
+    }
+
+    #[test]
+    fn env_injection_dispatches() {
+        struct EnvNode {
+            seen: Vec<u32>,
+        }
+        impl Automaton for EnvNode {
+            type Msg = Token;
+            type Env = u32;
+            type Out = ();
+            fn on_env(&mut self, input: u32, _ctx: &mut Ctx<'_, Token, ()>) {
+                self.seen.push(input);
+            }
+            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+        }
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(1, 4);
+        let nodes = vec![EnvNode { seen: vec![] }, EnvNode { seen: vec![] }];
+        let mut rt = Runtime::new(dual, cfg, nodes, EagerPolicy::new());
+        rt.inject(NodeId::new(0), 11);
+        rt.inject_at(Time::from_ticks(3), NodeId::new(1), 22);
+        rt.run();
+        assert_eq!(rt.node(NodeId::new(0)).seen, vec![11]);
+        assert_eq!(rt.node(NodeId::new(1)).seen, vec![22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "user well-formedness")]
+    fn double_bcast_panics() {
+        struct Bad;
+        impl Automaton for Bad {
+            type Msg = Token;
+            type Env = ();
+            type Out = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token, ()>) {
+                ctx.bcast(Token(1));
+                ctx.bcast(Token(2));
+            }
+            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+        }
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(1, 4);
+        let mut rt = Runtime::new(dual, cfg, vec![Bad, Bad], EagerPolicy::new());
+        rt.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the enhanced abstract MAC layer")]
+    fn timers_require_enhanced_variant() {
+        struct Timed;
+        impl Automaton for Timed {
+            type Msg = Token;
+            type Env = ();
+            type Out = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token, ()>) {
+                ctx.set_timer(Duration::from_ticks(1), 0);
+            }
+            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+        }
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(1, 4); // standard variant
+        let mut rt = Runtime::new(dual, cfg, vec![Timed, Timed], EagerPolicy::new());
+        rt.run();
+    }
+
+    #[test]
+    fn enhanced_timer_fires_and_abort_works() {
+        struct RoundNode {
+            fired: bool,
+            aborted: bool,
+        }
+        impl Automaton for RoundNode {
+            type Msg = Token;
+            type Env = ();
+            type Out = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token, ()>) {
+                if ctx.id().index() == 0 {
+                    ctx.bcast(Token(1));
+                    ctx.set_timer(Duration::from_ticks(3), 42);
+                }
+            }
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Token, ()>) {
+                assert_eq!(tag, 42);
+                self.fired = true;
+                if ctx.has_broadcast_in_flight() {
+                    ctx.abort();
+                    self.aborted = true;
+                }
+            }
+            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+        }
+        let dual = line_dual(2);
+        // Lazy ack: use a policy with a long ack so the abort lands first.
+        let cfg = MacConfig::from_ticks(2, 100).enhanced();
+        let nodes = vec![
+            RoundNode { fired: false, aborted: false },
+            RoundNode { fired: false, aborted: false },
+        ];
+        let mut rt = Runtime::new(dual, cfg, nodes, crate::policies::LazyPolicy::new());
+        rt.run();
+        assert!(rt.node(NodeId::new(0)).fired);
+        assert!(rt.node(NodeId::new(0)).aborted);
+        let trace = rt.trace().unwrap();
+        assert_eq!(trace.count(TraceKind::Abort), 1);
+        assert_eq!(trace.count(TraceKind::Ack), 0);
+    }
+
+    #[test]
+    fn lazy_policy_progress_forced_delivery() {
+        // With a lazy policy on a line, the progress bound must still make
+        // the token advance one hop every F_prog, not every F_ack.
+        let dual = line_dual(6);
+        let cfg = MacConfig::from_ticks(3, 60);
+        let mut rt = Runtime::new(dual, cfg, flooders(6), crate::policies::LazyPolicy::new());
+        rt.run();
+        assert_eq!(rt.outputs().len(), 6);
+        // Node 5 is 5 hops away: it must receive by roughly 5*F_prog plus
+        // slack, far below 5*F_ack = 300.
+        let last = rt
+            .outputs()
+            .iter()
+            .map(|o| o.time)
+            .max()
+            .unwrap();
+        assert!(
+            last.ticks() <= 5 * 3 + 10,
+            "token should travel at F_prog speed, took {last:?}"
+        );
+        assert!(rt.counters().get("forced_rcv") > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Execution traces: the ground truth record of MAC-level events.
+//!
+//! The runtime appends one entry per `bcast` / `rcv` / `ack` / `abort`
+//! event. Traces are the input to the [`validate`](crate::validate) function, which
+//! re-checks the paper's five MAC-layer guarantees on the concrete
+//! execution — our mechanical substitute for the paper's hand proofs of
+//! model conformance. Traces can also be constructed by hand, which the
+//! test suite uses for fault injection (deliberately invalid traces must be
+//! rejected).
+
+use crate::instance::InstanceId;
+use crate::message::MessageKey;
+use amac_graph::NodeId;
+use amac_sim::Time;
+use std::fmt;
+
+/// The kind of a trace entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A node initiated a local broadcast (one per message instance).
+    Bcast,
+    /// A node received the instance's message.
+    Rcv,
+    /// The MAC layer acknowledged the instance to its sender.
+    Ack,
+    /// The sender aborted the instance (enhanced model only).
+    Abort,
+}
+
+/// One MAC-level event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub time: Time,
+    /// The message instance the event belongs to (the model's *cause*
+    /// function, made explicit).
+    pub instance: InstanceId,
+    /// The acting node: the sender for `Bcast`/`Ack`/`Abort`, the receiver
+    /// for `Rcv`.
+    pub node: NodeId,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Semantic key of the instance's payload.
+    pub key: MessageKey,
+}
+
+/// An append-only log of MAC-level events in execution order.
+///
+/// Entries are totally ordered by append position; ties in `time` reflect
+/// zero-delay steps, whose relative order is meaningful (e.g. all `rcv`s of
+/// an instance precede its `ack` even when they share a tick).
+///
+/// # Examples
+///
+/// ```
+/// use amac_mac::trace::{Trace, TraceKind};
+/// use amac_mac::{InstanceId, MessageKey};
+/// use amac_graph::NodeId;
+/// use amac_sim::Time;
+///
+/// let mut t = Trace::new();
+/// t.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, MessageKey(1));
+/// t.push(Time::from_ticks(3), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, MessageKey(1));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.entries()[1].kind, TraceKind::Rcv);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(
+        &mut self,
+        time: Time,
+        instance: InstanceId,
+        node: NodeId,
+        kind: TraceKind,
+        key: MessageKey,
+    ) {
+        if let Some(last) = self.entries.last() {
+            debug_assert!(last.time <= time, "trace must be time-ordered");
+        }
+        self.entries.push(TraceEntry {
+            time,
+            instance,
+            node,
+            kind,
+            key,
+        });
+    }
+
+    /// All entries in execution order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the trace records no events.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries of the given kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.entries.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Iterates entries of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace with {} events:", self.entries.len())?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  t={:<8} {:?} inst={:?} node={} key={}",
+                e.time, e.kind, e.instance, e.node, e.key
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry_times(t: &Trace) -> Vec<u64> {
+        t.entries().iter().map(|e| e.time.ticks()).collect()
+    }
+
+    #[test]
+    fn append_preserves_order() {
+        let mut t = Trace::new();
+        for i in 0..5 {
+            t.push(
+                Time::from_ticks(i),
+                InstanceId::new(0),
+                NodeId::new(0),
+                TraceKind::Rcv,
+                MessageKey(0),
+            );
+        }
+        assert_eq!(entry_times(&t), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn count_by_kind() {
+        let mut t = Trace::new();
+        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, MessageKey(0));
+        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, MessageKey(0));
+        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(2), TraceKind::Rcv, MessageKey(0));
+        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Ack, MessageKey(0));
+        assert_eq!(t.count(TraceKind::Rcv), 2);
+        assert_eq!(t.count(TraceKind::Bcast), 1);
+        assert_eq!(t.count(TraceKind::Abort), 0);
+        assert_eq!(t.of_kind(TraceKind::Rcv).count(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let mut t = Trace::new();
+        t.push(Time::ZERO, InstanceId::new(3), NodeId::new(1), TraceKind::Bcast, MessageKey(9));
+        let s = t.to_string();
+        assert!(s.contains("Bcast"));
+        assert!(s.contains("k9"));
+    }
+}

@@ -1,0 +1,278 @@
+//! A deterministic pending-event queue.
+//!
+//! Events at equal times are delivered in scheduling order (FIFO by a
+//! monotone sequence number), which makes every simulation reproducible and
+//! lets us model the paper's zero-delay automaton steps: a chain of events
+//! scheduled "now" executes in a well-defined order without time passing.
+
+use crate::time::{Duration, Time};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Handle to a scheduled event, usable with [`EventQueue::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with stable FIFO tie-breaking
+/// and lazy cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use amac_sim::{Duration, EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ticks(5), "later");
+/// q.schedule(Time::from_ticks(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.ticks(), e), (1, "sooner"));
+/// assert_eq!(q.now(), Time::from_ticks(1));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event
+    /// (or [`Time::ZERO`] initially). Monotonically non-decreasing.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`); scheduling *at*
+    /// the current instant is allowed and models a zero-delay step.
+    pub fn schedule(&mut self, at: Time, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at:?}, current time is {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) -> EventId {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet been delivered or cancelled. `O(1)`; memory is reclaimed when
+    /// the tombstone is popped.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event, advancing the clock
+    /// to its timestamp. Ties are broken by scheduling order.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Returns `true` if no deliverable events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of pending entries, **including** not-yet-reclaimed
+    /// cancellations (an upper bound on deliverable events).
+    pub fn pending_upper_bound(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(3), 'c');
+        q.schedule(Time::from_ticks(1), 'a');
+        q.schedule(Time::from_ticks(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Time::from_ticks(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ticks(7));
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(10), "first");
+        q.pop();
+        q.schedule_after(Duration::from_ticks(5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_ticks(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule at")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(10), ());
+        q.pop();
+        q.schedule(Time::from_ticks(9), ());
+    }
+
+    #[test]
+    fn zero_delay_scheduling_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(4), 1);
+        q.pop();
+        q.schedule(q.now(), 2); // same instant
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t.ticks(), e), (4, 2));
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ticks(1), 'a');
+        q.schedule(Time::from_ticks(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 'b');
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ticks(1), 'a');
+        q.schedule(Time::from_ticks(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Time::from_ticks(2)));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_after_draining() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ticks(1), ());
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Lightweight statistics for experiment harnesses: counters, online
+//! summaries, and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotone event counter keyed by a static label.
+///
+/// # Examples
+///
+/// ```
+/// use amac_sim::stats::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("rcv", 3);
+/// c.incr("rcv");
+/// assert_eq!(c.get("rcv"), 4);
+/// assert_eq!(c.get("never"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to the counter `key`.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
+    }
+
+    /// Adds 1 to the counter `key`.
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (0 if never touched).
+    pub fn get(&self, key: &'static str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(label, value)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Online summary of a stream of `f64` samples: count, min, max, mean, and
+/// variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use amac_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(6.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A histogram with uniform integer buckets of the given width, recording
+/// `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    width: u64,
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `[0, width), [width, 2·width), …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        Histogram {
+            width,
+            buckets: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        *self.buckets.entry(x / self.width).or_insert(0) += 1;
+        self.count += 1;
+    }
+
+    /// Total sample count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` in increasing order, skipping
+    /// empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(move |(b, c)| (b * self.width, *c))
+    }
+
+    /// The smallest value `v` such that at least `q` (in `[0,1]`) of samples
+    /// are `< v + width`; i.e. an upper bound of the quantile's bucket.
+    /// Returns `None` when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (bucket, c) in &self.buckets {
+            acc += c;
+            if acc >= target {
+                return Some((bucket + 1) * self.width);
+            }
+        }
+        self.buckets
+            .keys()
+            .next_back()
+            .map(|b| (b + 1) * self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.incr("a");
+        c.add("a", 2);
+        c.incr("b");
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("zzz"), 0);
+        assert_eq!(c.iter().count(), 2);
+        assert_eq!(c.to_string(), "a=3, b=1");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn summary_empty_behaviour() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn summary_merge_matches_bulk() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut all = Summary::new();
+        for i in 0..10 {
+            let x = i as f64 * 1.5;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(10);
+        for x in [0, 5, 9, 10, 25, 25] {
+            h.record(x);
+        }
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(0, 3), (10, 1), (20, 2)]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1);
+        for x in 0..100u64 {
+            h.record(x);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), Some(50));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(100));
+        assert_eq!(Histogram::new(1).quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        Histogram::new(0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Discrete simulated time.
+//!
+//! The paper's model uses real-valued time with the two constants `F_prog`
+//! and `F_ack`. Every inequality in the proofs is interval arithmetic over
+//! sums of these constants, so integer *ticks* preserve the semantics
+//! exactly while keeping the simulator deterministic. One tick is an
+//! arbitrary unit; experiments typically set `F_prog` to a few ticks and
+//! `F_ack` to a few dozen or hundred.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An absolute instant in simulated time, in ticks since the start of the
+/// execution.
+///
+/// # Examples
+///
+/// ```
+/// use amac_sim::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!(t - Time::ZERO, Duration::from_ticks(5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of every execution.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Time {
+        Time(ticks)
+    }
+
+    /// Raw tick count since the start of the execution.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction yielding a duration (`0` if `earlier > self`).
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+    /// One tick.
+    pub const TICK: Duration = Duration(1);
+
+    /// Creates a span from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Duration {
+        Duration(ticks)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Integer multiplication by a scalar, panicking on overflow in debug.
+    pub fn times(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `rhs` is later than `self`.
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on underflow.
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = Time::from_ticks(10);
+        let d = Duration::from_ticks(4);
+        assert_eq!((t + d).ticks(), 14);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d + d, Duration::from_ticks(8));
+        assert_eq!(d * 3, Duration::from_ticks(12));
+        assert_eq!(d.times(3), Duration::from_ticks(12));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::ZERO < Time::from_ticks(1));
+        assert!(Duration::ZERO < Duration::TICK);
+        assert!(Time::MAX > Time::from_ticks(u64::MAX - 1));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let early = Time::from_ticks(3);
+        let late = Time::from_ticks(9);
+        assert_eq!(late.saturating_since(early), Duration::from_ticks(6));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(
+            Duration::from_ticks(2).saturating_sub(Duration::from_ticks(5)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn add_assign_variants() {
+        let mut t = Time::ZERO;
+        t += Duration::from_ticks(7);
+        assert_eq!(t.ticks(), 7);
+        let mut d = Duration::ZERO;
+        d += Duration::TICK;
+        assert_eq!(d.ticks(), 1);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Time::MAX.checked_add(Duration::TICK).is_none());
+        assert_eq!(
+            Time::ZERO.checked_add(Duration::TICK),
+            Some(Time::from_ticks(1))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from_ticks(5)), "5");
+        assert_eq!(format!("{:?}", Time::from_ticks(5)), "t5");
+        assert_eq!(format!("{:?}", Duration::from_ticks(5)), "5t");
+    }
+}

@@ -1,0 +1,71 @@
+//! The headline comparison: FMMB (enhanced MAC layer) vs BMMB (standard
+//! MAC layer) as the `F_ack`/`F_prog` gap widens.
+//!
+//! BMMB pays Θ((D + k)·F_ack) on grey-zone networks, so its completion
+//! time grows linearly with `F_ack`. FMMB's bound
+//! O((D log n + k log n + log³n)·F_prog) has **no** `F_ack` term: its
+//! completion time stays flat as acknowledgments get slower. This is the
+//! paper's argument for adding abort + timing knowledge to MAC layers.
+//!
+//! Run with: `cargo run --release --example fmmb_vs_bmmb`
+
+use amac::core::{run_bmmb, run_fmmb, Assignment, FmmbParams, RunOptions};
+use amac::graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac::mac::policies::LazyPolicy;
+use amac::mac::MacConfig;
+use amac::sim::SimRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SimRng::seed(17);
+    let net = connected_grey_zone_network(
+        &GreyZoneConfig::new(48, 5.0).with_c(2.0).with_grey_edge_probability(0.5),
+        200,
+        &mut rng,
+    )?;
+    let n = net.dual.len();
+    let d = net.dual.diameter();
+    let k = 4;
+    let assignment = Assignment::random(n, k, &mut rng);
+    let params = FmmbParams::new(k, d);
+    println!("grey-zone network: n = {n}, D = {d}, k = {k}");
+    println!("scheduler: lazy worst-case (acks held for the full F_ack)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "F_ack", "BMMB (ticks)", "FMMB (ticks)", "winner"
+    );
+
+    let f_prog = 2;
+    for f_ack in [8u64, 64, 512, 4096, 16384] {
+        let std_cfg = MacConfig::from_ticks(f_prog, f_ack);
+        let bmmb = run_bmmb(
+            &net.dual,
+            std_cfg,
+            &assignment,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        let fmmb = run_fmmb(
+            &net.dual,
+            std_cfg.enhanced(),
+            &assignment,
+            &params,
+            23,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        let (b, f) = (bmmb.completion_ticks(), fmmb.completion_ticks());
+        println!(
+            "{:>8} {:>14} {:>14} {:>9}",
+            f_ack,
+            b,
+            f,
+            if f < b { "FMMB" } else { "BMMB" }
+        );
+    }
+
+    println!();
+    println!("BMMB scales with F_ack; FMMB is flat (no F_ack term).");
+    println!("The crossover is where the enhanced MAC layer's abort interface");
+    println!("starts paying for itself — the paper's feedback to MAC designers.");
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Integration: FMMB end-to-end on grey-zone networks — correctness
+//! w.h.p. across seeds, F_ack independence, and model conformance in the
+//! enhanced MAC layer.
+
+use amac::core::{run_fmmb, Assignment, FmmbParams, RunOptions};
+use amac::graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac::mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
+use amac::mac::MacConfig;
+use amac::sim::SimRng;
+
+fn network(n: usize, seed: u64) -> amac::graph::generators::GreyZoneNetwork {
+    let mut rng = SimRng::seed(seed);
+    let side = (n as f64 / 2.0).sqrt();
+    connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+        .expect("connected sample")
+}
+
+#[test]
+fn fmmb_whp_success_over_seed_sweep() {
+    // 10 (network, algorithm-seed) pairs at n = 40: all must solve with a
+    // valid MIS — matching the w.h.p. guarantee at this scale.
+    let mut solved = 0;
+    for seed in 0..10u64 {
+        let net = network(40, 7_000 + seed);
+        let mut rng = SimRng::seed(seed);
+        let assignment = Assignment::random(40, 3, &mut rng);
+        let params = FmmbParams::new(3, net.dual.diameter());
+        let report = run_fmmb(
+            &net.dual,
+            MacConfig::from_ticks(2, 24).enhanced(),
+            &assignment,
+            &params,
+            seed,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        if report.completion.is_some() && report.mis_valid {
+            solved += 1;
+        }
+    }
+    assert!(solved >= 9, "only {solved}/10 runs succeeded");
+}
+
+#[test]
+fn fmmb_execution_validates_against_model() {
+    let net = network(24, 11);
+    let mut rng = SimRng::seed(2);
+    let assignment = Assignment::random(24, 2, &mut rng);
+    let params = FmmbParams::new(2, net.dual.diameter());
+    let report = run_fmmb(
+        &net.dual,
+        MacConfig::from_ticks(2, 24).enhanced(),
+        &assignment,
+        &params,
+        5,
+        LazyPolicy::new(),
+        &RunOptions::default(), // validation on, run to quiescence
+    );
+    assert!(report.solved_and_valid(), "{report}");
+    let validation = report.validation.as_ref().unwrap();
+    assert!(validation.is_ok(), "{validation}");
+    // FMMB actually uses the abort interface (aborted round broadcasts).
+    assert!(report.counters.get("abort") > 0, "rounds must abort unacked broadcasts");
+}
+
+#[test]
+fn fmmb_completion_is_f_ack_independent() {
+    let net = network(32, 3);
+    let mut rng = SimRng::seed(9);
+    let assignment = Assignment::random(32, 2, &mut rng);
+    let params = FmmbParams::new(2, net.dual.diameter());
+    let mut times = Vec::new();
+    for f_ack in [8u64, 80, 800] {
+        let report = run_fmmb(
+            &net.dual,
+            MacConfig::from_ticks(2, f_ack).enhanced(),
+            &assignment,
+            &params,
+            4,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        times.push(report.completion_ticks());
+    }
+    assert_eq!(times[0], times[1], "F_ack must not affect FMMB");
+    assert_eq!(times[1], times[2], "F_ack must not affect FMMB");
+}
+
+#[test]
+fn fmmb_succeeds_under_different_schedulers() {
+    let net = network(28, 21);
+    let mut rng = SimRng::seed(14);
+    let assignment = Assignment::random(28, 3, &mut rng);
+    let params = FmmbParams::new(3, net.dual.diameter());
+    let cfg = MacConfig::from_ticks(2, 24).enhanced();
+    for seed in [0u64, 1] {
+        let lazy = run_fmmb(&net.dual, cfg, &assignment, &params, seed, LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion());
+        assert!(lazy.completion.is_some() && lazy.mis_valid, "lazy({seed}): {lazy}");
+        let eager = run_fmmb(&net.dual, cfg, &assignment, &params, seed, EagerPolicy::new(),
+            &RunOptions::fast().stopping_on_completion());
+        assert!(eager.completion.is_some() && eager.mis_valid, "eager({seed}): {eager}");
+        let random = run_fmmb(&net.dual, cfg, &assignment, &params, seed, RandomPolicy::new(seed),
+            &RunOptions::fast().stopping_on_completion());
+        assert!(random.completion.is_some() && random.mis_valid, "random({seed}): {random}");
+    }
+}
+
+#[test]
+fn fmmb_handles_all_messages_at_one_node() {
+    let net = network(24, 33);
+    let k = 5;
+    let assignment = Assignment::all_at(amac::graph::NodeId::new(0), k);
+    let params = FmmbParams::new(k, net.dual.diameter());
+    let report = run_fmmb(
+        &net.dual,
+        MacConfig::from_ticks(2, 24).enhanced(),
+        &assignment,
+        &params,
+        6,
+        LazyPolicy::new(),
+        &RunOptions::fast().stopping_on_completion(),
+    );
+    assert!(report.completion.is_some(), "{report}");
+}
+
+#[test]
+fn fmmb_mis_size_bounded_by_packing() {
+    // The MIS of a unit disk graph in an area A has at most ~A/(pi/4)
+    // members (disjoint radius-1/2 disks); sanity-check the subroutine
+    // output against a generous version of that bound.
+    let n = 48;
+    let net = network(n, 17);
+    let side = (n as f64 / 2.0).sqrt();
+    let params = FmmbParams::new(1, net.dual.diameter());
+    let report = run_fmmb(
+        &net.dual,
+        MacConfig::from_ticks(2, 16).enhanced(),
+        &Assignment::all_at(amac::graph::NodeId::new(0), 1),
+        &params,
+        8,
+        EagerPolicy::new(),
+        &RunOptions::fast().stopping_on_completion(),
+    );
+    assert!(report.mis_valid);
+    let packing_cap = ((side + 1.0) * (side + 1.0)).ceil() as usize * 2;
+    assert!(
+        report.mis.len() <= packing_cap,
+        "MIS size {} exceeds packing cap {packing_cap}",
+        report.mis.len()
+    );
+}

@@ -1,0 +1,87 @@
+//! Integration: the Section 3.3 lower-bound constructions force their
+//! claimed delays against BMMB, and those delays scale with `F_ack` —
+//! establishing the `Θ((D+k)·F_ack)` cell of Figure 1 together with the
+//! upper-bound tests.
+
+use amac::core::RunOptions;
+use amac::lower::{run_choke_star, run_dual_line};
+use amac::mac::MacConfig;
+
+#[test]
+fn choke_star_ratio_approaches_one() {
+    let cfg = MacConfig::from_ticks(2, 64);
+    let mut last = 0.0;
+    for k in [4, 8, 16, 32] {
+        let r = run_choke_star(k, cfg, &RunOptions::default());
+        assert!(r.run.solved_and_valid(), "k={k}: {}", r.run);
+        assert!(r.ratio >= 0.6, "k={k}: ratio {:.2}", r.ratio);
+        last = r.ratio;
+    }
+    assert!(last >= 0.9, "ratio should approach 1 as k grows, got {last:.2}");
+}
+
+#[test]
+fn dual_line_ratio_approaches_one() {
+    let cfg = MacConfig::from_ticks(2, 64);
+    let mut last = 0.0;
+    for d in [4, 8, 16, 32] {
+        let r = run_dual_line(d, cfg, &RunOptions::default());
+        assert!(r.run.solved_and_valid(), "d={d}: {}", r.run);
+        assert!(r.ratio >= 0.5, "d={d}: ratio {:.2}", r.ratio);
+        last = r.ratio;
+    }
+    assert!(last >= 0.9, "ratio should approach 1 as D grows, got {last:.2}");
+}
+
+#[test]
+fn lower_bound_delay_scales_with_f_ack() {
+    // The forced delay is Θ(F_ack): quadrupling F_ack roughly quadruples
+    // the measured time on both constructions.
+    for (fast, slow) in [(16u64, 64u64), (32, 128)] {
+        let t_fast = run_dual_line(12, MacConfig::from_ticks(2, fast), &RunOptions::fast())
+            .completion_ticks;
+        let t_slow = run_dual_line(12, MacConfig::from_ticks(2, slow), &RunOptions::fast())
+            .completion_ticks;
+        let scale = t_slow as f64 / t_fast as f64;
+        assert!(
+            (2.5..=6.0).contains(&scale),
+            "4x F_ack should scale time ~4x, got {scale:.2}"
+        );
+
+        let s_fast = run_choke_star(8, MacConfig::from_ticks(2, fast), &RunOptions::fast())
+            .completion_ticks;
+        let s_slow = run_choke_star(8, MacConfig::from_ticks(2, slow), &RunOptions::fast())
+            .completion_ticks;
+        let scale = s_slow as f64 / s_fast as f64;
+        assert!(
+            (2.5..=6.0).contains(&scale),
+            "4x F_ack should scale star time ~4x, got {scale:.2}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_executions_are_model_valid() {
+    // The whole point: the adversary achieves the delay *within* the MAC
+    // layer guarantees. Validation must pass on every adversarial run.
+    let cfg = MacConfig::from_ticks(4, 48);
+    let star = run_choke_star(12, cfg, &RunOptions::default());
+    assert!(star.run.validation.as_ref().unwrap().is_ok());
+    let line = run_dual_line(10, cfg, &RunOptions::default());
+    assert!(line.run.validation.as_ref().unwrap().is_ok());
+}
+
+#[test]
+fn dual_line_beats_reliable_formula() {
+    // On the dual-line network the adversary pushes BMMB far beyond the
+    // G' = G formula D*F_prog + k*F_ack — the gap the paper highlights.
+    let cfg = MacConfig::from_ticks(2, 64);
+    let d = 16;
+    let r = run_dual_line(d, cfg, &RunOptions::fast());
+    let reliable_formula = (d as u64) * 2 + 2 * 64; // D*F_prog + k*F_ack, k=2
+    assert!(
+        r.completion_ticks > 3 * reliable_formula,
+        "adversary should far exceed the reliable-case formula: {} vs {reliable_formula}",
+        r.completion_ticks
+    );
+}

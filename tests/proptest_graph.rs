@@ -1,0 +1,168 @@
+//! Property-based tests for the graph substrate (proptest).
+
+use amac::graph::{algo, generators, DualGraph, Graph, GraphBuilder, NodeId};
+use amac::sim::SimRng;
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n)).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            // Spanning path keeps most instances connected and interesting.
+            for i in 0..n - 1 {
+                b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+            }
+            for (u, v) in pairs {
+                if u != v {
+                    let _ = b.try_add_edge_idx(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_over_edges(g in arb_graph()) {
+        // For every edge (u, v): |dist(s, u) - dist(s, v)| <= 1.
+        let s = NodeId::new(0);
+        let dist = algo::bfs_distances(&g, s);
+        for (u, v) in g.edges() {
+            let du = dist[u.index()];
+            let dv = dist[v.index()];
+            if du != algo::UNREACHABLE && dv != algo::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv, "edge endpoints share reachability");
+            }
+        }
+    }
+
+    #[test]
+    fn power_graphs_are_monotone_in_r(g in arb_graph()) {
+        let p1 = algo::power(&g, 1);
+        let p2 = algo::power(&g, 2);
+        let p3 = algo::power(&g, 3);
+        prop_assert!(p1.is_subgraph_of(&p2));
+        prop_assert!(p2.is_subgraph_of(&p3));
+        prop_assert_eq!(p1, g.clone());
+    }
+
+    #[test]
+    fn power_edges_match_bfs_distance(g in arb_graph(), r in 1usize..4) {
+        let pr = algo::power(&g, r);
+        for u in g.nodes() {
+            let dist = algo::bfs_distances(&g, u);
+            for v in g.nodes() {
+                if u < v {
+                    let within = dist[v.index()] != algo::UNREACHABLE && dist[v.index()] <= r;
+                    prop_assert_eq!(pr.has_edge(u, v), within);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_nodes(g in arb_graph()) {
+        let comps = algo::components(&g);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.len());
+        for (i, a) in comps.iter().enumerate() {
+            for b in comps.iter().skip(i + 1) {
+                prop_assert!(a.is_disjoint(b));
+            }
+        }
+    }
+
+    #[test]
+    fn r_restricted_augment_invariants(seed in 0u64..1000, r in 1usize..5, p in 0.0f64..1.0) {
+        let g = generators::line(20).unwrap();
+        let mut rng = SimRng::seed(seed);
+        let dual = generators::r_restricted_augment(g, r, p, &mut rng).unwrap();
+        // E ⊆ E' by construction (validated by DualGraph::new).
+        prop_assert!(dual.g().is_subgraph_of(dual.g_prime()));
+        prop_assert!(dual.check_r_restricted(r).is_ok());
+        if let Some(radius) = dual.restriction_radius() {
+            prop_assert!(radius <= r.max(1));
+        }
+    }
+
+    #[test]
+    fn grey_zone_samples_always_verify(seed in 0u64..500, n in 5usize..40, c in 1.0f64..3.0) {
+        let mut rng = SimRng::seed(seed);
+        let cfg = generators::GreyZoneConfig::new(n, 4.0)
+            .with_c(c)
+            .with_grey_edge_probability(0.5);
+        let net = generators::grey_zone_network(&cfg, &mut rng).unwrap();
+        prop_assert!(net.dual.check_grey_zone(&net.embedding, c).is_ok());
+        prop_assert!(net.dual.g().is_subgraph_of(net.dual.g_prime()));
+    }
+
+    #[test]
+    fn dual_graph_neighborhoods_are_consistent(g in arb_graph(), extra in 0usize..10) {
+        let dual = generators::arbitrary_augment(g, extra, &mut SimRng::seed(4)).unwrap();
+        for v in dual.g().nodes() {
+            let reliable = dual.reliable_neighbors(v);
+            let unreliable = dual.unreliable_neighbors(v);
+            let all = dual.all_neighbors(v);
+            prop_assert_eq!(reliable.len() + unreliable.len(), all.len());
+            for u in reliable {
+                prop_assert!(all.contains(u));
+                prop_assert!(!unreliable.contains(u));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_eccentricities(g in arb_graph()) {
+        let d = algo::diameter(&g);
+        for i in 0..g.len() {
+            prop_assert!(algo::eccentricity(&g, NodeId::new(i)) <= d);
+        }
+    }
+
+    #[test]
+    fn maximal_independent_greedy_validates(g in arb_graph()) {
+        // Greedy MIS is maximal-independent; our checker must agree.
+        let mut set = amac::graph::NodeSet::new(g.len());
+        for i in 0..g.len() {
+            let v = NodeId::new(i);
+            if g.neighbors(v).iter().all(|u| !set.contains(*u)) {
+                set.insert(v);
+            }
+        }
+        prop_assert!(algo::is_maximal_independent(&g, &set));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dual_line_structure_holds_for_all_d(d in 2usize..40) {
+        let net = generators::dual_line(d).unwrap();
+        prop_assert_eq!(net.dual.len(), 2 * d);
+        prop_assert_eq!(net.dual.g().edge_count(), 2 * (d - 1));
+        prop_assert_eq!(net.dual.unreliable_edge_count(), 2 * (d - 1));
+        prop_assert!(net.dual.check_grey_zone(&net.embedding, generators::DUAL_LINE_C).is_ok());
+        // The two lines are G-disconnected but G'-connected.
+        prop_assert_eq!(algo::components(net.dual.g()).len(), 2);
+        prop_assert!(algo::is_connected(net.dual.g_prime()));
+    }
+
+    #[test]
+    fn choke_star_hub_is_a_cut_vertex(k in 1usize..30) {
+        let (g, hub, receiver) = generators::choke_star(k).unwrap();
+        let dual = DualGraph::reliable(g);
+        // Every leaf reaches the receiver only through the hub.
+        let dist = algo::bfs_distances(dual.g(), receiver);
+        for i in 0..k.saturating_sub(1) {
+            prop_assert_eq!(dist[i], 2, "leaf {} is two hops from the receiver", i);
+        }
+        prop_assert_eq!(dist[hub.index()], 1);
+    }
+}

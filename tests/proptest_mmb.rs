@@ -1,0 +1,146 @@
+//! Property-based tests on the full stack: BMMB must solve MMB and
+//! validate against the MAC model on random dual graphs under random
+//! schedulers — the paper's correctness theorem (Theorem 3.4) plus model
+//! conformance, exercised over the instance space.
+
+use amac::core::{bounds, run_bmmb, Assignment, MessageId, RunOptions};
+use amac::graph::{generators, DualGraph, GraphBuilder, NodeId};
+use amac::mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
+use amac::mac::MacConfig;
+use amac::sim::SimRng;
+use proptest::prelude::*;
+
+/// Strategy: a connected random dual graph (spanning path + random extra
+/// reliable and unreliable edges).
+fn arb_dual() -> impl Strategy<Value = DualGraph> {
+    (3usize..24, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = SimRng::seed(seed);
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+        }
+        for _ in 0..n / 2 {
+            let u = rng.below(n as u64) as usize;
+            let v = rng.below(n as u64) as usize;
+            if u != v {
+                let _ = b.try_add_edge_idx(u, v);
+            }
+        }
+        let g = b.build();
+        generators::arbitrary_augment(g, (n / 2).max(1), &mut rng).unwrap()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = MacConfig> {
+    (1u64..6, 1u64..8).prop_map(|(fp, mult)| MacConfig::from_ticks(fp, fp * mult))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bmmb_solves_and_validates_on_random_instances(
+        dual in arb_dual(),
+        cfg in arb_config(),
+        k in 1usize..6,
+        policy_seed in 0u64..100,
+    ) {
+        let mut rng = SimRng::seed(policy_seed);
+        let assignment = Assignment::random(dual.len(), k, &mut rng);
+        let report = run_bmmb(
+            &dual,
+            cfg,
+            &assignment,
+            RandomPolicy::new(policy_seed),
+            &RunOptions::default(),
+        );
+        prop_assert!(report.solved_and_valid(), "{}", report);
+        // Theorem 3.4 part (b): exactly one deliver per (message, node in
+        // origin component); here G is connected so k * n deliveries.
+        prop_assert_eq!(report.deliveries, k * dual.len());
+    }
+
+    #[test]
+    fn bmmb_time_within_arbitrary_bound_on_random_instances(
+        dual in arb_dual(),
+        k in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let cfg = MacConfig::from_ticks(2, 32);
+        let mut rng = SimRng::seed(seed);
+        let assignment = Assignment::random(dual.len(), k, &mut rng);
+        let report = run_bmmb(
+            &dual,
+            cfg,
+            &assignment,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::fast(),
+        );
+        let bound = bounds::bmmb_arbitrary(dual.diameter().max(1), k, &cfg).ticks();
+        // Generous constant: Theorem 3.1 is asymptotic.
+        prop_assert!(
+            report.completion_ticks() <= 4 * bound,
+            "measured {} vs bound {bound}",
+            report.completion_ticks()
+        );
+    }
+
+    #[test]
+    fn eager_never_slower_than_lazy(
+        dual in arb_dual(),
+        k in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        let cfg = MacConfig::from_ticks(2, 24);
+        let mut rng = SimRng::seed(seed);
+        let assignment = Assignment::random(dual.len(), k, &mut rng);
+        let eager = run_bmmb(&dual, cfg, &assignment, EagerPolicy::new(), &RunOptions::fast());
+        let lazy = run_bmmb(
+            &dual,
+            cfg,
+            &assignment,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::fast(),
+        );
+        prop_assert!(eager.completion_ticks() <= lazy.completion_ticks());
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seeds(
+        dual in arb_dual(),
+        k in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        let cfg = MacConfig::from_ticks(2, 24);
+        let mut rng_a = SimRng::seed(seed);
+        let a1 = Assignment::random(dual.len(), k, &mut rng_a);
+        let mut rng_b = SimRng::seed(seed);
+        let a2 = Assignment::random(dual.len(), k, &mut rng_b);
+        prop_assert_eq!(&a1, &a2);
+        let r1 = run_bmmb(&dual, cfg, &a1, RandomPolicy::new(seed), &RunOptions::fast());
+        let r2 = run_bmmb(&dual, cfg, &a2, RandomPolicy::new(seed), &RunOptions::fast());
+        prop_assert_eq!(r1.completion_ticks(), r2.completion_ticks());
+        prop_assert_eq!(r1.instances, r2.instances);
+    }
+
+    #[test]
+    fn duplicate_arrivals_of_distinct_ids_all_delivered(
+        n in 3usize..15,
+        seed in 0u64..40,
+    ) {
+        // All k messages at the same node (maximum queue contention).
+        let dual = DualGraph::reliable(generators::line(n).unwrap());
+        let k = 4;
+        let assignment = Assignment::new(
+            (0..k as u64).map(|i| (NodeId::new(0), MessageId(i))),
+        );
+        let report = run_bmmb(
+            &dual,
+            MacConfig::from_ticks(2, 16),
+            &assignment,
+            RandomPolicy::new(seed),
+            &RunOptions::default(),
+        );
+        prop_assert!(report.solved_and_valid(), "{}", report);
+    }
+}
