@@ -69,11 +69,9 @@ fn bench_topology(c: &mut Criterion) {
     c.bench_function("grey_zone_sample_n100", |b| {
         let mut rng = SimRng::seed(7);
         b.iter(|| {
-            let net = generators::grey_zone_network(
-                &generators::GreyZoneConfig::new(100, 7.0),
-                &mut rng,
-            )
-            .unwrap();
+            let net =
+                generators::grey_zone_network(&generators::GreyZoneConfig::new(100, 7.0), &mut rng)
+                    .unwrap();
             black_box(net.dual.len())
         })
     });

@@ -1,35 +1,102 @@
 //! `repro` — regenerate every table and figure of the paper in one run.
 //!
 //! Prints each experiment's table to stdout (plain text) and, with
-//! `--markdown`, emits the EXPERIMENTS.md dataset instead.
+//! `--markdown`, emits the EXPERIMENTS.md dataset instead. With `--smoke`,
+//! runs every experiment at a tiny, seconds-scale parameterisation — the
+//! same code paths as the full run — so CI can verify that Figure 1
+//! regeneration still works without paying for the full sweeps.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p amac-bench --bin repro            # text tables
 //! cargo run --release -p amac-bench --bin repro -- --markdown > EXPERIMENTS.data.md
+//! cargo run --release -p amac-bench --bin repro -- --smoke  # CI fast path
 //! ```
 
 use amac_bench::experiments;
 
 fn main() {
-    let markdown = std::env::args().any(|a| a == "--markdown");
+    let mut markdown = false;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--markdown" => markdown = true,
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: repro [--markdown] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
     let mut tables = Vec::new();
 
-    eprintln!("[1/7] F1-GG    standard model, G' = G ...");
-    tables.push(experiments::fig1_gg::run_default().table);
-    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ...");
-    tables.push(experiments::fig1_r_restricted::run_default().table);
-    eprintln!("[3/7] F1-ARB   standard model, arbitrary G' ...");
-    tables.push(experiments::fig1_arbitrary::run_default().table);
-    eprintln!("[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ...");
-    tables.push(experiments::lower_bounds::run_default().table);
-    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ...");
-    tables.push(experiments::fig1_fmmb::run_default().table);
-    eprintln!("[6/7] SUB-*    FMMB subroutines ...");
-    tables.push(experiments::subroutines::run_default().table);
-    eprintln!("[7/7] ABL      abort-interface ablation ...");
-    tables.push(experiments::ablation_abort::run_default().table);
+    eprintln!("[1/7] F1-GG    standard model, G' = G ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::fig1_gg::run_smoke,
+            experiments::fig1_gg::run_default,
+        )
+        .table,
+    );
+    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::fig1_r_restricted::run_smoke,
+            experiments::fig1_r_restricted::run_default,
+        )
+        .table,
+    );
+    eprintln!("[3/7] F1-ARB   standard model, arbitrary G' ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::fig1_arbitrary::run_smoke,
+            experiments::fig1_arbitrary::run_default,
+        )
+        .table,
+    );
+    eprintln!("[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::lower_bounds::run_smoke,
+            experiments::lower_bounds::run_default,
+        )
+        .table,
+    );
+    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::fig1_fmmb::run_smoke,
+            experiments::fig1_fmmb::run_default,
+        )
+        .table,
+    );
+    eprintln!("[6/7] SUB-*    FMMB subroutines ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::subroutines::run_smoke,
+            experiments::subroutines::run_default,
+        )
+        .table,
+    );
+    eprintln!("[7/7] ABL      abort-interface ablation ({mode}) ...");
+    tables.push(
+        pick(
+            smoke,
+            experiments::ablation_abort::run_smoke,
+            experiments::ablation_abort::run_default,
+        )
+        .table,
+    );
 
     for t in &tables {
         if markdown {
@@ -38,5 +105,13 @@ fn main() {
             println!("{t}");
         }
     }
-    eprintln!("done: {} tables", tables.len());
+    eprintln!("done: {} tables ({mode})", tables.len());
+}
+
+fn pick<R>(smoke: bool, fast: impl FnOnce() -> R, full: impl FnOnce() -> R) -> R {
+    if smoke {
+        fast()
+    } else {
+        full()
+    }
 }

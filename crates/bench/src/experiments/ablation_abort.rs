@@ -46,7 +46,14 @@ pub struct AblationAbort {
 }
 
 /// Runs the ablation on one grey-zone network.
-pub fn run(f_prog: u64, f_acks: &[u64], n: usize, density: f64, k: usize, seed: u64) -> AblationAbort {
+pub fn run(
+    f_prog: u64,
+    f_acks: &[u64],
+    n: usize,
+    density: f64,
+    k: usize,
+    seed: u64,
+) -> AblationAbort {
     let mut rng = SimRng::seed(seed);
     let side = (n as f64 / density).sqrt();
     let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
@@ -83,7 +90,9 @@ pub fn run(f_prog: u64, f_acks: &[u64], n: usize, density: f64, k: usize, seed: 
     }
 
     let mut table = Table::new(
-        format!("ABL-ABORT  FMMB with vs without the abort interface (n={n}, k={k}, F_prog={f_prog})"),
+        format!(
+            "ABL-ABORT  FMMB with vs without the abort interface (n={n}, k={k}, F_prog={f_prog})"
+        ),
         &["F_ack", "with abort", "without abort", "slowdown"],
     );
     for p in &points {
@@ -106,6 +115,12 @@ pub fn run(f_prog: u64, f_acks: &[u64], n: usize, density: f64, k: usize, seed: 
 /// Default parameterisation used by `cargo bench` and the `repro` binary.
 pub fn run_default() -> AblationAbort {
     run(2, &[8, 32, 128, 512], 32, 2.0, 3, 6)
+}
+
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> AblationAbort {
+    run(2, &[8, 32], 12, 2.0, 2, 6)
 }
 
 #[cfg(test)]

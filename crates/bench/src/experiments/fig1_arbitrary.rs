@@ -105,7 +105,10 @@ pub fn run(
     //  * the crafted Figure 2 adversary (amac-lower): Θ(F_ack) per hop —
     //    the structure that actually attains the Θ((D+k)·F_ack) regime.
     let arbitrary_d_slope = crate::fit::linear_fit(
-        &d_sweep.iter().map(SweepPoint::as_param_point).collect::<Vec<_>>(),
+        &d_sweep
+            .iter()
+            .map(SweepPoint::as_param_point)
+            .collect::<Vec<_>>(),
     )
     .slope;
     let reliable_d_slope = {
@@ -188,6 +191,12 @@ pub fn run_default() -> Fig1Arbitrary {
     run(config, &[8, 16, 32, 64], 4, &[1, 2, 4, 8, 16], 24, 0.5)
 }
 
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> Fig1Arbitrary {
+    run(MacConfig::from_ticks(2, 32), &[4, 8], 2, &[1, 2], 6, 0.5)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +215,14 @@ mod tests {
     fn long_range_unreliability_slows_the_pipeline() {
         // With k >= 2 the adversary can feed old messages over shortcuts,
         // degrading the per-hop slope from Θ(F_prog) toward Θ(F_ack).
-        let res = run(MacConfig::from_ticks(2, 64), &[16, 32, 48], 4, &[4], 24, 0.5);
+        let res = run(
+            MacConfig::from_ticks(2, 64),
+            &[16, 32, 48],
+            4,
+            &[4],
+            24,
+            0.5,
+        );
         assert!(
             res.adversarial_d_slope > 2.0 * res.reliable_d_slope,
             "the Fig 2 adversary should slow the per-hop slope well past F_prog: {:.1} vs {:.1}",

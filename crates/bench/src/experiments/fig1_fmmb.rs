@@ -105,12 +105,9 @@ pub fn run(
     let mut size_sweep = Vec::new();
     for &n in ns {
         let side = (n as f64 / density).sqrt();
-        let net = connected_grey_zone_network(
-            &GreyZoneConfig::new(n, side).with_c(2.0),
-            500,
-            &mut rng,
-        )
-        .expect("connected sample");
+        let net =
+            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+                .expect("connected sample");
         let assignment = Assignment::random(n, k, &mut rng);
         let d = net.dual.diameter();
         let params = FmmbParams::new(k, d);
@@ -182,6 +179,12 @@ pub fn run(
 /// Default parameterisation used by `cargo bench` and the `repro` binary.
 pub fn run_default() -> Fig1Fmmb {
     run(2, &[8, 64, 512, 4096, 16384], 48, &[24, 48, 96], 2.0, 4, 5)
+}
+
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> Fig1Fmmb {
+    run(2, &[8, 32], 12, &[12, 16], 2.0, 2, 5)
 }
 
 #[cfg(test)]

@@ -53,7 +53,13 @@ fn measure(d: usize, k: usize, config: MacConfig) -> SweepPoint {
 }
 
 /// Runs the experiment with explicit sweep lists.
-pub fn run(config: MacConfig, ds: &[usize], fixed_k: usize, ks: &[usize], fixed_d: usize) -> Fig1Gg {
+pub fn run(
+    config: MacConfig,
+    ds: &[usize],
+    fixed_k: usize,
+    ks: &[usize],
+    fixed_d: usize,
+) -> Fig1Gg {
     let d_sweep: Vec<SweepPoint> = ds.iter().map(|&d| measure(d, fixed_k, config)).collect();
     let k_sweep: Vec<SweepPoint> = ks
         .iter()
@@ -64,8 +70,18 @@ pub fn run(config: MacConfig, ds: &[usize], fixed_k: usize, ks: &[usize], fixed_
         })
         .collect();
 
-    let d_fit = linear_fit(&d_sweep.iter().map(SweepPoint::as_param_point).collect::<Vec<_>>());
-    let k_fit = linear_fit(&k_sweep.iter().map(SweepPoint::as_param_point).collect::<Vec<_>>());
+    let d_fit = linear_fit(
+        &d_sweep
+            .iter()
+            .map(SweepPoint::as_param_point)
+            .collect::<Vec<_>>(),
+    );
+    let k_fit = linear_fit(
+        &k_sweep
+            .iter()
+            .map(SweepPoint::as_param_point)
+            .collect::<Vec<_>>(),
+    );
     let bound_fit = proportional_fit(
         &d_sweep
             .iter()
@@ -75,9 +91,7 @@ pub fn run(config: MacConfig, ds: &[usize], fixed_k: usize, ks: &[usize], fixed_
     );
 
     let mut table = Table::new(
-        format!(
-            "F1-GG  BMMB, G'=G (line, lazy+dup scheduler, {config})"
-        ),
+        format!("F1-GG  BMMB, G'=G (line, lazy+dup scheduler, {config})"),
         &["sweep", "value", "measured", "D*Fp + k*Fa", "ratio"],
     );
     for p in &d_sweep {
@@ -126,6 +140,12 @@ pub fn run_default() -> Fig1Gg {
     run(config, &[8, 16, 32, 64, 96], 4, &[1, 2, 4, 8, 16], 24)
 }
 
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> Fig1Gg {
+    run(MacConfig::from_ticks(2, 32), &[4, 8], 2, &[1, 2], 6)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,7 +161,11 @@ mod tests {
             res.d_fit.slope
         );
         assert!(res.d_fit.slope >= 1.0);
-        assert!(res.d_fit.r2 > 0.9, "scaling should be clean, r2 = {:.3}", res.d_fit.r2);
+        assert!(
+            res.d_fit.r2 > 0.9,
+            "scaling should be clean, r2 = {:.3}",
+            res.d_fit.r2
+        );
     }
 
     #[test]

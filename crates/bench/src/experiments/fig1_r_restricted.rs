@@ -69,7 +69,13 @@ pub fn run(
 
     let mut table = Table::new(
         format!("F1-RR  BMMB, r-restricted G' (line D={d}, k={k}, {config})"),
-        &["r", "measured", "exact t1 (Thm 3.16)", "ratio", "O-form D*Fp+r*k*Fa"],
+        &[
+            "r",
+            "measured",
+            "exact t1 (Thm 3.16)",
+            "ratio",
+            "O-form D*Fp+r*k*Fa",
+        ],
     );
     for p in &r_sweep {
         table.row([
@@ -98,7 +104,20 @@ pub fn run(
 
 /// Default parameterisation used by `cargo bench` and the `repro` binary.
 pub fn run_default() -> Fig1RRestricted {
-    run(MacConfig::from_ticks(2, 64), 32, 4, &[1, 2, 4, 8, 16], 0.5, 11)
+    run(
+        MacConfig::from_ticks(2, 64),
+        32,
+        4,
+        &[1, 2, 4, 8, 16],
+        0.5,
+        11,
+    )
+}
+
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> Fig1RRestricted {
+    run(MacConfig::from_ticks(2, 32), 8, 2, &[1, 2], 0.5, 11)
 }
 
 #[cfg(test)]

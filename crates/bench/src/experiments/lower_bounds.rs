@@ -95,7 +95,17 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize]) -> LowerBounds {
 
 /// Default parameterisation used by `cargo bench` and the `repro` binary.
 pub fn run_default() -> LowerBounds {
-    run(MacConfig::from_ticks(2, 64), &[4, 8, 16, 32], &[4, 8, 16, 32])
+    run(
+        MacConfig::from_ticks(2, 64),
+        &[4, 8, 16, 32],
+        &[4, 8, 16, 32],
+    )
+}
+
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> LowerBounds {
+    run(MacConfig::from_ticks(2, 32), &[2, 4], &[2, 4])
 }
 
 #[cfg(test)]
@@ -105,8 +115,16 @@ mod tests {
     #[test]
     fn ratios_bounded_below_by_constant() {
         let res = run(MacConfig::from_ticks(2, 48), &[4, 16], &[4, 12]);
-        assert!(res.star_min_ratio >= 0.6, "star ratio {:.2}", res.star_min_ratio);
-        assert!(res.line_min_ratio >= 0.5, "line ratio {:.2}", res.line_min_ratio);
+        assert!(
+            res.star_min_ratio >= 0.6,
+            "star ratio {:.2}",
+            res.star_min_ratio
+        );
+        assert!(
+            res.line_min_ratio >= 0.5,
+            "line ratio {:.2}",
+            res.line_min_ratio
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use crate::table::Table;
 use amac_core::{Assignment, Delivered, Fmmb, FmmbParams, MessageId, MisStatus};
-use amac_graph::{algo, DualGraph, NodeId, NodeSet};
 use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_graph::{algo, DualGraph, NodeId, NodeSet};
 use amac_mac::{MacConfig, Policy, Runtime};
 use amac_sim::{SimRng, Time};
 use std::collections::HashSet;
@@ -50,7 +50,13 @@ pub fn run_instrumented<P: Policy>(
     let round_ticks = config.f_prog().ticks() + 2;
     let root = SimRng::seed(seed);
     let nodes: Vec<Fmmb> = (0..n)
-        .map(|i| Fmmb::new(schedule.clone(), params.activation_probability, root.split(i as u64)))
+        .map(|i| {
+            Fmmb::new(
+                schedule.clone(),
+                params.activation_probability,
+                root.split(i as u64),
+            )
+        })
         .collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy).without_trace();
     for (node, msg) in assignment.arrivals() {
@@ -76,8 +82,8 @@ pub fn run_instrumented<P: Policy>(
             tracker.record(rec.time, rec.node, id);
         }
         if milestones.all_decided_round.is_none() {
-            let decided = (0..n)
-                .all(|i| rt.node(NodeId::new(i)).mis_status() != MisStatus::Undecided);
+            let decided =
+                (0..n).all(|i| rt.node(NodeId::new(i)).mis_status() != MisStatus::Undecided);
             if decided {
                 milestones.all_decided_round = Some(round);
             }
@@ -151,8 +157,9 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
     let mut mis = Vec::new();
     for &n in ns {
         let side = (n as f64 / density).sqrt();
-        let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-            .expect("connected sample");
+        let net =
+            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+                .expect("connected sample");
         let params = FmmbParams::new(1, net.dual.diameter());
         let assignment = Assignment::all_at(NodeId::new(0), 1);
         let mut decided_sum = 0.0;
@@ -213,8 +220,9 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
     let mut spread = Vec::new();
     for &n in ns {
         let side = (n as f64 / density).sqrt();
-        let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-            .expect("connected sample");
+        let net =
+            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+                .expect("connected sample");
         let d = net.dual.diameter();
         let params = FmmbParams::new(k_fixed, d);
         let assignment = Assignment::random(n, k_fixed, &mut rng);
@@ -244,7 +252,11 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
             format!("n={}", p.n),
             format!("{:.0}", p.decided_rounds),
             format!("log^3 n = {}", p.log_cubed),
-            format!("segment {}, valid {:.0}%", p.segment_rounds, p.validity_rate * 100.0),
+            format!(
+                "segment {}, valid {:.0}%",
+                p.segment_rounds,
+                p.validity_rate * 100.0
+            ),
         ]);
     }
     for (k, used, bound) in &gather {
@@ -278,6 +290,12 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
 /// Default parameterisation used by `cargo bench` and the `repro` binary.
 pub fn run_default() -> Subroutines {
     run(2, &[16, 32, 64], &[2, 4, 8], 2.0, &[1, 2, 3])
+}
+
+/// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
+/// same code paths as [`run_default`], tiny sweeps.
+pub fn run_smoke() -> Subroutines {
+    run(2, &[8, 12], &[1, 2], 2.0, &[1])
 }
 
 #[cfg(test)]

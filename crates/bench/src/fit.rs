@@ -49,8 +49,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot > 1e-12 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    LinearFit { slope, intercept, r2 }
+    let r2 = if ss_tot > 1e-12 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// A proportional least-squares fit `y ≈ ratio·x` (through the origin).

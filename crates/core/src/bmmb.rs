@@ -195,7 +195,13 @@ mod tests {
         let cfg = MacConfig::from_ticks(2, 24);
         let nodes = (0..4).map(|_| Bmmb::new()).collect();
         let mut rt = Runtime::new(dual, cfg, nodes, policies::EagerPolicy::new());
-        rt.inject(NodeId::new(0), MmbMessage { id: MessageId(0), origin: NodeId::new(0) });
+        rt.inject(
+            NodeId::new(0),
+            MmbMessage {
+                id: MessageId(0),
+                origin: NodeId::new(0),
+            },
+        );
         rt.run();
         assert!(rt.node(NodeId::new(1)).has_received(MessageId(0)));
         assert!(!rt.node(NodeId::new(2)).has_received(MessageId(0)));
@@ -213,7 +219,13 @@ mod tests {
             nodes,
             policies::EagerPolicy::new().with_unreliable(1.0, 5),
         );
-        rt.inject(NodeId::new(0), MmbMessage { id: MessageId(0), origin: NodeId::new(0) });
+        rt.inject(
+            NodeId::new(0),
+            MmbMessage {
+                id: MessageId(0),
+                origin: NodeId::new(0),
+            },
+        );
         rt.run();
         assert_eq!(rt.outputs().len(), 10);
         let report = validate(rt.trace().unwrap(), &dual, rt.config(), true);

@@ -187,7 +187,13 @@ impl Fmmb {
                     self.temp_inactive = false;
                 }
                 if self.elect_active() && (self.elect_bits >> round_in) & 1 == 1 {
-                    self.try_bcast(FmmbPacket::Elect { bits: self.elect_bits, from: me }, ctx);
+                    self.try_bcast(
+                        FmmbPacket::Elect {
+                            bits: self.elect_bits,
+                            from: me,
+                        },
+                        ctx,
+                    );
                 }
             }
             Segment::MisAnnounce { .. } => {
@@ -223,7 +229,9 @@ impl Fmmb {
                     }
                 }
             }
-            Segment::Spread { period, round_in, .. } => {
+            Segment::Spread {
+                period, round_in, ..
+            } => {
                 if !self.mis_finalized {
                     self.finalize_mis();
                 }
@@ -344,7 +352,9 @@ impl Fmmb {
                     self.pending_ack = None;
                 }
             },
-            Segment::Spread { period, round_in, .. } => {
+            Segment::Spread {
+                period, round_in, ..
+            } => {
                 // Relay rule: the first spread message received this round
                 // is rebroadcast next round, within the period. We relay on
                 // receipt over G' links too: the adversarial scheduler may

@@ -117,19 +117,34 @@ mod tests {
     #[test]
     fn embedded_message_extraction() {
         assert_eq!(
-            FmmbPacket::Spread { msg: msg(3), from: NodeId::new(1) }.mmb_message(),
+            FmmbPacket::Spread {
+                msg: msg(3),
+                from: NodeId::new(1)
+            }
+            .mmb_message(),
             Some(msg(3))
         );
         assert_eq!(
-            FmmbPacket::GatherMsg { msg: msg(4), from: NodeId::new(1) }.mmb_message(),
+            FmmbPacket::GatherMsg {
+                msg: msg(4),
+                from: NodeId::new(1)
+            }
+            .mmb_message(),
             Some(msg(4))
         );
         assert_eq!(
-            FmmbPacket::Elect { bits: 5, from: NodeId::new(1) }.mmb_message(),
+            FmmbPacket::Elect {
+                bits: 5,
+                from: NodeId::new(1)
+            }
+            .mmb_message(),
             None
         );
         assert_eq!(
-            FmmbPacket::MisAnnounce { from: NodeId::new(2) }.mmb_message(),
+            FmmbPacket::MisAnnounce {
+                from: NodeId::new(2)
+            }
+            .mmb_message(),
             None
         );
     }
@@ -141,9 +156,18 @@ mod tests {
             FmmbPacket::Elect { bits: 0, from: v },
             FmmbPacket::MisAnnounce { from: v },
             FmmbPacket::GatherActive { from: v },
-            FmmbPacket::GatherMsg { msg: msg(1), from: v },
-            FmmbPacket::GatherAck { msg: msg(1), from: v },
-            FmmbPacket::Spread { msg: msg(1), from: v },
+            FmmbPacket::GatherMsg {
+                msg: msg(1),
+                from: v,
+            },
+            FmmbPacket::GatherAck {
+                msg: msg(1),
+                from: v,
+            },
+            FmmbPacket::Spread {
+                msg: msg(1),
+                from: v,
+            },
         ] {
             assert_eq!(p.from(), v);
         }
@@ -151,13 +175,29 @@ mod tests {
 
     #[test]
     fn keys_distinguish_variants_and_payloads() {
-        let a = FmmbPacket::GatherMsg { msg: msg(1), from: NodeId::new(0) }.key();
-        let b = FmmbPacket::GatherAck { msg: msg(1), from: NodeId::new(0) }.key();
-        let c = FmmbPacket::GatherMsg { msg: msg(2), from: NodeId::new(0) }.key();
+        let a = FmmbPacket::GatherMsg {
+            msg: msg(1),
+            from: NodeId::new(0),
+        }
+        .key();
+        let b = FmmbPacket::GatherAck {
+            msg: msg(1),
+            from: NodeId::new(0),
+        }
+        .key();
+        let c = FmmbPacket::GatherMsg {
+            msg: msg(2),
+            from: NodeId::new(0),
+        }
+        .key();
         assert_ne!(a, b);
         assert_ne!(a, c);
         // Same content, same key (so duplicates are recognisable).
-        let a2 = FmmbPacket::GatherMsg { msg: msg(1), from: NodeId::new(0) }.key();
+        let a2 = FmmbPacket::GatherMsg {
+            msg: msg(1),
+            from: NodeId::new(0),
+        }
+        .key();
         assert_eq!(a, a2);
     }
 }

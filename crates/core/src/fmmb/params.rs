@@ -112,9 +112,8 @@ impl FmmbParams {
         let election_rounds = (self.election_factor * lg).clamp(1, 126);
         let announce_rounds = (self.announce_factor * lg).max(1);
         let mis_phases = ((self.mis_phase_factor * (lg * lg) as f64).ceil() as u64).max(1);
-        let gather_periods = ((self.gather_factor * (self.k_hint as f64 + lg as f64)).ceil()
-            as u64)
-            .max(1);
+        let gather_periods =
+            ((self.gather_factor * (self.k_hint as f64 + lg as f64)).ceil() as u64).max(1);
         let lb_periods = ((self.lb_factor * lg as f64).ceil() as u64).max(1);
         let spread_phases = (self.d_hint + self.k_hint) as u64 + self.spread_slack;
         Schedule {
@@ -266,7 +265,13 @@ mod tests {
         );
         assert_eq!(sched.segment(total), Segment::Done);
         assert_ne!(sched.segment(total - 1), Segment::Done);
-        assert!(matches!(sched.segment(0), Segment::MisElection { phase: 0, round_in: 0 }));
+        assert!(matches!(
+            sched.segment(0),
+            Segment::MisElection {
+                phase: 0,
+                round_in: 0
+            }
+        ));
     }
 
     #[test]
@@ -280,17 +285,27 @@ mod tests {
         ));
         assert!(matches!(
             sched.segment(e),
-            Segment::MisAnnounce { phase: 0, round_in: 0 }
+            Segment::MisAnnounce {
+                phase: 0,
+                round_in: 0
+            }
         ));
         // First gather round right after the MIS segment.
         assert!(matches!(
             sched.segment(sched.mis_rounds()),
-            Segment::Gather { period: 0, round_in: 0 }
+            Segment::Gather {
+                period: 0,
+                round_in: 0
+            }
         ));
         // First spread round right after gather.
         assert!(matches!(
             sched.segment(sched.mis_rounds() + sched.gather_rounds()),
-            Segment::Spread { phase: 0, period: 0, round_in: 0 }
+            Segment::Spread {
+                phase: 0,
+                period: 0,
+                round_in: 0
+            }
         ));
     }
 
@@ -299,11 +314,19 @@ mod tests {
         let sched = FmmbParams::new(1, 2).schedule(8);
         let base = sched.mis_rounds() + sched.gather_rounds();
         match sched.segment(base + 3) {
-            Segment::Spread { phase: 0, period: 1, round_in: 0 } => {}
+            Segment::Spread {
+                phase: 0,
+                period: 1,
+                round_in: 0,
+            } => {}
             s => panic!("unexpected segment {s:?}"),
         }
         match sched.segment(base + sched.spread_phase_rounds()) {
-            Segment::Spread { phase: 1, period: 0, round_in: 0 } => {}
+            Segment::Spread {
+                phase: 1,
+                period: 0,
+                round_in: 0,
+            } => {}
             s => panic!("unexpected segment {s:?}"),
         }
     }

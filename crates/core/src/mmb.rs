@@ -212,10 +212,16 @@ mod tests {
 
         let s = Assignment::singleton([NodeId::new(0), NodeId::new(3)]);
         assert_eq!(s.k(), 2);
-        assert_eq!(s.arrivals()[1], (NodeId::new(3), MmbMessage {
-            id: MessageId(1),
-            origin: NodeId::new(3),
-        }));
+        assert_eq!(
+            s.arrivals()[1],
+            (
+                NodeId::new(3),
+                MmbMessage {
+                    id: MessageId(1),
+                    origin: NodeId::new(3),
+                }
+            )
+        );
 
         let mut rng = SimRng::seed(1);
         let r = Assignment::random(10, 5, &mut rng);
@@ -225,7 +231,10 @@ mod tests {
 
     #[test]
     fn message_key_is_id() {
-        let m = MmbMessage { id: MessageId(9), origin: NodeId::new(0) };
+        let m = MmbMessage {
+            id: MessageId(9),
+            origin: NodeId::new(0),
+        };
         assert_eq!(m.key(), MessageKey(9));
     }
 

@@ -110,7 +110,7 @@ pub fn component_of(g: &Graph, v: NodeId) -> NodeSet {
 
 /// Returns `true` if `g` is connected (the empty graph counts as connected).
 pub fn is_connected(g: &Graph) -> bool {
-    g.len() == 0 || component_of(g, NodeId::new(0)).len() == g.len()
+    g.is_empty() || component_of(g, NodeId::new(0)).len() == g.len()
 }
 
 /// The `r`-th power `Gʳ` of `g`: nodes `u ≠ v` are adjacent iff their hop
@@ -197,9 +197,8 @@ pub fn is_maximal_independent(g: &Graph, set: &NodeSet) -> bool {
     if !is_independent(g, set) {
         return false;
     }
-    g.nodes().all(|v| {
-        set.contains(v) || g.neighbors(v).iter().any(|u| set.contains(*u))
-    })
+    g.nodes()
+        .all(|v| set.contains(v) || g.neighbors(v).iter().any(|u| set.contains(*u)))
 }
 
 /// BFS distance from `v` to the nearest member of `targets`

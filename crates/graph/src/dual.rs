@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn node_count_mismatch_rejected() {
         let err = DualGraph::new(path(4), path(5)).unwrap_err();
-        assert!(matches!(err, GraphError::NodeCountMismatch { g: 4, g_prime: 5 }));
+        assert!(matches!(
+            err,
+            GraphError::NodeCountMismatch { g: 4, g_prime: 5 }
+        ));
     }
 
     fn path_plus(n: usize, extra: &[(usize, usize)]) -> DualGraph {
@@ -272,7 +275,14 @@ mod tests {
         let d = path_plus(6, &[(0, 2), (1, 4)]);
         assert!(d.check_r_restricted(3).is_ok());
         let err = d.check_r_restricted(2).unwrap_err();
-        assert!(matches!(err, GraphError::NotRRestricted { r: 2, edge: (1, 4), distance: 3 }));
+        assert!(matches!(
+            err,
+            GraphError::NotRRestricted {
+                r: 2,
+                edge: (1, 4),
+                distance: 3
+            }
+        ));
         assert_eq!(d.restriction_radius(), Some(3));
     }
 

@@ -98,9 +98,17 @@ mod tests {
             GraphError::SelfLoop { node: 2 },
             GraphError::NotSupergraph { missing: (0, 1) },
             GraphError::NodeCountMismatch { g: 3, g_prime: 4 },
-            GraphError::NotRRestricted { r: 2, edge: (0, 5), distance: 5 },
-            GraphError::NotGreyZone { reason: "too long".into() },
-            GraphError::InvalidParameter { reason: "n must be positive".into() },
+            GraphError::NotRRestricted {
+                r: 2,
+                edge: (0, 5),
+                distance: 5,
+            },
+            GraphError::NotGreyZone {
+                reason: "too long".into(),
+            },
+            GraphError::InvalidParameter {
+                reason: "n must be positive".into(),
+            },
         ];
         for e in errors {
             let s = e.to_string();

@@ -61,8 +61,7 @@ pub fn r_restricted_augment<R: Rng + ?Sized>(
     for i in 0..g.len() {
         let v = NodeId::new(i);
         let dist = algo::bfs_distances(&g, v);
-        for j in (i + 1)..g.len() {
-            let d = dist[j];
+        for (j, &d) in dist.iter().enumerate().skip(i + 1) {
             if d >= 2 && d <= r && rng.gen_bool(p) {
                 b.try_add_edge_idx(i, j)?;
             }
@@ -127,8 +126,7 @@ pub fn long_range_augment(g: Graph, count: usize) -> Result<DualGraph, GraphErro
     let mut scored: Vec<(usize, usize, usize)> = Vec::new(); // (distance, i, j)
     for i in 0..g.len() {
         let dist = algo::bfs_distances(&g, NodeId::new(i));
-        for j in (i + 1)..g.len() {
-            let d = dist[j];
+        for (j, &d) in dist.iter().enumerate().skip(i + 1) {
             if d != algo::UNREACHABLE && d >= 2 {
                 scored.push((d, i, j));
             }

@@ -116,7 +116,12 @@ pub fn grey_zone_network<R: Rng + ?Sized>(
     }
 
     let positions: Vec<Point> = (0..config.n)
-        .map(|_| Point::new(rng.gen::<f64>() * config.side, rng.gen::<f64>() * config.side))
+        .map(|_| {
+            Point::new(
+                rng.gen::<f64>() * config.side,
+                rng.gen::<f64>() * config.side,
+            )
+        })
         .collect();
     let embedding = Embedding::new(positions);
     let g = embedding.unit_disk_graph(1.0);
@@ -187,7 +192,9 @@ pub fn embedded_line(n: usize, spacing: f64) -> Result<(Embedding, DualGraph), G
         });
     }
     let embedding = Embedding::new(
-        (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect(),
+        (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect(),
     );
     let g = embedding.unit_disk_graph(1.0);
     let dual = DualGraph::reliable(g);
@@ -203,7 +210,9 @@ mod tests {
     #[test]
     fn generated_network_satisfies_grey_zone() {
         let mut rng = StdRng::seed_from_u64(42);
-        let cfg = GreyZoneConfig::new(60, 5.0).with_c(2.5).with_grey_edge_probability(0.7);
+        let cfg = GreyZoneConfig::new(60, 5.0)
+            .with_c(2.5)
+            .with_grey_edge_probability(0.7);
         let net = grey_zone_network(&cfg, &mut rng).unwrap();
         net.dual.check_grey_zone(&net.embedding, net.c).unwrap();
         assert_eq!(net.dual.len(), 60);
@@ -220,7 +229,9 @@ mod tests {
     #[test]
     fn full_probability_includes_every_grey_pair() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = GreyZoneConfig::new(30, 3.0).with_c(2.0).with_grey_edge_probability(1.0);
+        let cfg = GreyZoneConfig::new(30, 3.0)
+            .with_c(2.0)
+            .with_grey_edge_probability(1.0);
         let net = grey_zone_network(&cfg, &mut rng).unwrap();
         // Every pair at distance in (1, c] must be a G' edge.
         for i in 0..30 {

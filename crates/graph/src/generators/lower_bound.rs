@@ -46,7 +46,11 @@ impl DualLineNetwork {
     ///
     /// Panics if `i` is out of `1..=D`.
     pub fn a(&self, i: usize) -> NodeId {
-        assert!((1..=self.d).contains(&i), "a_{i} out of range 1..={}", self.d);
+        assert!(
+            (1..=self.d).contains(&i),
+            "a_{i} out of range 1..={}",
+            self.d
+        );
         NodeId::new(i - 1)
     }
 
@@ -56,7 +60,11 @@ impl DualLineNetwork {
     ///
     /// Panics if `i` is out of `1..=D`.
     pub fn b(&self, i: usize) -> NodeId {
-        assert!((1..=self.d).contains(&i), "b_{i} out of range 1..={}", self.d);
+        assert!(
+            (1..=self.d).contains(&i),
+            "b_{i} out of range 1..={}",
+            self.d
+        );
         NodeId::new(self.d + i - 1)
     }
 
@@ -163,7 +171,9 @@ mod tests {
     #[test]
     fn grey_zone_witness_verifies() {
         let net = dual_line(12).unwrap();
-        net.dual.check_grey_zone(&net.embedding, DUAL_LINE_C).unwrap();
+        net.dual
+            .check_grey_zone(&net.embedding, DUAL_LINE_C)
+            .unwrap();
     }
 
     #[test]

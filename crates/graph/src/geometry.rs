@@ -138,12 +138,7 @@ impl Embedding {
     ///
     /// Returns [`GraphError::NotGreyZone`] describing the first violated
     /// clause, or [`GraphError::NodeCountMismatch`] if sizes disagree.
-    pub fn check_grey_zone(
-        &self,
-        g: &Graph,
-        g_prime: &Graph,
-        c: f64,
-    ) -> Result<(), GraphError> {
+    pub fn check_grey_zone(&self, g: &Graph, g_prime: &Graph, c: f64) -> Result<(), GraphError> {
         if g.len() != self.len() || g_prime.len() != self.len() {
             return Err(GraphError::NodeCountMismatch {
                 g: g.len(),
@@ -201,7 +196,11 @@ mod tests {
     use super::*;
 
     fn line_embedding(n: usize, spacing: f64) -> Embedding {
-        Embedding::new((0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect())
+        Embedding::new(
+            (0..n)
+                .map(|i| Point::new(i as f64 * spacing, 0.0))
+                .collect(),
+        )
     }
 
     #[test]

@@ -116,7 +116,11 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        assert!(v.index() < self.len(), "node {v} out of range (n = {})", self.len());
+        assert!(
+            v.index() < self.len(),
+            "node {v} out of range (n = {})",
+            self.len()
+        );
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
@@ -221,7 +225,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Returns the node count the builder was created with.

@@ -134,7 +134,11 @@ impl NodeSet {
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
@@ -145,7 +149,11 @@ impl NodeSet {
     /// Panics if `node.index() >= self.capacity()`.
     pub fn insert(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         if *w & bit == 0 {
@@ -164,7 +172,11 @@ impl NodeSet {
     /// Panics if `node.index() >= self.capacity()`.
     pub fn remove(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.capacity, "node {node} out of set capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {node} out of set capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / 64];
         let bit = 1u64 << (i % 64);
         if *w & bit != 0 {
@@ -198,10 +210,7 @@ impl NodeSet {
     /// Panics if the two sets have different capacities.
     pub fn is_disjoint(&self, other: &NodeSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Returns `true` if every member of `self` is a member of `other`.

@@ -121,8 +121,8 @@ impl Policy for GreyZoneAdversary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amac_mac::{InstanceId, MacConfig};
     use amac_graph::generators;
+    use amac_mac::{InstanceId, MacConfig};
     use amac_sim::{Duration, Time};
 
     fn fixture() -> (amac_graph::DualGraph, MacConfig) {
@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn frontier_broadcast_crosses_forward_only() {
         let (dual, config) = fixture();
-        let ctx = PolicyCtx { dual: &dual, config: &config, now: Time::ZERO };
+        let ctx = PolicyCtx {
+            dual: &dual,
+            config: &config,
+            now: Time::ZERO,
+        };
         let mut adv = adversary();
         // a_1 (index 0) broadcasting m0: crosses to b_2 (index 5).
         let plan = adv.plan_bcast(
@@ -160,7 +164,10 @@ mod tests {
             },
         );
         assert_eq!(plan.ack_delay, config.f_ack());
-        assert_eq!(plan.unreliable, vec![(NodeId::new(5), Duration::from_ticks(2))]);
+        assert_eq!(
+            plan.unreliable,
+            vec![(NodeId::new(5), Duration::from_ticks(2))]
+        );
         // a_2 (index 1) broadcasting m1 (an echo): no cross deliveries.
         let plan = adv.plan_bcast(
             &ctx,
@@ -180,7 +187,10 @@ mod tests {
                 key: MessageKey(1),
             },
         );
-        assert_eq!(plan.unreliable, vec![(NodeId::new(2), Duration::from_ticks(2))]);
+        assert_eq!(
+            plan.unreliable,
+            vec![(NodeId::new(2), Duration::from_ticks(2))]
+        );
     }
 
     #[test]
@@ -195,7 +205,11 @@ mod tests {
     #[test]
     fn forced_pick_prefers_duplicates_then_other_line() {
         let (dual, config) = fixture();
-        let ctx = PolicyCtx { dual: &dual, config: &config, now: Time::ZERO };
+        let ctx = PolicyCtx {
+            dual: &dual,
+            config: &config,
+            now: Time::ZERO,
+        };
         let mut adv = adversary();
         // Receiver a_3 (line A) waits for m0 (key 0).
         let receiver = NodeId::new(2);

@@ -53,7 +53,8 @@ pub fn choke_star_instance(k: usize) -> (DualGraph, Assignment) {
     let dual = DualGraph::reliable(g);
     // Nodes 0..k-1 are u_1..u_k (index k-1 is the hub u_k); each starts
     // with one unique message. The receiver v (index k) starts with none.
-    let assignment = Assignment::new((0..k as u64).map(|i| (NodeId::new(i as usize), MessageId(i))));
+    let assignment =
+        Assignment::new((0..k as u64).map(|i| (NodeId::new(i as usize), MessageId(i))));
     (dual, assignment)
 }
 
@@ -88,10 +89,7 @@ pub fn run_choke_star(k: usize, config: MacConfig, options: &RunOptions) -> Lowe
 /// `m₁` at `b₁` (`k = 2`).
 pub fn dual_line_instance(d: usize) -> (DualGraph, Assignment) {
     let net = generators::dual_line(d).expect("d >= 2");
-    let assignment = Assignment::new([
-        (net.a(1), MessageId(0)),
-        (net.b(1), MessageId(1)),
-    ]);
+    let assignment = Assignment::new([(net.a(1), MessageId(0)), (net.b(1), MessageId(1))]);
     (net.dual, assignment)
 }
 
@@ -146,7 +144,10 @@ mod tests {
         let r4 = run_choke_star(4, cfg(), &RunOptions::fast()).ratio;
         let r32 = run_choke_star(32, cfg(), &RunOptions::fast()).ratio;
         // The ratio must not vanish with k (that would mean o(k*F_ack)).
-        assert!(r32 >= 0.8 * r4.min(1.0), "ratio collapsed: {r4:.2} -> {r32:.2}");
+        assert!(
+            r32 >= 0.8 * r4.min(1.0),
+            "ratio collapsed: {r4:.2} -> {r32:.2}"
+        );
     }
 
     #[test]

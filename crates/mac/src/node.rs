@@ -17,7 +17,11 @@ pub struct TimerId(pub(crate) u64);
 pub(crate) enum Command<M, O> {
     Bcast(M),
     Abort,
-    SetTimer { id: TimerId, delay: Duration, tag: u64 },
+    SetTimer {
+        id: TimerId,
+        delay: Duration,
+        tag: u64,
+    },
     CancelTimer(TimerId),
     Output(O),
 }

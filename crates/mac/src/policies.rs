@@ -237,7 +237,10 @@ mod tests {
         };
         let plan = EagerPolicy::new().plan_bcast(&ctx, &info());
         assert_eq!(plan.ack_delay, Duration::from_ticks(2));
-        assert_eq!(plan.reliable.len(), dual.reliable_neighbors(NodeId::new(1)).len());
+        assert_eq!(
+            plan.reliable.len(),
+            dual.reliable_neighbors(NodeId::new(1)).len()
+        );
         assert!(plan.unreliable.is_empty());
     }
 

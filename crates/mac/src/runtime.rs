@@ -352,9 +352,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 Command::Bcast(msg) => self.start_instance(node, msg),
                 Command::Abort => self.abort_in_flight(node),
                 Command::SetTimer { id, delay, tag } => {
-                    let ev = self
-                        .queue
-                        .schedule_after(delay, Ev::Timer(node, tag, id.0));
+                    let ev = self.queue.schedule_after(delay, Ev::Timer(node, tag, id.0));
                     self.timers.insert(id.0, ev);
                 }
                 Command::CancelTimer(id) => {
@@ -765,8 +763,7 @@ mod tests {
     fn event_limit_stops_execution() {
         let dual = line_dual(30);
         let cfg = MacConfig::from_ticks(2, 16);
-        let mut rt =
-            Runtime::new(dual, cfg, flooders(30), EagerPolicy::new()).with_event_limit(10);
+        let mut rt = Runtime::new(dual, cfg, flooders(30), EagerPolicy::new()).with_event_limit(10);
         assert_eq!(rt.run(), RunOutcome::EventLimit);
     }
 
@@ -877,8 +874,14 @@ mod tests {
         // Lazy ack: use a policy with a long ack so the abort lands first.
         let cfg = MacConfig::from_ticks(2, 100).enhanced();
         let nodes = vec![
-            RoundNode { fired: false, aborted: false },
-            RoundNode { fired: false, aborted: false },
+            RoundNode {
+                fired: false,
+                aborted: false,
+            },
+            RoundNode {
+                fired: false,
+                aborted: false,
+            },
         ];
         let mut rt = Runtime::new(dual, cfg, nodes, crate::policies::LazyPolicy::new());
         rt.run();
@@ -900,12 +903,7 @@ mod tests {
         assert_eq!(rt.outputs().len(), 6);
         // Node 5 is 5 hops away: it must receive by roughly 5*F_prog plus
         // slack, far below 5*F_ack = 300.
-        let last = rt
-            .outputs()
-            .iter()
-            .map(|o| o.time)
-            .max()
-            .unwrap();
+        let last = rt.outputs().iter().map(|o| o.time).max().unwrap();
         assert!(
             last.ticks() <= 5 * 3 + 10,
             "token should travel at F_prog speed, took {last:?}"

@@ -162,10 +162,34 @@ mod tests {
     #[test]
     fn count_by_kind() {
         let mut t = Trace::new();
-        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, MessageKey(0));
-        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, MessageKey(0));
-        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(2), TraceKind::Rcv, MessageKey(0));
-        t.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Ack, MessageKey(0));
+        t.push(
+            Time::ZERO,
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            MessageKey(0),
+        );
+        t.push(
+            Time::ZERO,
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            MessageKey(0),
+        );
+        t.push(
+            Time::ZERO,
+            InstanceId::new(0),
+            NodeId::new(2),
+            TraceKind::Rcv,
+            MessageKey(0),
+        );
+        t.push(
+            Time::ZERO,
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            MessageKey(0),
+        );
         assert_eq!(t.count(TraceKind::Rcv), 2);
         assert_eq!(t.count(TraceKind::Bcast), 1);
         assert_eq!(t.count(TraceKind::Abort), 0);
@@ -176,7 +200,13 @@ mod tests {
     #[test]
     fn display_renders_every_entry() {
         let mut t = Trace::new();
-        t.push(Time::ZERO, InstanceId::new(3), NodeId::new(1), TraceKind::Bcast, MessageKey(9));
+        t.push(
+            Time::ZERO,
+            InstanceId::new(3),
+            NodeId::new(1),
+            TraceKind::Bcast,
+            MessageKey(9),
+        );
         let s = t.to_string();
         assert!(s.contains("Bcast"));
         assert!(s.contains("k9"));

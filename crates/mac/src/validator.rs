@@ -264,7 +264,9 @@ pub fn validate(
                     )
                     .is_some()
                 {
-                    report.violations.push(Violation::DuplicateBcast { instance: e.instance });
+                    report.violations.push(Violation::DuplicateBcast {
+                        instance: e.instance,
+                    });
                 }
             }
             TraceKind::Rcv => match views.get_mut(&e.instance) {
@@ -274,9 +276,9 @@ pub fn validate(
             TraceKind::Ack | TraceKind::Abort => match views.get_mut(&e.instance) {
                 Some(v) => {
                     if v.term.is_some() {
-                        report
-                            .violations
-                            .push(Violation::MultipleTerminations { instance: e.instance });
+                        report.violations.push(Violation::MultipleTerminations {
+                            instance: e.instance,
+                        });
                     } else {
                         if e.node != v.sender {
                             report.violations.push(Violation::TerminationByNonSender {
@@ -297,11 +299,7 @@ pub fn validate(
         report.violations.push(Violation::MissingBcast { instance });
     }
 
-    let horizon = trace
-        .entries()
-        .last()
-        .map(|e| e.time)
-        .unwrap_or(Time::ZERO);
+    let horizon = trace.entries().last().map(|e| e.time).unwrap_or(Time::ZERO);
 
     // Per-instance checks (receive/ack correctness, bounds, termination).
     let mut ids: Vec<InstanceId> = views.keys().copied().collect();
@@ -311,21 +309,24 @@ pub fn validate(
         let mut seen: Vec<NodeId> = Vec::new();
         for &(idx, _t, receiver) in &v.rcvs {
             if !dual.g_prime().has_edge(v.sender, receiver) {
-                report
-                    .violations
-                    .push(Violation::RcvToNonNeighbor { instance: *id, receiver });
+                report.violations.push(Violation::RcvToNonNeighbor {
+                    instance: *id,
+                    receiver,
+                });
             }
             if seen.contains(&receiver) {
-                report
-                    .violations
-                    .push(Violation::DuplicateRcv { instance: *id, receiver });
+                report.violations.push(Violation::DuplicateRcv {
+                    instance: *id,
+                    receiver,
+                });
             }
             seen.push(receiver);
             if let Some((term_idx, _, _)) = v.term {
                 if idx > term_idx {
-                    report
-                        .violations
-                        .push(Violation::RcvAfterTermination { instance: *id, receiver });
+                    report.violations.push(Violation::RcvAfterTermination {
+                        instance: *id,
+                        receiver,
+                    });
                 }
             }
         }
@@ -345,9 +346,10 @@ pub fn validate(
                 }
                 let delay = term_time.saturating_since(v.bcast_time).ticks();
                 if delay > config.f_ack().ticks() {
-                    report
-                        .violations
-                        .push(Violation::AckBoundExceeded { instance: *id, delay });
+                    report.violations.push(Violation::AckBoundExceeded {
+                        instance: *id,
+                        delay,
+                    });
                 }
             }
             Some(_) => {} // aborts exempt from ack correctness and bound
@@ -421,7 +423,10 @@ pub fn validate(
                     candidates.push(term + amac_sim::Duration::TICK);
                 }
             }
-            if let Some(&s) = candidates.iter().find(|&&s| s >= lo && s <= hi && !covered(s)) {
+            if let Some(&s) = candidates
+                .iter()
+                .find(|&&s| s >= lo && s <= hi && !covered(s))
+            {
                 report.violations.push(Violation::ProgressViolation {
                     receiver: j,
                     instance: *id,
@@ -480,23 +485,58 @@ mod tests {
     /// node 1 receives, ack follows.
     fn valid_trace() -> Trace {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(2), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         tr
     }
 
     #[test]
     fn accepts_valid_trace() {
-        let report = validate(&valid_trace(), &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        let report = validate(
+            &valid_trace(),
+            &line_dual(2),
+            &MacConfig::from_ticks(2, 8),
+            true,
+        );
         assert!(report.is_ok(), "{report}");
     }
 
     #[test]
     fn rejects_missing_reliable_delivery() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(2), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(matches!(
             report.violations()[0],
@@ -507,9 +547,27 @@ mod tests {
     #[test]
     fn rejects_ack_bound_excess() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(100), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(100),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(report
             .violations()
@@ -520,10 +578,34 @@ mod tests {
     #[test]
     fn rejects_rcv_to_non_neighbor() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(1), InstanceId::new(0), NodeId::new(2), TraceKind::Rcv, key());
-        tr.push(t(2), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(0),
+            NodeId::new(2),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(3), &MacConfig::from_ticks(2, 8), true);
         assert!(report
             .violations()
@@ -535,7 +617,13 @@ mod tests {
     fn rejects_duplicate_rcv() {
         let mut tr = valid_trace();
         // Re-deliver to node 1 after the ack — both duplicate and late.
-        tr.push(t(3), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
+        tr.push(
+            t(3),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(report
             .violations()
@@ -550,7 +638,13 @@ mod tests {
     #[test]
     fn rejects_missing_termination_when_quiescent() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(matches!(
             report.violations()[0],
@@ -566,15 +660,32 @@ mod tests {
         // Node 0 broadcasts from t=0 to t=50 (within F_ack = 64) but node 1
         // receives only at t=50: a silent window of 50 > F_prog = 4.
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(50), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(50), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(50),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(50),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(4, 64), true);
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| matches!(v, Violation::ProgressViolation { window_start, .. }
-                if window_start.ticks() == 0)));
+        assert!(report.violations().iter().any(
+            |v| matches!(v, Violation::ProgressViolation { window_start, .. }
+                if window_start.ticks() == 0)
+        ));
     }
 
     #[test]
@@ -583,9 +694,27 @@ mod tests {
         // Because the delivering instance stays in flight until t=60, that
         // single receive covers every window starting before t=60: valid.
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(3), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(60), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(3),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(60),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(4, 64), true);
         assert!(report.is_ok(), "{report}");
     }
@@ -598,18 +727,53 @@ mod tests {
         // B spans them: violation.
         let dual = line_dual(3);
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(0), InstanceId::new(1), NodeId::new(2), TraceKind::Bcast, MessageKey(2));
-        tr.push(t(2), InstanceId::new(1), NodeId::new(1), TraceKind::Rcv, MessageKey(2));
-        tr.push(t(4), InstanceId::new(1), NodeId::new(2), TraceKind::Ack, MessageKey(2));
-        tr.push(t(40), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(40), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(0),
+            InstanceId::new(1),
+            NodeId::new(2),
+            TraceKind::Bcast,
+            MessageKey(2),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(1),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            MessageKey(2),
+        );
+        tr.push(
+            t(4),
+            InstanceId::new(1),
+            NodeId::new(2),
+            TraceKind::Ack,
+            MessageKey(2),
+        );
+        tr.push(
+            t(40),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(40),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &dual, &MacConfig::from_ticks(4, 64), true);
-        assert!(report
-            .violations()
-            .iter()
-            .any(|v| matches!(v, Violation::ProgressViolation { window_start, .. }
-                if window_start.ticks() == 5)));
+        assert!(report.violations().iter().any(
+            |v| matches!(v, Violation::ProgressViolation { window_start, .. }
+                if window_start.ticks() == 5)
+        ));
     }
 
     #[test]
@@ -618,19 +782,55 @@ mod tests {
         // messages (from node 2) every 4 ticks, so progress holds.
         let dual = line_dual(3); // 1 is adjacent to both 0 and 2
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
         let mut inst = 1;
         let mut time = 0;
         while time < 60 {
             time += 4;
             let id = InstanceId::new(inst);
-            tr.push(t(time), id, NodeId::new(2), TraceKind::Bcast, MessageKey(inst));
-            tr.push(t(time), id, NodeId::new(1), TraceKind::Rcv, MessageKey(inst));
-            tr.push(t(time), id, NodeId::new(2), TraceKind::Ack, MessageKey(inst));
+            tr.push(
+                t(time),
+                id,
+                NodeId::new(2),
+                TraceKind::Bcast,
+                MessageKey(inst),
+            );
+            tr.push(
+                t(time),
+                id,
+                NodeId::new(1),
+                TraceKind::Rcv,
+                MessageKey(inst),
+            );
+            tr.push(
+                t(time),
+                id,
+                NodeId::new(2),
+                TraceKind::Ack,
+                MessageKey(inst),
+            );
             inst += 1;
         }
-        tr.push(t(60), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(60), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key());
+        tr.push(
+            t(60),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(60),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &dual, &MacConfig::from_ticks(4, 64), true);
         assert!(report.is_ok(), "{report}");
     }
@@ -638,8 +838,20 @@ mod tests {
     #[test]
     fn rejects_overlapping_bcasts() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(1), InstanceId::new(1), NodeId::new(0), TraceKind::Bcast, MessageKey(2));
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(1),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            MessageKey(2),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), false);
         assert!(report
             .violations()
@@ -650,17 +862,44 @@ mod tests {
     #[test]
     fn rejects_orphaned_events() {
         let mut tr = Trace::new();
-        tr.push(t(1), InstanceId::new(9), NodeId::new(1), TraceKind::Rcv, key());
+        tr.push(
+            t(1),
+            InstanceId::new(9),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), false);
-        assert!(matches!(report.violations()[0], Violation::MissingBcast { .. }));
+        assert!(matches!(
+            report.violations()[0],
+            Violation::MissingBcast { .. }
+        ));
     }
 
     #[test]
     fn rejects_termination_by_non_sender() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key());
-        tr.push(t(2), InstanceId::new(0), NodeId::new(1), TraceKind::Ack, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(1),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Ack,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(report
             .violations()
@@ -671,8 +910,20 @@ mod tests {
     #[test]
     fn abort_exempts_ack_checks() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
-        tr.push(t(3), InstanceId::new(0), NodeId::new(0), TraceKind::Abort, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(3),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Abort,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(report.is_ok(), "{report}");
     }
@@ -680,7 +931,13 @@ mod tests {
     #[test]
     fn report_display_lists_violations() {
         let mut tr = Trace::new();
-        tr.push(t(0), InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key());
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         let s = report.to_string();
         assert!(s.contains("violation"));

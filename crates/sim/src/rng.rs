@@ -61,6 +61,10 @@ impl SimRng {
     }
 
     /// Next raw 64-bit output.
+    ///
+    /// Not `Iterator::next`: the stream is infinite and never yields `None`,
+    /// and the name mirrors `RngCore::next_u64`, which this forwards to.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);

@@ -18,7 +18,9 @@ use amac::sim::SimRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SimRng::seed(17);
     let net = connected_grey_zone_network(
-        &GreyZoneConfig::new(48, 5.0).with_c(2.0).with_grey_edge_probability(0.5),
+        &GreyZoneConfig::new(48, 5.0)
+            .with_c(2.0)
+            .with_grey_edge_probability(0.5),
         200,
         &mut rng,
     )?;

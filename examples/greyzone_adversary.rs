@@ -18,7 +18,10 @@ fn main() {
     );
 
     println!("Lemma 3.18 — choke star: k singleton messages behind one bridge");
-    println!("{:>6} {:>10} {:>10} {:>7}", "k", "measured", "k*F_ack", "ratio");
+    println!(
+        "{:>6} {:>10} {:>10} {:>7}",
+        "k", "measured", "k*F_ack", "ratio"
+    );
     for k in [2, 4, 8, 16, 32] {
         let r = run_choke_star(k, config, &RunOptions::fast());
         println!(
@@ -30,7 +33,10 @@ fn main() {
     println!();
     println!("Lemmas 3.19-3.20 — Figure 2 dual lines: two messages delay each other");
     println!("over grey-zone cross edges even though every line hop is reliable");
-    println!("{:>6} {:>10} {:>10} {:>7}", "D", "measured", "D*F_ack", "ratio");
+    println!(
+        "{:>6} {:>10} {:>10} {:>7}",
+        "D", "measured", "D*F_ack", "ratio"
+    );
     for d in [4, 8, 16, 32] {
         let r = run_dual_line(d, config, &RunOptions::fast());
         println!(

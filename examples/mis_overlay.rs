@@ -13,7 +13,9 @@ use amac::sim::SimRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SimRng::seed(3);
     let net = connected_grey_zone_network(
-        &GreyZoneConfig::new(60, 5.5).with_c(2.0).with_grey_edge_probability(0.5),
+        &GreyZoneConfig::new(60, 5.5)
+            .with_c(2.0)
+            .with_grey_edge_probability(0.5),
         200,
         &mut rng,
     )?;
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mis = &report.mis;
     println!("\nMIS subroutine produced {} dominators:", mis.len());
-    println!("  independent in G: {}", algo::is_independent(dual.g(), mis));
+    println!(
+        "  independent in G: {}",
+        algo::is_independent(dual.g(), mis)
+    );
     println!(
         "  maximal (every node covered): {}",
         algo::is_maximal_independent(dual.g(), mis)
@@ -57,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     h_edges /= 2;
     println!("\noverlay H (MIS nodes within 3 hops of G):");
-    println!("  |S| = {}, |E_S| = {h_edges}, max H-degree = {h_degree_max}", mis.len());
+    println!(
+        "  |S| = {}, |E_S| = {h_edges}, max H-degree = {h_degree_max}",
+        mis.len()
+    );
 
     // Sphere packing keeps MIS neighborhoods sparse: every node has few
     // dominators nearby, which is what makes the gather/spread activation
@@ -70,8 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .count();
         worst_nearby = worst_nearby.max(nearby);
     }
-    println!("  max MIS nodes within 2 hops of any node: {worst_nearby} (Lemma 4.2 keeps this O(c^2))");
+    println!(
+        "  max MIS nodes within 2 hops of any node: {worst_nearby} (Lemma 4.2 keeps this O(c^2))"
+    );
 
-    assert!(report.mis_valid, "MIS must be a maximal independent set w.h.p.");
+    assert!(
+        report.mis_valid,
+        "MIS must be a maximal independent set w.h.p."
+    );
     Ok(())
 }

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bound.ticks(),
         assignment.k(),
     );
-    assert!(report.solved_and_valid(), "execution must conform to the model");
+    assert!(
+        report.solved_and_valid(),
+        "execution must conform to the model"
+    );
     println!("execution validated against the abstract MAC layer guarantees");
     Ok(())
 }

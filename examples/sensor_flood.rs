@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 80 sensors in a 7x7 unit square; radios reach 1 unit reliably and up
     // to 2 units unreliably (c = 2), with 60% of marginal links present.
     let net = connected_grey_zone_network(
-        &GreyZoneConfig::new(80, 7.0).with_c(2.0).with_grey_edge_probability(0.6),
+        &GreyZoneConfig::new(80, 7.0)
+            .with_c(2.0)
+            .with_grey_edge_probability(0.6),
         200,
         &mut rng,
     )?;
@@ -64,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{k} alarm reports injected at random sensors\n");
 
     println!("scheduler comparison (same network, same arrivals):");
-    let eager = run("eager (best case)", EagerPolicy::new().with_unreliable(0.5, 1), &scenario);
+    let eager = run(
+        "eager (best case)",
+        EagerPolicy::new().with_unreliable(0.5, 1),
+        &scenario,
+    );
     let random = run("seeded random", RandomPolicy::new(99), &scenario);
     let lazy = run(
         "lazy + duplicates",

@@ -35,7 +35,11 @@ fn bmmb_solves_on_every_classic_topology() {
             &RunOptions::default(),
         );
         assert!(report.solved_and_valid(), "{name}: {report}");
-        assert_eq!(report.deliveries, 3 * n, "{name}: one delivery per (msg, node)");
+        assert_eq!(
+            report.deliveries,
+            3 * n,
+            "{name}: one delivery per (msg, node)"
+        );
     }
 }
 
@@ -46,7 +50,13 @@ fn bmmb_solves_under_every_scheduler() {
     let dual = generators::r_restricted_augment(g, 3, 0.4, &mut rng).unwrap();
     let assignment = Assignment::random(25, 5, &mut rng);
 
-    let eager = run_bmmb(&dual, cfg(), &assignment, EagerPolicy::new(), &RunOptions::default());
+    let eager = run_bmmb(
+        &dual,
+        cfg(),
+        &assignment,
+        EagerPolicy::new(),
+        &RunOptions::default(),
+    );
     assert!(eager.solved_and_valid(), "eager: {eager}");
 
     let leaky = run_bmmb(
@@ -139,7 +149,9 @@ fn disconnected_networks_complete_per_component() {
     // Two components; messages start in each; completion is per-component.
     let g = amac::graph::Graph::from_edges(
         12,
-        (0..5).map(|i| (i, i + 1)).chain((6..11).map(|i| (i, i + 1))),
+        (0..5)
+            .map(|i| (i, i + 1))
+            .chain((6..11).map(|i| (i, i + 1))),
     )
     .unwrap();
     let dual = DualGraph::reliable(g);
@@ -166,13 +178,22 @@ fn online_arrivals_are_also_solved() {
     let dual = DualGraph::reliable(generators::line(10).unwrap());
     let nodes = (0..10).map(|_| Bmmb::new()).collect();
     let mut rt = Runtime::new(dual.clone(), cfg(), nodes, LazyPolicy::new());
-    let m0 = MmbMessage { id: MessageId(0), origin: NodeId::new(0) };
-    let m1 = MmbMessage { id: MessageId(1), origin: NodeId::new(9) };
+    let m0 = MmbMessage {
+        id: MessageId(0),
+        origin: NodeId::new(0),
+    };
+    let m1 = MmbMessage {
+        id: MessageId(1),
+        origin: NodeId::new(9),
+    };
     rt.inject(NodeId::new(0), m0);
     rt.inject_at(Time::from_ticks(100), NodeId::new(9), m1);
     rt.run();
 
-    let assignment = Assignment::new([(NodeId::new(0), MessageId(0)), (NodeId::new(9), MessageId(1))]);
+    let assignment = Assignment::new([
+        (NodeId::new(0), MessageId(0)),
+        (NodeId::new(9), MessageId(1)),
+    ]);
     let mut tracker = CompletionTracker::new(&dual, &assignment);
     for rec in rt.outputs() {
         let Delivered(id) = rec.out;

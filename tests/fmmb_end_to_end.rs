@@ -60,7 +60,10 @@ fn fmmb_execution_validates_against_model() {
     let validation = report.validation.as_ref().unwrap();
     assert!(validation.is_ok(), "{validation}");
     // FMMB actually uses the abort interface (aborted round broadcasts).
-    assert!(report.counters.get("abort") > 0, "rounds must abort unacked broadcasts");
+    assert!(
+        report.counters.get("abort") > 0,
+        "rounds must abort unacked broadcasts"
+    );
 }
 
 #[test]
@@ -94,15 +97,45 @@ fn fmmb_succeeds_under_different_schedulers() {
     let params = FmmbParams::new(3, net.dual.diameter());
     let cfg = MacConfig::from_ticks(2, 24).enhanced();
     for seed in [0u64, 1] {
-        let lazy = run_fmmb(&net.dual, cfg, &assignment, &params, seed, LazyPolicy::new(),
-            &RunOptions::fast().stopping_on_completion());
-        assert!(lazy.completion.is_some() && lazy.mis_valid, "lazy({seed}): {lazy}");
-        let eager = run_fmmb(&net.dual, cfg, &assignment, &params, seed, EagerPolicy::new(),
-            &RunOptions::fast().stopping_on_completion());
-        assert!(eager.completion.is_some() && eager.mis_valid, "eager({seed}): {eager}");
-        let random = run_fmmb(&net.dual, cfg, &assignment, &params, seed, RandomPolicy::new(seed),
-            &RunOptions::fast().stopping_on_completion());
-        assert!(random.completion.is_some() && random.mis_valid, "random({seed}): {random}");
+        let lazy = run_fmmb(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seed,
+            LazyPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        assert!(
+            lazy.completion.is_some() && lazy.mis_valid,
+            "lazy({seed}): {lazy}"
+        );
+        let eager = run_fmmb(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seed,
+            EagerPolicy::new(),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        assert!(
+            eager.completion.is_some() && eager.mis_valid,
+            "eager({seed}): {eager}"
+        );
+        let random = run_fmmb(
+            &net.dual,
+            cfg,
+            &assignment,
+            &params,
+            seed,
+            RandomPolicy::new(seed),
+            &RunOptions::fast().stopping_on_completion(),
+        );
+        assert!(
+            random.completion.is_some() && random.mis_valid,
+            "random({seed}): {random}"
+        );
     }
 }
 

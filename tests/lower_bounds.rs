@@ -17,7 +17,10 @@ fn choke_star_ratio_approaches_one() {
         assert!(r.ratio >= 0.6, "k={k}: ratio {:.2}", r.ratio);
         last = r.ratio;
     }
-    assert!(last >= 0.9, "ratio should approach 1 as k grows, got {last:.2}");
+    assert!(
+        last >= 0.9,
+        "ratio should approach 1 as k grows, got {last:.2}"
+    );
 }
 
 #[test]
@@ -30,7 +33,10 @@ fn dual_line_ratio_approaches_one() {
         assert!(r.ratio >= 0.5, "d={d}: ratio {:.2}", r.ratio);
         last = r.ratio;
     }
-    assert!(last >= 0.9, "ratio should approach 1 as D grows, got {last:.2}");
+    assert!(
+        last >= 0.9,
+        "ratio should approach 1 as D grows, got {last:.2}"
+    );
 }
 
 #[test]
@@ -38,20 +44,20 @@ fn lower_bound_delay_scales_with_f_ack() {
     // The forced delay is Θ(F_ack): quadrupling F_ack roughly quadruples
     // the measured time on both constructions.
     for (fast, slow) in [(16u64, 64u64), (32, 128)] {
-        let t_fast = run_dual_line(12, MacConfig::from_ticks(2, fast), &RunOptions::fast())
-            .completion_ticks;
-        let t_slow = run_dual_line(12, MacConfig::from_ticks(2, slow), &RunOptions::fast())
-            .completion_ticks;
+        let t_fast =
+            run_dual_line(12, MacConfig::from_ticks(2, fast), &RunOptions::fast()).completion_ticks;
+        let t_slow =
+            run_dual_line(12, MacConfig::from_ticks(2, slow), &RunOptions::fast()).completion_ticks;
         let scale = t_slow as f64 / t_fast as f64;
         assert!(
             (2.5..=6.0).contains(&scale),
             "4x F_ack should scale time ~4x, got {scale:.2}"
         );
 
-        let s_fast = run_choke_star(8, MacConfig::from_ticks(2, fast), &RunOptions::fast())
-            .completion_ticks;
-        let s_slow = run_choke_star(8, MacConfig::from_ticks(2, slow), &RunOptions::fast())
-            .completion_ticks;
+        let s_fast =
+            run_choke_star(8, MacConfig::from_ticks(2, fast), &RunOptions::fast()).completion_ticks;
+        let s_slow =
+            run_choke_star(8, MacConfig::from_ticks(2, slow), &RunOptions::fast()).completion_ticks;
         let scale = s_slow as f64 / s_fast as f64;
         assert!(
             (2.5..=6.0).contains(&scale),

@@ -69,8 +69,20 @@ fn grey_zone_adversary_runs_are_valid() {
     let nodes = (0..net.dual.len()).map(|_| Bmmb::new()).collect();
     let adversary = amac::lower::GreyZoneAdversary::new(12, MessageKey(0), MessageKey(1));
     let mut rt = Runtime::new(net.dual.clone(), cfg, nodes, adversary);
-    rt.inject(net.a(1), MmbMessage { id: MessageId(0), origin: net.a(1) });
-    rt.inject(net.b(1), MmbMessage { id: MessageId(1), origin: net.b(1) });
+    rt.inject(
+        net.a(1),
+        MmbMessage {
+            id: MessageId(0),
+            origin: net.a(1),
+        },
+    );
+    rt.inject(
+        net.b(1),
+        MmbMessage {
+            id: MessageId(1),
+            origin: net.b(1),
+        },
+    );
     rt.run();
     let report = validate(rt.trace().unwrap(), &net.dual, rt.config(), true);
     assert!(report.is_ok(), "{report}");
@@ -95,10 +107,28 @@ fn key(i: u64) -> MessageKey {
 #[test]
 fn fault_missing_reliable_delivery_rejected() {
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(1), TraceKind::Bcast, key(0));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Bcast,
+        key(0),
+    );
     // Node 1 has reliable neighbors 0 and 2; only 0 is served.
-    tr.push(Time::from_ticks(1), InstanceId::new(0), NodeId::new(0), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(2), InstanceId::new(0), NodeId::new(1), TraceKind::Ack, key(0));
+    tr.push(
+        Time::from_ticks(1),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(2),
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Ack,
+        key(0),
+    );
     let report = validate(&tr, &line3(), &base_cfg(), true);
     assert!(report
         .violations()
@@ -109,9 +139,27 @@ fn fault_missing_reliable_delivery_rejected() {
 #[test]
 fn fault_late_ack_rejected() {
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key(0));
-    tr.push(Time::from_ticks(3), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(99), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key(0));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(3),
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(99),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Ack,
+        key(0),
+    );
     let report = validate(&tr, &line3(), &base_cfg(), true);
     assert!(report
         .violations()
@@ -125,9 +173,27 @@ fn fault_progress_starvation_rejected() {
     // anything at t = 9: uncovered windows from t = 0.
     let cfg = MacConfig::from_ticks(2, 10);
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key(0));
-    tr.push(Time::from_ticks(9), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(10), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key(0));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(9),
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(10),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Ack,
+        key(0),
+    );
     let report = validate(&tr, &line3(), &cfg, true);
     assert!(report
         .violations()
@@ -139,24 +205,71 @@ fn fault_progress_starvation_rejected() {
 fn fault_delivery_to_stranger_rejected() {
     // Node 0 and node 2 are not G'-neighbors on a 3-line.
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key(0));
-    tr.push(Time::from_ticks(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(1), InstanceId::new(0), NodeId::new(2), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(2), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key(0));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(1),
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(1),
+        InstanceId::new(0),
+        NodeId::new(2),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(2),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Ack,
+        key(0),
+    );
     let report = validate(&tr, &line3(), &base_cfg(), true);
-    assert!(report
-        .violations()
-        .iter()
-        .any(|v| matches!(v, Violation::RcvToNonNeighbor { receiver, .. } if *receiver == NodeId::new(2))));
+    assert!(report.violations().iter().any(
+        |v| matches!(v, Violation::RcvToNonNeighbor { receiver, .. } if *receiver == NodeId::new(2))
+    ));
 }
 
 #[test]
 fn fault_double_termination_rejected() {
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key(0));
-    tr.push(Time::from_ticks(1), InstanceId::new(0), NodeId::new(1), TraceKind::Rcv, key(0));
-    tr.push(Time::from_ticks(2), InstanceId::new(0), NodeId::new(0), TraceKind::Ack, key(0));
-    tr.push(Time::from_ticks(3), InstanceId::new(0), NodeId::new(0), TraceKind::Abort, key(0));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(1),
+        InstanceId::new(0),
+        NodeId::new(1),
+        TraceKind::Rcv,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(2),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Ack,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(3),
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Abort,
+        key(0),
+    );
     let report = validate(&tr, &line3(), &base_cfg(), true);
     assert!(report
         .violations()
@@ -167,8 +280,20 @@ fn fault_double_termination_rejected() {
 #[test]
 fn fault_overlapping_user_broadcasts_rejected() {
     let mut tr = Trace::new();
-    tr.push(Time::ZERO, InstanceId::new(0), NodeId::new(0), TraceKind::Bcast, key(0));
-    tr.push(Time::from_ticks(1), InstanceId::new(1), NodeId::new(0), TraceKind::Bcast, key(1));
+    tr.push(
+        Time::ZERO,
+        InstanceId::new(0),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(0),
+    );
+    tr.push(
+        Time::from_ticks(1),
+        InstanceId::new(1),
+        NodeId::new(0),
+        TraceKind::Bcast,
+        key(1),
+    );
     let report = validate(&tr, &line3(), &base_cfg(), false);
     assert!(report
         .violations()
@@ -183,7 +308,13 @@ fn mutated_valid_trace_becomes_invalid() {
     let cfg = base_cfg();
     let nodes = (0..3).map(|_| Bmmb::new()).collect::<Vec<_>>();
     let mut rt = Runtime::new(dual.clone(), cfg, nodes, EagerPolicy::new());
-    rt.inject(NodeId::new(0), MmbMessage { id: MessageId(0), origin: NodeId::new(0) });
+    rt.inject(
+        NodeId::new(0),
+        MmbMessage {
+            id: MessageId(0),
+            origin: NodeId::new(0),
+        },
+    );
     rt.run();
     let good = rt.trace().unwrap().clone();
     assert!(validate(&good, &dual, &cfg, true).is_ok());

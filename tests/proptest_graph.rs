@@ -160,8 +160,8 @@ proptest! {
         let dual = DualGraph::reliable(g);
         // Every leaf reaches the receiver only through the hub.
         let dist = algo::bfs_distances(dual.g(), receiver);
-        for i in 0..k.saturating_sub(1) {
-            prop_assert_eq!(dist[i], 2, "leaf {} is two hops from the receiver", i);
+        for (i, &d) in dist.iter().enumerate().take(k.saturating_sub(1)) {
+            prop_assert_eq!(d, 2, "leaf {} is two hops from the receiver", i);
         }
         prop_assert_eq!(dist[hub.index()], 1);
     }

@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so the workspace builds without registry access.
+//!
+//! Supports the `criterion_group!` / `criterion_main!` macros,
+//! [`Criterion::bench_function`], and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`]. Instead of upstream's statistical analysis it
+//! reports the median, minimum, and mean wall-clock time per iteration over
+//! a fixed number of timed batches — enough to compare runs by eye and to
+//! keep every bench target compiling and runnable.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The vendored harness times each
+/// routine invocation individually, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is small; upstream would batch many per allocation.
+    SmallInput,
+    /// Routine input is large; upstream would batch few per allocation.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    warmup_iters: u64,
+    timed_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Modest fixed counts: the workspace's benches simulate whole
+        // executions per iteration, so dozens of samples are already
+        // seconds of wall clock.
+        Criterion {
+            warmup_iters: 3,
+            timed_iters: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` with a [`Bencher`] and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warmup_iters: self.warmup_iters,
+            timed_iters: self.timed_iters,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Times a closure on behalf of [`Criterion::bench_function`].
+pub struct Bencher {
+    warmup_iters: u64,
+    timed_iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly with no per-call setup.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            black_box(routine());
+        }
+        for _ in 0..self.timed_iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.warmup_iters {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.timed_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{id:<40} median {:>12?}  min {:>12?}  mean {:>12?}  ({} iters)",
+            median,
+            min,
+            mean,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        // 3 warmup + 30 timed.
+        assert_eq!(calls, 33);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut setups = 0u64;
+        Criterion::default().bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 33);
+    }
+}
