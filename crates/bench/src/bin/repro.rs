@@ -6,94 +6,154 @@
 //! same code paths as the full run — so CI can verify that Figure 1
 //! regeneration still works without paying for the full sweeps.
 //!
+//! `--trials N` runs `N` independent trials per experiment (tables then
+//! report mean ± 95% CI per sweep point) and `--jobs J` fans the trials
+//! over `J` worker threads (default: one per core). Output is
+//! **byte-identical for any `J`**: trial `i` is seeded by
+//! `SimRng::split(i)` and aggregates fold in trial order.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p amac-bench --bin repro            # text tables
 //! cargo run --release -p amac-bench --bin repro -- --markdown > EXPERIMENTS.data.md
 //! cargo run --release -p amac-bench --bin repro -- --smoke  # CI fast path
+//! cargo run --release -p amac-bench --bin repro -- --trials 32 --jobs 8
 //! ```
 
+use amac_bench::engine::{default_jobs, TrialRunner};
 use amac_bench::experiments;
+
+fn usage_exit() -> ! {
+    eprintln!("usage: repro [--markdown] [--smoke] [--trials N] [--jobs J]");
+    std::process::exit(2);
+}
+
+fn positive_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a positive integer");
+            usage_exit()
+        })
+}
 
 fn main() {
     let mut markdown = false;
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut trials = 1usize;
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--markdown" => markdown = true,
             "--smoke" => smoke = true,
+            "--trials" => trials = positive_arg(&mut args, "--trials"),
+            "--jobs" => jobs = positive_arg(&mut args, "--jobs"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: repro [--markdown] [--smoke]");
-                std::process::exit(2);
+                usage_exit()
             }
         }
     }
+    let runner = TrialRunner::new(trials, jobs);
 
     let mode = if smoke { "smoke" } else { "full" };
+    let stochastic_detail = format!(
+        "{mode}, {} trial(s), {} job(s)",
+        runner.trials(),
+        runner.jobs()
+    );
+    // Deterministic experiments clamp the runner to a single trial (their
+    // module-level DETERMINISTIC const); report the effective count.
+    let deterministic_detail = format!("{mode}, deterministic: 1 trial");
+    let detail_for = |deterministic: bool| {
+        if deterministic {
+            &deterministic_detail
+        } else {
+            &stochastic_detail
+        }
+    };
+    let detail = &stochastic_detail;
     let mut tables = Vec::new();
 
-    eprintln!("[1/7] F1-GG    standard model, G' = G ({mode}) ...");
+    eprintln!(
+        "[1/7] F1-GG    standard model, G' = G ({}) ...",
+        detail_for(experiments::fig1_gg::DETERMINISTIC)
+    );
     tables.push(
         pick(
             smoke,
-            experiments::fig1_gg::run_smoke,
-            experiments::fig1_gg::run_default,
+            &runner,
+            experiments::fig1_gg::run_smoke_with,
+            experiments::fig1_gg::run_default_with,
         )
         .table,
     );
-    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ({mode}) ...");
+    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ({detail}) ...");
     tables.push(
         pick(
             smoke,
-            experiments::fig1_r_restricted::run_smoke,
-            experiments::fig1_r_restricted::run_default,
+            &runner,
+            experiments::fig1_r_restricted::run_smoke_with,
+            experiments::fig1_r_restricted::run_default_with,
         )
         .table,
     );
-    eprintln!("[3/7] F1-ARB   standard model, arbitrary G' ({mode}) ...");
+    eprintln!(
+        "[3/7] F1-ARB   standard model, arbitrary G' ({}) ...",
+        detail_for(experiments::fig1_arbitrary::DETERMINISTIC)
+    );
     tables.push(
         pick(
             smoke,
-            experiments::fig1_arbitrary::run_smoke,
-            experiments::fig1_arbitrary::run_default,
+            &runner,
+            experiments::fig1_arbitrary::run_smoke_with,
+            experiments::fig1_arbitrary::run_default_with,
         )
         .table,
     );
-    eprintln!("[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ({mode}) ...");
+    eprintln!(
+        "[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ({}) ...",
+        detail_for(experiments::lower_bounds::DETERMINISTIC)
+    );
     tables.push(
         pick(
             smoke,
-            experiments::lower_bounds::run_smoke,
-            experiments::lower_bounds::run_default,
+            &runner,
+            experiments::lower_bounds::run_smoke_with,
+            experiments::lower_bounds::run_default_with,
         )
         .table,
     );
-    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ({mode}) ...");
+    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ({detail}) ...");
     tables.push(
         pick(
             smoke,
-            experiments::fig1_fmmb::run_smoke,
-            experiments::fig1_fmmb::run_default,
+            &runner,
+            experiments::fig1_fmmb::run_smoke_with,
+            experiments::fig1_fmmb::run_default_with,
         )
         .table,
     );
-    eprintln!("[6/7] SUB-*    FMMB subroutines ({mode}) ...");
+    eprintln!("[6/7] SUB-*    FMMB subroutines ({detail}) ...");
     tables.push(
         pick(
             smoke,
-            experiments::subroutines::run_smoke,
-            experiments::subroutines::run_default,
+            &runner,
+            experiments::subroutines::run_smoke_with,
+            experiments::subroutines::run_default_with,
         )
         .table,
     );
-    eprintln!("[7/7] ABL      abort-interface ablation ({mode}) ...");
+    eprintln!("[7/7] ABL      abort-interface ablation ({detail}) ...");
     tables.push(
         pick(
             smoke,
-            experiments::ablation_abort::run_smoke,
-            experiments::ablation_abort::run_default,
+            &runner,
+            experiments::ablation_abort::run_smoke_with,
+            experiments::ablation_abort::run_default_with,
         )
         .table,
     );
@@ -105,13 +165,18 @@ fn main() {
             println!("{t}");
         }
     }
-    eprintln!("done: {} tables ({mode})", tables.len());
+    eprintln!("done: {} tables ({detail})", tables.len());
 }
 
-fn pick<R>(smoke: bool, fast: impl FnOnce() -> R, full: impl FnOnce() -> R) -> R {
+fn pick<R>(
+    smoke: bool,
+    runner: &TrialRunner,
+    fast: impl FnOnce(&TrialRunner) -> R,
+    full: impl FnOnce(&TrialRunner) -> R,
+) -> R {
     if smoke {
-        fast()
+        fast(runner)
     } else {
-        full()
+        full(runner)
     }
 }

@@ -1,0 +1,355 @@
+//! The multi-trial, multi-core experiment engine.
+//!
+//! Every headline claim of the paper is probabilistic (the Theorem 3.1/4.1
+//! completion bounds hold *with high probability*), so a single measurement
+//! per sweep point says little. [`TrialRunner`] runs `N` independent trials
+//! per experiment and folds the per-trial measurements into streaming
+//! aggregates ([`amac_sim::stats::Aggregate`]: Welford mean/variance plus a
+//! reservoir for median/p95), fanned out over a scoped `std::thread` worker
+//! pool.
+//!
+//! ## Determinism contract
+//!
+//! Results are **bit-identical regardless of the worker count**:
+//!
+//! * trial `i` draws all of its randomness from `SimRng::seed(base).split(i)`
+//!   — a pure function of the experiment seed and the trial index, never of
+//!   scheduling;
+//! * workers only *compute* trials; the fold into aggregates happens
+//!   afterwards, in trial-index order.
+//!
+//! So `--jobs 1` and `--jobs 64` print byte-identical tables, and a table
+//! can be reproduced on any machine from `(seed, trials)` alone.
+//!
+//! ```
+//! use amac_bench::engine::TrialRunner;
+//!
+//! let runner = TrialRunner::new(8, 4);
+//! let agg = runner.run_point(42, |ctx| {
+//!     // ... simulate something with ctx.rng ...
+//!     let mut rng = ctx.rng.clone();
+//!     100.0 + rng.below(10) as f64
+//! });
+//! assert_eq!(agg.count(), 8);
+//! assert_eq!(agg, TrialRunner::new(8, 1).run_point(42, |ctx| {
+//!     let mut rng = ctx.rng.clone();
+//!     100.0 + rng.below(10) as f64
+//! }));
+//! ```
+
+use amac_sim::stats::Aggregate;
+use amac_sim::SimRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-trial context handed to the measurement closure.
+#[derive(Clone, Debug)]
+pub struct TrialCtx {
+    /// The trial index in `0..trials`.
+    pub index: u64,
+    /// This trial's private random stream, `SimRng::seed(base).split(index)`.
+    /// Clone it before drawing if the closure needs `&mut` access.
+    pub rng: SimRng,
+}
+
+impl TrialCtx {
+    /// A per-trial `u64` seed derived from an experiment's historical base
+    /// seed. Trial 0 returns `base` **unchanged**, so a single-trial run
+    /// reproduces the pre-engine tables exactly; later trials mix `base`
+    /// with this trial's split stream.
+    pub fn seed(&self, base: u64) -> u64 {
+        if self.index == 0 {
+            base
+        } else {
+            self.rng.clone().next() ^ base
+        }
+    }
+}
+
+/// Fans `N` independent trials out over a worker pool and aggregates the
+/// results deterministically. See the [module docs](self) for the
+/// determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialRunner {
+    trials: usize,
+    jobs: usize,
+}
+
+impl TrialRunner {
+    /// Creates a runner for `trials` trials over `jobs` worker threads
+    /// (both clamped to at least 1).
+    pub fn new(trials: usize, jobs: usize) -> TrialRunner {
+        TrialRunner {
+            trials: trials.max(1),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// One trial, inline — the historical single-measurement behaviour.
+    pub fn single() -> TrialRunner {
+        TrialRunner::new(1, 1)
+    }
+
+    /// `trials` trials over one worker per available core.
+    pub fn with_default_jobs(trials: usize) -> TrialRunner {
+        TrialRunner::new(trials, default_jobs())
+    }
+
+    /// This runner clamped to a single trial, for fully deterministic
+    /// workloads where extra trials would re-measure byte-identical
+    /// values: the sweep runs once instead of `trials` times.
+    pub fn deterministic(&self) -> TrialRunner {
+        TrialRunner {
+            trials: 1,
+            jobs: self.jobs,
+        }
+    }
+
+    /// Number of trials per run.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Worker thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `measure` once per trial and folds each position of the
+    /// returned vector into its own [`Aggregate`] (all trials must return
+    /// vectors of the same length). This is the batched entry point: an
+    /// experiment measures its whole sweep in one trial closure so that
+    /// expensive shared setup (topology sampling) happens once per trial
+    /// and every sweep point of one trial shares that topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if trials disagree on the vector length, or if a worker
+    /// thread panics.
+    pub fn run_matrix<F>(&self, base_seed: u64, measure: F) -> Vec<Aggregate>
+    where
+        F: Fn(&TrialCtx) -> Vec<f64> + Sync,
+    {
+        let base = SimRng::seed(base_seed);
+        let ctx_for = |i: usize| TrialCtx {
+            index: i as u64,
+            rng: base.split(i as u64),
+        };
+
+        let per_trial: Vec<Vec<f64>> = if self.jobs == 1 || self.trials == 1 {
+            (0..self.trials).map(|i| measure(&ctx_for(i))).collect()
+        } else {
+            let mut slots: Vec<Option<Vec<f64>>> = vec![None; self.trials];
+            let next = AtomicUsize::new(0);
+            let workers = self.jobs.min(self.trials);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done: Vec<(usize, Vec<f64>)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= self.trials {
+                                    break;
+                                }
+                                done.push((i, measure(&ctx_for(i))));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, row) in handle.join().expect("trial worker panicked") {
+                        slots[i] = Some(row);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every trial index was claimed by a worker"))
+                .collect()
+        };
+
+        let width = per_trial.first().map_or(0, Vec::len);
+        let mut aggregates = vec![Aggregate::new(); width];
+        // Fold in trial-index order: this is what makes the aggregates
+        // independent of worker scheduling.
+        for (i, row) in per_trial.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                width,
+                "trial {i} measured {} values, trial 0 measured {width}",
+                row.len()
+            );
+            for (aggregate, &x) in aggregates.iter_mut().zip(row) {
+                aggregate.record(x);
+            }
+        }
+        aggregates
+    }
+
+    /// Runs `measure` once per trial for a single scalar measurement.
+    pub fn run_point<F>(&self, base_seed: u64, measure: F) -> Aggregate
+    where
+        F: Fn(&TrialCtx) -> f64 + Sync,
+    {
+        self.run_matrix(base_seed, |ctx| vec![measure(ctx)])
+            .pop()
+            .expect("run_matrix returned one aggregate per position")
+    }
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        TrialRunner::single()
+    }
+}
+
+/// One worker per available core (1 if the platform will not say).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// A compact, `Copy` snapshot of an [`Aggregate`], carried by
+/// [`crate::SweepPoint`] so sweep data stays cheap to pass around.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialStats {
+    /// Number of trials aggregated.
+    pub trials: u64,
+    /// Mean over trials.
+    pub mean: f64,
+    /// Half-width of the Student-t 95% confidence interval for the mean
+    /// (0 for a single trial).
+    pub ci95: f64,
+    /// Smallest trial value.
+    pub min: f64,
+    /// Median trial value.
+    pub median: f64,
+    /// 95th-percentile trial value.
+    pub p95: f64,
+    /// Largest trial value.
+    pub max: f64,
+}
+
+impl TrialStats {
+    /// Snapshot of a finished aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty aggregate.
+    pub fn from_aggregate(aggregate: &Aggregate) -> TrialStats {
+        assert!(aggregate.count() > 0, "aggregate holds no trials");
+        TrialStats {
+            trials: aggregate.count(),
+            mean: aggregate.mean(),
+            ci95: aggregate.ci95_half_width(),
+            min: aggregate.min().unwrap_or(0.0),
+            median: aggregate.median().unwrap_or(0.0),
+            p95: aggregate.p95().unwrap_or(0.0),
+            max: aggregate.max().unwrap_or(0.0),
+        }
+    }
+
+    /// A degenerate single-measurement snapshot (mean = min = max = `x`).
+    pub fn single(x: f64) -> TrialStats {
+        TrialStats {
+            trials: 1,
+            mean: x,
+            ci95: 0.0,
+            min: x,
+            median: x,
+            p95: x,
+            max: x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_measure(ctx: &TrialCtx) -> Vec<f64> {
+        let mut rng = ctx.rng.clone();
+        (0..3)
+            .map(|p| (p * 1000) as f64 + rng.below(100) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn aggregates_are_identical_across_job_counts() {
+        let reference = TrialRunner::new(16, 1).run_matrix(7, noisy_measure);
+        for jobs in [2, 3, 8, 32] {
+            let parallel = TrialRunner::new(16, jobs).run_matrix(7, noisy_measure);
+            assert_eq!(reference, parallel, "jobs={jobs} must not change results");
+        }
+    }
+
+    #[test]
+    fn trials_actually_vary_with_the_split_stream() {
+        let aggs = TrialRunner::new(16, 4).run_matrix(7, noisy_measure);
+        assert_eq!(aggs.len(), 3);
+        for agg in &aggs {
+            assert_eq!(agg.count(), 16);
+            assert!(
+                agg.ci95_half_width() > 0.0,
+                "independent trials should spread: {agg}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_point_aggregates_scalars() {
+        let agg = TrialRunner::new(5, 2).run_point(1, |ctx| ctx.index as f64);
+        assert_eq!(agg.count(), 5);
+        assert_eq!(agg.mean(), 2.0);
+        assert_eq!(agg.min(), Some(0.0));
+        assert_eq!(agg.max(), Some(4.0));
+    }
+
+    #[test]
+    fn trial_zero_seed_is_the_base_seed() {
+        let base = SimRng::seed(9);
+        let seeds: Vec<u64> = (0..3u64)
+            .map(|i| {
+                TrialCtx {
+                    index: i,
+                    rng: base.split(i),
+                }
+                .seed(0xDEAD)
+            })
+            .collect();
+        assert_eq!(seeds[0], 0xDEAD, "trial 0 preserves the historical seed");
+        assert_ne!(seeds[1], seeds[0]);
+        assert_ne!(seeds[2], seeds[1]);
+        assert_ne!(seeds[2], seeds[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 0 measured")]
+    fn ragged_trial_vectors_panic() {
+        TrialRunner::new(3, 1).run_matrix(0, |ctx| vec![0.0; 1 + ctx.index as usize]);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_aggregate() {
+        let mut agg = Aggregate::new();
+        for x in [2.0, 4.0, 9.0] {
+            agg.record(x);
+        }
+        let s = TrialStats::from_aggregate(&agg);
+        assert_eq!(s.trials, 3);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.max, 9.0);
+        let one = TrialStats::single(7.0);
+        assert_eq!((one.trials, one.mean, one.ci95), (1, 7.0, 0.0));
+        assert_eq!(one.median, 7.0);
+    }
+
+    #[test]
+    fn runner_clamps_to_at_least_one() {
+        let r = TrialRunner::new(0, 0);
+        assert_eq!((r.trials(), r.jobs()), (1, 1));
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -11,28 +11,30 @@
 //! the whole `O((D log n + k log n + log³n))`-round schedule — is paid in
 //! units of `F_ack`, erasing the enhanced model's advantage.
 
-use crate::table::Table;
+use crate::engine::{TrialRunner, TrialStats};
+use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{run_fmmb, Assignment, FmmbParams, RunOptions};
 use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
 use amac_sim::SimRng;
 
-/// One ablation row.
+/// One ablation row, aggregated over the trials.
 #[derive(Clone, Copy, Debug)]
 pub struct AblationPoint {
     /// `F_ack` in ticks.
     pub f_ack: u64,
     /// FMMB completion ticks with the abort interface.
-    pub with_abort: u64,
+    pub with_abort: TrialStats,
     /// FMMB completion ticks without it.
-    pub without_abort: u64,
+    pub without_abort: TrialStats,
 }
 
 impl AblationPoint {
-    /// Slowdown factor from removing abort.
+    /// Slowdown factor from removing abort (ratio of mean completion
+    /// times).
     pub fn slowdown(&self) -> f64 {
-        self.without_abort as f64 / self.with_abort as f64
+        self.without_abort.mean / self.with_abort.mean
     }
 }
 
@@ -45,7 +47,8 @@ pub struct AblationAbort {
     pub table: Table,
 }
 
-/// Runs the ablation on one grey-zone network.
+/// Runs the ablation; each trial samples its own grey-zone network and
+/// assignment, and runs the identical workload with and without abort.
 pub fn run(
     f_prog: u64,
     f_acks: &[u64],
@@ -53,56 +56,83 @@ pub fn run(
     density: f64,
     k: usize,
     seed: u64,
+    runner: &TrialRunner,
 ) -> AblationAbort {
-    let mut rng = SimRng::seed(seed);
-    let side = (n as f64 / density).sqrt();
-    let net = connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-        .expect("connected sample");
-    let assignment = Assignment::random(n, k, &mut rng);
-    let d = net.dual.diameter();
+    // Per trial: [with, without] per f_ack.
+    let aggregates = runner.run_matrix(seed, |ctx| {
+        let trial_seed = ctx.seed(seed);
+        let mut rng = SimRng::seed(trial_seed);
+        let side = (n as f64 / density).sqrt();
+        let net =
+            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
+                .expect("connected sample");
+        let assignment = Assignment::random(n, k, &mut rng);
+        let d = net.dual.diameter();
 
-    let mut points = Vec::new();
-    for &f_ack in f_acks {
-        let cfg = MacConfig::from_ticks(f_prog, f_ack).enhanced();
-        let with = run_fmmb(
-            &net.dual,
-            cfg,
-            &assignment,
-            &FmmbParams::new(k, d),
-            seed ^ 0xAB,
-            LazyPolicy::new(),
-            &RunOptions::fast().stopping_on_completion(),
-        );
-        let without = run_fmmb(
-            &net.dual,
-            cfg,
-            &assignment,
-            &FmmbParams::new(k, d).without_abort(),
-            seed ^ 0xAB,
-            LazyPolicy::new(),
-            &RunOptions::fast().stopping_on_completion(),
-        );
-        points.push(AblationPoint {
+        let mut values = Vec::with_capacity(2 * f_acks.len());
+        for &f_ack in f_acks {
+            let cfg = MacConfig::from_ticks(f_prog, f_ack).enhanced();
+            let with = run_fmmb(
+                &net.dual,
+                cfg,
+                &assignment,
+                &FmmbParams::new(k, d),
+                trial_seed ^ 0xAB,
+                LazyPolicy::new(),
+                &RunOptions::fast().stopping_on_completion(),
+            );
+            let without = run_fmmb(
+                &net.dual,
+                cfg,
+                &assignment,
+                &FmmbParams::new(k, d).without_abort(),
+                trial_seed ^ 0xAB,
+                LazyPolicy::new(),
+                &RunOptions::fast().stopping_on_completion(),
+            );
+            values.push(with.completion_ticks() as f64);
+            values.push(without.completion_ticks() as f64);
+        }
+        values
+    });
+
+    let points: Vec<AblationPoint> = f_acks
+        .iter()
+        .zip(aggregates.chunks_exact(2))
+        .map(|(&f_ack, pair)| AblationPoint {
             f_ack,
-            with_abort: with.completion_ticks(),
-            without_abort: without.completion_ticks(),
-        });
-    }
+            with_abort: TrialStats::from_aggregate(&pair[0]),
+            without_abort: TrialStats::from_aggregate(&pair[1]),
+        })
+        .collect();
 
     let mut table = Table::new(
         format!(
             "ABL-ABORT  FMMB with vs without the abort interface (n={n}, k={k}, F_prog={f_prog})"
         ),
-        &["F_ack", "with abort", "without abort", "slowdown"],
+        &[
+            "F_ack",
+            "with abort",
+            "ci95",
+            "without abort",
+            "ci95",
+            "slowdown",
+        ],
     );
     for p in &points {
         table.row([
             p.f_ack.to_string(),
-            p.with_abort.to_string(),
-            p.without_abort.to_string(),
+            mean_cell(&p.with_abort),
+            ci_cell(&p.with_abort),
+            mean_cell(&p.without_abort),
+            ci_cell(&p.without_abort),
             format!("{:.1}x", p.slowdown()),
         ]);
     }
+    table.note(format!(
+        "{} trial(s) per point, each on a fresh grey-zone sample",
+        runner.trials()
+    ));
     table.note(
         "same algorithm, same seeds: without abort each round costs F_ack + 2 \
          instead of F_prog + 2 ticks, so the slowdown tracks F_ack/F_prog — \
@@ -112,15 +142,25 @@ pub fn run(
     AblationAbort { points, table }
 }
 
-/// Default parameterisation used by `cargo bench` and the `repro` binary.
+/// Default parameterisation at an explicit trial/job count.
+pub fn run_default_with(runner: &TrialRunner) -> AblationAbort {
+    run(2, &[8, 32, 128, 512], 32, 2.0, 3, 6, runner)
+}
+
+/// Default parameterisation used by `cargo bench` (single trial).
 pub fn run_default() -> AblationAbort {
-    run(2, &[8, 32, 128, 512], 32, 2.0, 3, 6)
+    run_default_with(&TrialRunner::single())
+}
+
+/// Smoke parameterisation at an explicit trial/job count.
+pub fn run_smoke_with(runner: &TrialRunner) -> AblationAbort {
+    run(2, &[8, 32], 12, 2.0, 2, 6, runner)
 }
 
 /// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
-/// same code paths as [`run_default`], tiny sweeps.
+/// same code paths as [`run_default`], tiny sweeps, single trial.
 pub fn run_smoke() -> AblationAbort {
-    run(2, &[8, 32], 12, 2.0, 2, 6)
+    run_smoke_with(&TrialRunner::single())
 }
 
 #[cfg(test)]
@@ -129,7 +169,7 @@ mod tests {
 
     #[test]
     fn removing_abort_costs_theta_f_ack_over_f_prog() {
-        let res = run(2, &[16, 64], 20, 2.0, 2, 3);
+        let res = run(2, &[16, 64], 20, 2.0, 2, 3, &TrialRunner::single());
         for p in &res.points {
             let expected = (p.f_ack + 2) as f64 / 4.0; // (F_ack+2)/(F_prog+2)
             let slowdown = p.slowdown();
@@ -144,7 +184,21 @@ mod tests {
     #[test]
     fn without_abort_still_solves() {
         // Correctness is unaffected; only time degrades.
-        let res = run(2, &[16], 20, 2.0, 2, 9);
-        assert!(res.points[0].without_abort > res.points[0].with_abort);
+        let res = run(2, &[16], 20, 2.0, 2, 9, &TrialRunner::single());
+        assert!(res.points[0].without_abort.mean > res.points[0].with_abort.mean);
+    }
+
+    #[test]
+    fn multi_trial_slowdown_still_tracks_f_ack() {
+        let res = run(2, &[32], 16, 2.0, 2, 6, &TrialRunner::new(3, 3));
+        let p = &res.points[0];
+        assert_eq!(p.with_abort.trials, 3);
+        // Mean slowdown still within a loose factor of (F_ack+2)/(F_prog+2).
+        let expected = 34.0 / 4.0;
+        assert!(
+            p.slowdown() > 0.4 * expected && p.slowdown() < 2.5 * expected,
+            "slowdown {:.1} vs expected {expected:.1}",
+            p.slowdown()
+        );
     }
 }

@@ -16,8 +16,9 @@
 //! *structure* of unreliability, not its quantity.
 
 use super::SweepPoint;
+use crate::engine::TrialRunner;
 use crate::fit::{proportional_fit, ProportionalFit};
-use crate::table::Table;
+use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
 use amac_graph::{generators, NodeId};
 use amac_mac::policies::LazyPolicy;
@@ -47,7 +48,13 @@ pub struct Fig1Arbitrary {
     pub table: Table,
 }
 
-fn measure(d: usize, k: usize, config: MacConfig, shortcuts: usize) -> SweepPoint {
+/// This workload (evenly spaced shortcuts, lazy scheduler, Fig 2
+/// adversary) has no randomness: [`run`] clamps the runner to a single
+/// trial. Flip this (and drop the clamp) if the experiment ever gains
+/// per-trial sampling; `repro` derives its progress labels from it.
+pub const DETERMINISTIC: bool = true;
+
+fn measure_ticks(d: usize, k: usize, config: MacConfig, shortcuts: usize) -> u64 {
     let g = generators::line(d + 1).expect("d >= 1");
     let dual = generators::long_range_augment(g, shortcuts).expect("valid augment");
     let assignment = Assignment::all_at(NodeId::new(0), k);
@@ -58,15 +65,13 @@ fn measure(d: usize, k: usize, config: MacConfig, shortcuts: usize) -> SweepPoin
         LazyPolicy::new().prefer_duplicates(),
         &RunOptions::fast(),
     );
-    SweepPoint {
-        param: d,
-        measured: report.completion_ticks(),
-        bound: bounds::bmmb_arbitrary(d, k, &config).ticks(),
-    }
+    report.completion_ticks()
 }
 
 /// Runs the experiment: `shortcut_fraction` of `D` long-range unreliable
-/// edges are added to each line.
+/// edges are added to each line. The workload (evenly spaced shortcuts,
+/// lazy scheduler) is deterministic, so the runner is clamped to a single
+/// trial; the sweep still flows through the engine.
 pub fn run(
     config: MacConfig,
     ds: &[usize],
@@ -74,18 +79,36 @@ pub fn run(
     ks: &[usize],
     fixed_d: usize,
     shortcut_fraction: f64,
+    runner: &TrialRunner,
 ) -> Fig1Arbitrary {
+    let runner = if DETERMINISTIC {
+        runner.deterministic()
+    } else {
+        *runner
+    };
     let shortcuts = |d: usize| ((d as f64 * shortcut_fraction).ceil() as usize).max(1);
+    let aggregates = runner.run_matrix(0, |_ctx| {
+        ds.iter()
+            .map(|&d| measure_ticks(d, fixed_k, config, shortcuts(d)) as f64)
+            .chain(
+                ks.iter()
+                    .map(|&k| measure_ticks(fixed_d, k, config, shortcuts(fixed_d)) as f64),
+            )
+            .collect()
+    });
+    let (d_aggs, k_aggs) = aggregates.split_at(ds.len());
     let d_sweep: Vec<SweepPoint> = ds
         .iter()
-        .map(|&d| measure(d, fixed_k, config, shortcuts(d)))
+        .zip(d_aggs)
+        .map(|(&d, a)| {
+            SweepPoint::from_aggregate(d, a, bounds::bmmb_arbitrary(d, fixed_k, &config).ticks())
+        })
         .collect();
     let k_sweep: Vec<SweepPoint> = ks
         .iter()
-        .map(|&k| {
-            let mut p = measure(fixed_d, k, config, shortcuts(fixed_d));
-            p.param = k;
-            p
+        .zip(k_aggs)
+        .map(|(&k, a)| {
+            SweepPoint::from_aggregate(k, a, bounds::bmmb_arbitrary(fixed_d, k, &config).ticks())
         })
         .collect();
     let bound_fit = proportional_fit(
@@ -141,13 +164,14 @@ pub fn run(
 
     let mut table = Table::new(
         format!("F1-ARB  BMMB, arbitrary G' (line + long-range shortcuts, {config})"),
-        &["sweep", "value", "measured", "(D+k)*Fa", "ratio"],
+        &["sweep", "value", "measured", "ci95", "(D+k)*Fa", "ratio"],
     );
     for p in &d_sweep {
         table.row([
             format!("D (k={fixed_k})"),
             p.param.to_string(),
-            p.measured.to_string(),
+            mean_cell(&p.measured),
+            ci_cell(&p.measured),
             p.bound.to_string(),
             format!("{:.2}", p.ratio()),
         ]);
@@ -156,11 +180,13 @@ pub fn run(
         table.row([
             format!("k (D={fixed_d})"),
             p.param.to_string(),
-            p.measured.to_string(),
+            mean_cell(&p.measured),
+            ci_cell(&p.measured),
             p.bound.to_string(),
             format!("{:.2}", p.ratio()),
         ]);
     }
+    table.note("deterministic workload: measured once (extra trials would repeat the same value)");
     table.note(format!(
         "measured <= {:.2} x (D+k)*F_ack across all points (Theorem 3.1)",
         bound_fit.max_ratio
@@ -185,16 +211,42 @@ pub fn run(
     }
 }
 
-/// Default parameterisation used by `cargo bench` and the `repro` binary.
-pub fn run_default() -> Fig1Arbitrary {
+/// Default parameterisation at an explicit trial/job count.
+pub fn run_default_with(runner: &TrialRunner) -> Fig1Arbitrary {
     let config = MacConfig::from_ticks(2, 64);
-    run(config, &[8, 16, 32, 64], 4, &[1, 2, 4, 8, 16], 24, 0.5)
+    run(
+        config,
+        &[8, 16, 32, 64],
+        4,
+        &[1, 2, 4, 8, 16],
+        24,
+        0.5,
+        runner,
+    )
+}
+
+/// Default parameterisation used by `cargo bench` (single trial).
+pub fn run_default() -> Fig1Arbitrary {
+    run_default_with(&TrialRunner::single())
+}
+
+/// Smoke parameterisation at an explicit trial/job count.
+pub fn run_smoke_with(runner: &TrialRunner) -> Fig1Arbitrary {
+    run(
+        MacConfig::from_ticks(2, 32),
+        &[4, 8],
+        2,
+        &[1, 2],
+        6,
+        0.5,
+        runner,
+    )
 }
 
 /// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
-/// same code paths as [`run_default`], tiny sweeps.
+/// same code paths as [`run_default`], tiny sweeps, single trial.
 pub fn run_smoke() -> Fig1Arbitrary {
-    run(MacConfig::from_ticks(2, 32), &[4, 8], 2, &[1, 2], 6, 0.5)
+    run_smoke_with(&TrialRunner::single())
 }
 
 #[cfg(test)]
@@ -203,7 +255,15 @@ mod tests {
 
     #[test]
     fn upper_bound_holds_with_constant() {
-        let res = run(MacConfig::from_ticks(2, 48), &[8, 16], 3, &[2, 6], 10, 0.5);
+        let res = run(
+            MacConfig::from_ticks(2, 48),
+            &[8, 16],
+            3,
+            &[2, 6],
+            10,
+            0.5,
+            &TrialRunner::single(),
+        );
         assert!(
             res.bound_fit.max_ratio <= 2.0,
             "worst ratio {:.2} breaks the O((D+k)F_ack) claim",
@@ -222,6 +282,7 @@ mod tests {
             &[4],
             24,
             0.5,
+            &TrialRunner::single(),
         );
         assert!(
             res.adversarial_d_slope > 2.0 * res.reliable_d_slope,

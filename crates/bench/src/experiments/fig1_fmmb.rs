@@ -12,23 +12,25 @@
 //!   fits FMMB's completion rounds against the Theorem 4.1 round bound.
 
 use super::SweepPoint;
+use crate::engine::{TrialRunner, TrialStats};
 use crate::fit::{proportional_fit, ProportionalFit};
-use crate::table::Table;
+use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{bounds, run_bmmb, run_fmmb, Assignment, FmmbParams, RunOptions};
 use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
 use amac_sim::SimRng;
 
-/// One crossover row: the same workload under both algorithms.
+/// One crossover row: the same workload under both algorithms, aggregated
+/// over the trials.
 #[derive(Clone, Copy, Debug)]
 pub struct CrossoverPoint {
     /// `F_ack` in ticks (`F_prog` fixed).
     pub f_ack: u64,
-    /// BMMB completion ticks (standard MAC layer).
-    pub bmmb: u64,
-    /// FMMB completion ticks (enhanced MAC layer).
-    pub fmmb: u64,
+    /// BMMB completion ticks (standard MAC layer) over the trials.
+    pub bmmb: TrialStats,
+    /// FMMB completion ticks (enhanced MAC layer) over the trials.
+    pub fmmb: TrialStats,
 }
 
 /// Results of the `F1-ENH` experiment.
@@ -51,6 +53,11 @@ pub struct Fig1Fmmb {
 /// `density` is nodes per unit area for the size sweep (the side length
 /// grows as `sqrt(n/density)`, keeping degree roughly constant so `D`
 /// grows with `sqrt(n)`).
+///
+/// Every trial samples its own grey-zone networks and assignments from its
+/// split seed; the Theorem 4.1 bound depends on each trial's sampled
+/// diameter, so bounds are aggregated alongside the measurements and the
+/// table reports mean-vs-mean.
 #[allow(clippy::too_many_arguments)]
 pub fn run(
     f_prog: u64,
@@ -60,72 +67,98 @@ pub fn run(
     density: f64,
     k: usize,
     seed: u64,
+    runner: &TrialRunner,
 ) -> Fig1Fmmb {
-    let mut rng = SimRng::seed(seed);
+    // Per trial: [bmmb, fmmb] per f_ack, then [measured, bound] per n.
+    let aggregates = runner.run_matrix(seed, |ctx| {
+        let trial_seed = ctx.seed(seed);
+        let mut rng = SimRng::seed(trial_seed);
+        let mut values = Vec::with_capacity(2 * f_acks.len() + 2 * ns.len());
 
-    // --- Crossover sweep ---
-    let side = (crossover_n as f64 / density).sqrt();
-    let net = connected_grey_zone_network(
-        &GreyZoneConfig::new(crossover_n, side).with_c(2.0),
-        500,
-        &mut rng,
-    )
-    .expect("connected sample");
-    let assignment = Assignment::random(crossover_n, k, &mut rng);
-    let params = FmmbParams::new(k, net.dual.diameter());
-    let mut crossover = Vec::new();
-    for &f_ack in f_acks {
-        let cfg = MacConfig::from_ticks(f_prog, f_ack);
-        let bmmb = run_bmmb(
-            &net.dual,
-            cfg,
-            &assignment,
-            LazyPolicy::new().prefer_duplicates(),
-            &RunOptions::fast().stopping_on_completion(),
-        );
-        let fmmb = run_fmmb(
-            &net.dual,
-            cfg.enhanced(),
-            &assignment,
-            &params,
-            seed ^ 0xF,
-            LazyPolicy::new(),
-            &RunOptions::fast().stopping_on_completion(),
-        );
-        crossover.push(CrossoverPoint {
+        // --- Crossover sweep ---
+        let side = (crossover_n as f64 / density).sqrt();
+        let net = connected_grey_zone_network(
+            &GreyZoneConfig::new(crossover_n, side).with_c(2.0),
+            500,
+            &mut rng,
+        )
+        .expect("connected sample");
+        let assignment = Assignment::random(crossover_n, k, &mut rng);
+        let params = FmmbParams::new(k, net.dual.diameter());
+        for &f_ack in f_acks {
+            let cfg = MacConfig::from_ticks(f_prog, f_ack);
+            let bmmb = run_bmmb(
+                &net.dual,
+                cfg,
+                &assignment,
+                LazyPolicy::new().prefer_duplicates(),
+                &RunOptions::fast().stopping_on_completion(),
+            );
+            let fmmb = run_fmmb(
+                &net.dual,
+                cfg.enhanced(),
+                &assignment,
+                &params,
+                trial_seed ^ 0xF,
+                LazyPolicy::new(),
+                &RunOptions::fast().stopping_on_completion(),
+            );
+            values.push(bmmb.completion_ticks() as f64);
+            values.push(fmmb.completion_ticks() as f64);
+        }
+
+        // --- Size sweep (fixed moderate F_ack; FMMB does not depend on it) ---
+        let cfg = MacConfig::from_ticks(f_prog, 16 * f_prog).enhanced();
+        for &n in ns {
+            let side = (n as f64 / density).sqrt();
+            let net = connected_grey_zone_network(
+                &GreyZoneConfig::new(n, side).with_c(2.0),
+                500,
+                &mut rng,
+            )
+            .expect("connected sample");
+            let assignment = Assignment::random(n, k, &mut rng);
+            let d = net.dual.diameter();
+            let params = FmmbParams::new(k, d);
+            let report = run_fmmb(
+                &net.dual,
+                cfg,
+                &assignment,
+                &params,
+                trial_seed ^ (n as u64),
+                LazyPolicy::new(),
+                &RunOptions::fast().stopping_on_completion(),
+            );
+            values.push(super::ticks_or_end(report.completion, report.end_time) as f64);
+            values.push(bounds::fmmb_enhanced(n, d, k, &cfg).ticks().max(1) as f64);
+        }
+        values
+    });
+
+    let (crossover_aggs, size_aggs) = aggregates.split_at(2 * f_acks.len());
+    let crossover: Vec<CrossoverPoint> = f_acks
+        .iter()
+        .zip(crossover_aggs.chunks_exact(2))
+        .map(|(&f_ack, pair)| CrossoverPoint {
             f_ack,
-            bmmb: bmmb.completion_ticks(),
-            fmmb: fmmb.completion_ticks(),
-        });
-    }
-    let crossover_f_ack = crossover.iter().find(|p| p.fmmb < p.bmmb).map(|p| p.f_ack);
+            bmmb: TrialStats::from_aggregate(&pair[0]),
+            fmmb: TrialStats::from_aggregate(&pair[1]),
+        })
+        .collect();
+    let crossover_f_ack = crossover
+        .iter()
+        .find(|p| p.fmmb.mean < p.bmmb.mean)
+        .map(|p| p.f_ack);
 
-    // --- Size sweep (fixed moderate F_ack; FMMB does not depend on it) ---
-    let cfg = MacConfig::from_ticks(f_prog, 16 * f_prog).enhanced();
-    let mut size_sweep = Vec::new();
-    for &n in ns {
-        let side = (n as f64 / density).sqrt();
-        let net =
-            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-                .expect("connected sample");
-        let assignment = Assignment::random(n, k, &mut rng);
-        let d = net.dual.diameter();
-        let params = FmmbParams::new(k, d);
-        let report = run_fmmb(
-            &net.dual,
-            cfg,
-            &assignment,
-            &params,
-            seed ^ (n as u64),
-            LazyPolicy::new(),
-            &RunOptions::fast().stopping_on_completion(),
-        );
-        size_sweep.push(SweepPoint {
+    let size_sweep: Vec<SweepPoint> = ns
+        .iter()
+        .zip(size_aggs.chunks_exact(2))
+        .map(|(&n, pair)| SweepPoint {
             param: n,
-            measured: super::ticks_or_end(report.completion, report.end_time),
-            bound: bounds::fmmb_enhanced(n, d, k, &cfg).ticks().max(1),
-        });
-    }
+            measured: TrialStats::from_aggregate(&pair[0]),
+            bound: (pair[1].mean().round() as u64).max(1),
+        })
+        .collect();
     let bound_fit = proportional_fit(
         &size_sweep
             .iter()
@@ -135,15 +168,21 @@ pub fn run(
 
     let mut table = Table::new(
         format!("F1-ENH  FMMB vs BMMB, grey zone G' (n={crossover_n}, k={k}, F_prog={f_prog})"),
-        &["sweep", "value", "BMMB", "FMMB", "winner"],
+        &["sweep", "value", "BMMB", "FMMB", "ci95 (FMMB)", "winner"],
     );
     for p in &crossover {
         table.row([
             "F_ack".to_string(),
             p.f_ack.to_string(),
-            p.bmmb.to_string(),
-            p.fmmb.to_string(),
-            if p.fmmb < p.bmmb { "FMMB" } else { "BMMB" }.to_string(),
+            mean_cell(&p.bmmb),
+            mean_cell(&p.fmmb),
+            ci_cell(&p.fmmb),
+            if p.fmmb.mean < p.bmmb.mean {
+                "FMMB"
+            } else {
+                "BMMB"
+            }
+            .to_string(),
         ]);
     }
     for p in &size_sweep {
@@ -151,10 +190,15 @@ pub fn run(
             "n".to_string(),
             p.param.to_string(),
             String::new(),
-            format!("{} (bound {})", p.measured, p.bound),
+            format!("{} (bound {})", mean_cell(&p.measured), p.bound),
+            ci_cell(&p.measured),
             format!("{:.2}x", p.ratio()),
         ]);
     }
+    table.note(format!(
+        "{} trial(s) per point, each on a fresh grey-zone sample",
+        runner.trials()
+    ));
     match crossover_f_ack {
         Some(f) => table.note(format!(
             "FMMB wins from F_ack = {f} on (F_ack/F_prog = {}); its time is F_ack-independent",
@@ -176,15 +220,34 @@ pub fn run(
     }
 }
 
-/// Default parameterisation used by `cargo bench` and the `repro` binary.
+/// Default parameterisation at an explicit trial/job count.
+pub fn run_default_with(runner: &TrialRunner) -> Fig1Fmmb {
+    run(
+        2,
+        &[8, 64, 512, 4096, 16384],
+        48,
+        &[24, 48, 96],
+        2.0,
+        4,
+        5,
+        runner,
+    )
+}
+
+/// Default parameterisation used by `cargo bench` (single trial).
 pub fn run_default() -> Fig1Fmmb {
-    run(2, &[8, 64, 512, 4096, 16384], 48, &[24, 48, 96], 2.0, 4, 5)
+    run_default_with(&TrialRunner::single())
+}
+
+/// Smoke parameterisation at an explicit trial/job count.
+pub fn run_smoke_with(runner: &TrialRunner) -> Fig1Fmmb {
+    run(2, &[8, 32], 12, &[12, 16], 2.0, 2, 5, runner)
 }
 
 /// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
-/// same code paths as [`run_default`], tiny sweeps.
+/// same code paths as [`run_default`], tiny sweeps, single trial.
 pub fn run_smoke() -> Fig1Fmmb {
-    run(2, &[8, 32], 12, &[12, 16], 2.0, 2, 5)
+    run_smoke_with(&TrialRunner::single())
 }
 
 #[cfg(test)]
@@ -193,21 +256,37 @@ mod tests {
 
     #[test]
     fn fmmb_time_is_f_ack_independent() {
-        let res = run(2, &[16, 1024], 24, &[16], 2.0, 2, 9);
+        let res = run(2, &[16, 1024], 24, &[16], 2.0, 2, 9, &TrialRunner::single());
         let lo = res.crossover[0].fmmb;
         let hi = res.crossover[1].fmmb;
         // 64x larger F_ack: FMMB time unchanged (same schedule, same seed).
-        assert_eq!(lo, hi, "FMMB must not depend on F_ack");
+        assert_eq!(lo.mean, hi.mean, "FMMB must not depend on F_ack");
         // BMMB time grows dramatically.
-        assert!(res.crossover[1].bmmb > 4 * res.crossover[0].bmmb);
+        assert!(res.crossover[1].bmmb.mean > 4.0 * res.crossover[0].bmmb.mean);
     }
 
     #[test]
     fn crossover_exists_for_large_f_ack() {
-        let res = run(2, &[8, 16384], 32, &[16], 2.0, 3, 4);
+        let res = run(2, &[8, 16384], 32, &[16], 2.0, 3, 4, &TrialRunner::single());
         assert!(
             res.crossover_f_ack.is_some(),
             "FMMB should win at F_ack/F_prog = 8192"
+        );
+    }
+
+    #[test]
+    fn multi_trial_crossover_aggregates_fresh_samples() {
+        let res = run(2, &[8, 512], 12, &[12], 2.0, 2, 5, &TrialRunner::new(3, 2));
+        for p in &res.crossover {
+            assert_eq!(p.bmmb.trials, 3);
+            assert_eq!(p.fmmb.trials, 3);
+            assert!(p.bmmb.min <= p.bmmb.mean && p.bmmb.mean <= p.bmmb.max);
+        }
+        // Different trials sample different networks, so the large-F_ack
+        // BMMB point should show actual spread.
+        assert!(
+            res.crossover[1].bmmb.max > res.crossover[1].bmmb.min,
+            "fresh samples per trial should vary"
         );
     }
 }

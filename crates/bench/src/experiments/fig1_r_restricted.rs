@@ -12,7 +12,8 @@
 //! is what hurts.
 
 use super::SweepPoint;
-use crate::table::Table;
+use crate::engine::TrialRunner;
+use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
 use amac_graph::{generators, NodeId};
 use amac_mac::policies::LazyPolicy;
@@ -24,14 +25,33 @@ use amac_sim::SimRng;
 pub struct Fig1RRestricted {
     /// Sweep of `r` at fixed `D`, `k`; bound is the exact `t₁`.
     pub r_sweep: Vec<SweepPoint>,
-    /// `true` iff every measured time is within the exact Theorem 3.16
-    /// deadline.
+    /// `true` iff every measured time — in **every trial**, not just the
+    /// mean — is within the exact Theorem 3.16 deadline.
     pub within_exact_bound: bool,
     /// Rendered table.
     pub table: Table,
 }
 
-/// Runs the experiment.
+fn measure_ticks(config: MacConfig, d: usize, k: usize, r: usize, p: f64, seed: u64) -> u64 {
+    let g = generators::line(d + 1).expect("d >= 1");
+    let mut rng = SimRng::seed(seed ^ (r as u64).wrapping_mul(0x9E37));
+    let dual = generators::r_restricted_augment(g, r, p, &mut rng).expect("valid parameters");
+    debug_assert!(dual.check_r_restricted(r).is_ok());
+    let assignment = Assignment::all_at(NodeId::new(0), k);
+    let report = run_bmmb(
+        &dual,
+        config,
+        &assignment,
+        LazyPolicy::new().prefer_duplicates(),
+        &RunOptions::fast(),
+    );
+    report.completion_ticks()
+}
+
+/// Runs the experiment. Each trial samples its own `r`-restricted
+/// augmentation (from the trial's split seed), so the aggregate spans the
+/// topology distribution, and the exact Theorem 3.16 deadline is checked
+/// on every trial individually.
 pub fn run(
     config: MacConfig,
     d: usize,
@@ -39,39 +59,37 @@ pub fn run(
     rs: &[usize],
     edge_probability: f64,
     seed: u64,
+    runner: &TrialRunner,
 ) -> Fig1RRestricted {
-    let mut r_sweep = Vec::new();
-    for &r in rs {
-        let g = generators::line(d + 1).expect("d >= 1");
-        let mut rng = SimRng::seed(seed ^ (r as u64).wrapping_mul(0x9E37));
-        let dual = generators::r_restricted_augment(g, r, edge_probability, &mut rng)
-            .expect("valid parameters");
-        debug_assert!(dual.check_r_restricted(r).is_ok());
-        let assignment = Assignment::all_at(NodeId::new(0), k);
-        let report = run_bmmb(
-            &dual,
-            config,
-            &assignment,
-            LazyPolicy::new().prefer_duplicates(),
-            &RunOptions::fast(),
-        );
-        // Integer-tick note: a discrete simulator realizes a progress
-        // window of F_prog + 1 ticks ("strictly longer than F_prog"), so
-        // the exact t1 deadline is evaluated at that effective constant.
-        let effective = MacConfig::from_ticks(config.f_prog().ticks() + 1, config.f_ack().ticks());
-        r_sweep.push(SweepPoint {
-            param: r,
-            measured: report.completion_ticks(),
-            bound: bounds::bmmb_r_restricted_exact(d, k, r, &effective).ticks(),
-        });
-    }
-    let within_exact_bound = r_sweep.iter().all(|p| p.measured <= p.bound);
+    let aggregates = runner.run_matrix(seed, |ctx| {
+        let trial_seed = ctx.seed(seed);
+        rs.iter()
+            .map(|&r| measure_ticks(config, d, k, r, edge_probability, trial_seed) as f64)
+            .collect()
+    });
+    // Integer-tick note: a discrete simulator realizes a progress window
+    // of F_prog + 1 ticks ("strictly longer than F_prog"), so the exact
+    // t1 deadline is evaluated at that effective constant.
+    let effective = MacConfig::from_ticks(config.f_prog().ticks() + 1, config.f_ack().ticks());
+    let r_sweep: Vec<SweepPoint> = rs
+        .iter()
+        .zip(&aggregates)
+        .map(|(&r, a)| {
+            SweepPoint::from_aggregate(
+                r,
+                a,
+                bounds::bmmb_r_restricted_exact(d, k, r, &effective).ticks(),
+            )
+        })
+        .collect();
+    let within_exact_bound = r_sweep.iter().all(|p| p.measured.max <= p.bound as f64);
 
     let mut table = Table::new(
         format!("F1-RR  BMMB, r-restricted G' (line D={d}, k={k}, {config})"),
         &[
             "r",
             "measured",
+            "ci95",
             "exact t1 (Thm 3.16)",
             "ratio",
             "O-form D*Fp+r*k*Fa",
@@ -80,7 +98,8 @@ pub fn run(
     for p in &r_sweep {
         table.row([
             p.param.to_string(),
-            p.measured.to_string(),
+            mean_cell(&p.measured),
+            ci_cell(&p.measured),
             p.bound.to_string(),
             format!("{:.2}", p.ratio()),
             bounds::bmmb_r_restricted(d, k, p.param, &config)
@@ -88,8 +107,12 @@ pub fn run(
                 .to_string(),
         ]);
     }
+    table.note(format!(
+        "{} trial(s) per point, each on a fresh r-restricted augmentation",
+        runner.trials()
+    ));
     table.note(if within_exact_bound {
-        "every measured time is within the exact Theorem 3.16 deadline t1".to_string()
+        "every trial's measured time is within the exact Theorem 3.16 deadline t1".to_string()
     } else {
         "VIOLATION: some run exceeded the exact Theorem 3.16 deadline".to_string()
     });
@@ -102,8 +125,8 @@ pub fn run(
     }
 }
 
-/// Default parameterisation used by `cargo bench` and the `repro` binary.
-pub fn run_default() -> Fig1RRestricted {
+/// Default parameterisation at an explicit trial/job count.
+pub fn run_default_with(runner: &TrialRunner) -> Fig1RRestricted {
     run(
         MacConfig::from_ticks(2, 64),
         32,
@@ -111,13 +134,24 @@ pub fn run_default() -> Fig1RRestricted {
         &[1, 2, 4, 8, 16],
         0.5,
         11,
+        runner,
     )
 }
 
+/// Default parameterisation used by `cargo bench` (single trial).
+pub fn run_default() -> Fig1RRestricted {
+    run_default_with(&TrialRunner::single())
+}
+
+/// Smoke parameterisation at an explicit trial/job count.
+pub fn run_smoke_with(runner: &TrialRunner) -> Fig1RRestricted {
+    run(MacConfig::from_ticks(2, 32), 8, 2, &[1, 2], 0.5, 11, runner)
+}
+
 /// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
-/// same code paths as [`run_default`], tiny sweeps.
+/// same code paths as [`run_default`], tiny sweeps, single trial.
 pub fn run_smoke() -> Fig1RRestricted {
-    run(MacConfig::from_ticks(2, 32), 8, 2, &[1, 2], 0.5, 11)
+    run_smoke_with(&TrialRunner::single())
 }
 
 #[cfg(test)]
@@ -126,28 +160,69 @@ mod tests {
 
     #[test]
     fn exact_theorem_316_deadline_holds() {
-        let res = run(MacConfig::from_ticks(2, 48), 16, 3, &[1, 2, 4], 0.5, 3);
+        let res = run(
+            MacConfig::from_ticks(2, 48),
+            16,
+            3,
+            &[1, 2, 4],
+            0.5,
+            3,
+            &TrialRunner::single(),
+        );
         assert!(res.within_exact_bound, "{}", res.table);
     }
 
     #[test]
+    fn exact_deadline_holds_on_every_trial() {
+        // The Theorem 3.16 deadline is exact, so it must hold on each of
+        // the per-trial topologies, not just on the mean.
+        let res = run(
+            MacConfig::from_ticks(2, 32),
+            8,
+            2,
+            &[1, 2],
+            0.5,
+            11,
+            &TrialRunner::new(4, 2),
+        );
+        assert!(res.within_exact_bound, "{}", res.table);
+        assert!(res.r_sweep.iter().all(|p| p.measured.trials == 4));
+    }
+
+    #[test]
     fn r_one_matches_reliable_case() {
-        let res = run(MacConfig::from_ticks(2, 48), 16, 3, &[1], 1.0, 3);
+        let res = run(
+            MacConfig::from_ticks(2, 48),
+            16,
+            3,
+            &[1],
+            1.0,
+            3,
+            &TrialRunner::single(),
+        );
         let p = res.r_sweep[0];
         // With r = 1 nothing can be added: identical to the G' = G cell.
         let gg_bound = bounds::bmmb_reliable(16, 3, &MacConfig::from_ticks(2, 48)).ticks();
-        assert!(p.measured <= 3 * gg_bound);
+        assert!(p.measured.max <= (3 * gg_bound) as f64);
     }
 
     #[test]
     fn larger_r_is_never_dramatically_faster() {
         // Growing r adds adversarial freedom; measured time should trend
         // upward (allowing small-sample noise).
-        let res = run(MacConfig::from_ticks(2, 64), 24, 4, &[1, 8], 0.5, 7);
-        let t1 = res.r_sweep[0].measured;
-        let t8 = res.r_sweep[1].measured;
+        let res = run(
+            MacConfig::from_ticks(2, 64),
+            24,
+            4,
+            &[1, 8],
+            0.5,
+            7,
+            &TrialRunner::single(),
+        );
+        let t1 = res.r_sweep[0].mean();
+        let t8 = res.r_sweep[1].mean();
         assert!(
-            t8 * 2 >= t1,
+            t8 * 2.0 >= t1,
             "r=8 ({t8}) should not be far below r=1 ({t1})"
         );
     }

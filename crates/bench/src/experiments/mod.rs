@@ -21,34 +21,51 @@ pub mod fig1_r_restricted;
 pub mod lower_bounds;
 pub mod subroutines;
 
+use crate::engine::TrialStats;
+use amac_sim::stats::Aggregate;
 use amac_sim::Time;
 
-/// One measured sweep point: a driving parameter, the measured completion
-/// time, and the paper's bound evaluated at that point.
+/// One measured sweep point: a driving parameter, the completion-time
+/// aggregate over the trials, and the paper's bound evaluated at that
+/// point.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepPoint {
     /// The swept parameter value (`D`, `k`, `r`, `n`, or `F_ack`).
     pub param: usize,
-    /// Measured completion time in ticks.
-    pub measured: u64,
+    /// Completion-time statistics over the trials, in ticks.
+    pub measured: TrialStats,
     /// The bound formula evaluated at this point, in ticks.
     pub bound: u64,
 }
 
 impl SweepPoint {
-    /// `measured / bound`.
+    /// Builds a sweep point from a finished trial aggregate.
+    pub fn from_aggregate(param: usize, aggregate: &Aggregate, bound: u64) -> SweepPoint {
+        SweepPoint {
+            param,
+            measured: TrialStats::from_aggregate(aggregate),
+            bound,
+        }
+    }
+
+    /// Mean completion time over the trials, in ticks.
+    pub fn mean(&self) -> f64 {
+        self.measured.mean
+    }
+
+    /// `mean / bound`.
     pub fn ratio(&self) -> f64 {
-        self.measured as f64 / self.bound as f64
+        self.measured.mean / self.bound as f64
     }
 
-    /// As an `(bound, measured)` float pair for proportional fitting.
+    /// As a `(bound, mean)` float pair for proportional fitting.
     pub fn as_fit_point(&self) -> (f64, f64) {
-        (self.bound as f64, self.measured as f64)
+        (self.bound as f64, self.measured.mean)
     }
 
-    /// As a `(param, measured)` float pair for linear fitting.
+    /// As a `(param, mean)` float pair for linear fitting.
     pub fn as_param_point(&self) -> (f64, f64) {
-        (self.param as f64, self.measured as f64)
+        (self.param as f64, self.measured.mean)
     }
 }
 

@@ -9,7 +9,8 @@
 //! * **spread** (Lemmas 4.7–4.8): rounds from gather completion until MMB
 //!   completion, versus `O((D + k)·log n)`.
 
-use crate::table::Table;
+use crate::engine::{TrialRunner, TrialStats};
+use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{Assignment, Delivered, Fmmb, FmmbParams, MessageId, MisStatus};
 use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
 use amac_graph::{algo, DualGraph, NodeId, NodeSet};
@@ -119,18 +120,19 @@ pub fn run_instrumented<P: Policy>(
     milestones
 }
 
-/// One row of the MIS sweep.
+/// One row of the MIS sweep (aggregated over seeds × trials).
 #[derive(Clone, Copy, Debug)]
 pub struct MisPoint {
     /// Network size.
     pub n: usize,
     /// `⌈log₂ n⌉³` (the bound shape).
     pub log_cubed: u64,
-    /// Mean rounds until all nodes decided (over the seeds).
+    /// Mean rounds until all nodes decided (over seeds and trials).
     pub decided_rounds: f64,
-    /// Scheduled MIS segment rounds.
+    /// Scheduled MIS segment rounds (mean over trials, rounded; the
+    /// schedule depends on each trial's sampled diameter).
     pub segment_rounds: u64,
-    /// Fraction of seeds yielding a valid maximal independent set.
+    /// Fraction of runs yielding a valid maximal independent set.
     pub validity_rate: f64,
 }
 
@@ -140,117 +142,186 @@ pub struct Subroutines {
     /// MIS sweep over `n`.
     pub mis: Vec<MisPoint>,
     /// Gather sweep over `k`: `(k, gather rounds used, k + log n)`.
-    pub gather: Vec<(usize, u64, u64)>,
-    /// Spread sweep over `n` (growing `D`):
-    /// `(n, D, spread rounds used, (D + k) * log n)`.
-    pub spread: Vec<(usize, usize, u64, u64)>,
+    pub gather: Vec<(usize, TrialStats, u64)>,
+    /// Spread sweep over `n` (growing `D`): `(n, mean D, spread rounds
+    /// used, mean (D + k) * log n)`.
+    pub spread: Vec<(usize, u64, TrialStats, u64)>,
     /// Rendered table.
     pub table: Table,
 }
 
-/// Runs all three subroutine experiments.
-pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64]) -> Subroutines {
+/// Runs all three subroutine experiments. Each trial samples fresh
+/// grey-zone networks and assignments from its split seed (trial 0 keeps
+/// the historical sampling), and the per-network `seeds` repetitions run
+/// within each trial as before.
+pub fn run(
+    f_prog: u64,
+    ns: &[usize],
+    ks: &[usize],
+    density: f64,
+    seeds: &[u64],
+    runner: &TrialRunner,
+) -> Subroutines {
     let cfg = MacConfig::from_ticks(f_prog, 8 * f_prog).enhanced();
-    let mut rng = SimRng::seed(1234);
 
-    // --- SUB-MIS: sweep n, several seeds each ---
-    let mut mis = Vec::new();
-    for &n in ns {
-        let side = (n as f64 / density).sqrt();
-        let net =
-            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-                .expect("connected sample");
-        let params = FmmbParams::new(1, net.dual.diameter());
-        let assignment = Assignment::all_at(NodeId::new(0), 1);
-        let mut decided_sum = 0.0;
-        let mut valid = 0usize;
-        for &seed in seeds {
+    // Per trial: per n [decided_mean, validity, segment], per k
+    // [gather_used], per n [spread_used, d, bound].
+    let aggregates = runner.run_matrix(1234, |ctx| {
+        let mut rng = SimRng::seed(ctx.seed(1234));
+        let salt = ctx.seed(0);
+        let mut values = Vec::with_capacity(3 * ns.len() + ks.len() + 3 * ns.len());
+
+        // --- SUB-MIS: sweep n, several seeds each ---
+        for &n in ns {
+            let side = (n as f64 / density).sqrt();
+            let net = connected_grey_zone_network(
+                &GreyZoneConfig::new(n, side).with_c(2.0),
+                500,
+                &mut rng,
+            )
+            .expect("connected sample");
+            let params = FmmbParams::new(1, net.dual.diameter());
+            let assignment = Assignment::all_at(NodeId::new(0), 1);
+            let mut decided_sum = 0.0;
+            let mut valid = 0usize;
+            for &seed in seeds {
+                let m = run_instrumented(
+                    &net.dual,
+                    cfg,
+                    &assignment,
+                    &params,
+                    seed ^ salt,
+                    amac_mac::policies::LazyPolicy::new(),
+                );
+                decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
+                valid += usize::from(m.mis_valid);
+            }
+            values.push(decided_sum / seeds.len() as f64);
+            values.push(valid as f64 / seeds.len() as f64);
+            values.push(params.schedule(n).mis_rounds() as f64);
+        }
+
+        // --- SUB-GATHER: sweep k on a fixed network ---
+        let n_fixed = *ns.last().expect("non-empty ns");
+        let side = (n_fixed as f64 / density).sqrt();
+        let net = connected_grey_zone_network(
+            &GreyZoneConfig::new(n_fixed, side).with_c(2.0),
+            500,
+            &mut rng,
+        )
+        .expect("connected sample");
+        for &k in ks {
+            let params = FmmbParams::new(k, net.dual.diameter());
+            let assignment = Assignment::random(n_fixed, k, &mut rng);
             let m = run_instrumented(
                 &net.dual,
                 cfg,
                 &assignment,
                 &params,
-                seed,
+                seeds[0] ^ salt,
                 amac_mac::policies::LazyPolicy::new(),
             );
-            decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
-            valid += usize::from(m.mis_valid);
+            // Unreached milestone: record NaN, not a huge finite
+            // sentinel — Welford propagates it, so the mean/ci95 cells
+            // print `NaN`, an explicit failure marker instead of a
+            // plausible-looking number.
+            let used = m
+                .gather_done_round
+                .map(|g| g.saturating_sub(m.gather_start_round) as f64)
+                .unwrap_or(f64::NAN);
+            values.push(used);
         }
-        let lg = amac_core::bounds::log2_ceil(n).max(1);
-        mis.push(MisPoint {
-            n,
-            log_cubed: lg * lg * lg,
-            decided_rounds: decided_sum / seeds.len() as f64,
-            segment_rounds: params.schedule(n).mis_rounds(),
-            validity_rate: valid as f64 / seeds.len() as f64,
-        });
-    }
 
-    // --- SUB-GATHER: sweep k on a fixed network ---
+        // --- SUB-SPREAD: sweep n (D grows with sqrt n at fixed density) ---
+        let k_fixed = *ks.first().expect("non-empty ks");
+        for &n in ns {
+            let side = (n as f64 / density).sqrt();
+            let net = connected_grey_zone_network(
+                &GreyZoneConfig::new(n, side).with_c(2.0),
+                500,
+                &mut rng,
+            )
+            .expect("connected sample");
+            let d = net.dual.diameter();
+            let params = FmmbParams::new(k_fixed, d);
+            let assignment = Assignment::random(n, k_fixed, &mut rng);
+            let m = run_instrumented(
+                &net.dual,
+                cfg,
+                &assignment,
+                &params,
+                seeds[0] ^ salt,
+                amac_mac::policies::LazyPolicy::new(),
+            );
+            // NaN on an unreached milestone, as in the gather sweep.
+            let used = match (m.completion_round, m.gather_done_round) {
+                (Some(c), Some(g)) => c.saturating_sub(g) as f64,
+                _ => f64::NAN,
+            };
+            let lg = amac_core::bounds::log2_ceil(n).max(1);
+            values.push(used);
+            values.push(d as f64);
+            values.push(((d as u64 + k_fixed as u64) * lg) as f64);
+        }
+        values
+    });
+
+    let (mis_aggs, rest) = aggregates.split_at(3 * ns.len());
+    let (gather_aggs, spread_aggs) = rest.split_at(ks.len());
+
+    let mis: Vec<MisPoint> = ns
+        .iter()
+        .zip(mis_aggs.chunks_exact(3))
+        .map(|(&n, chunk)| {
+            let lg = amac_core::bounds::log2_ceil(n).max(1);
+            MisPoint {
+                n,
+                log_cubed: lg * lg * lg,
+                decided_rounds: chunk[0].mean(),
+                segment_rounds: chunk[2].mean().round() as u64,
+                validity_rate: chunk[1].mean(),
+            }
+        })
+        .collect();
+
     let n_fixed = *ns.last().expect("non-empty ns");
-    let side = (n_fixed as f64 / density).sqrt();
-    let net = connected_grey_zone_network(
-        &GreyZoneConfig::new(n_fixed, side).with_c(2.0),
-        500,
-        &mut rng,
-    )
-    .expect("connected sample");
-    let lg = amac_core::bounds::log2_ceil(n_fixed).max(1);
-    let mut gather = Vec::new();
-    for &k in ks {
-        let params = FmmbParams::new(k, net.dual.diameter());
-        let assignment = Assignment::random(n_fixed, k, &mut rng);
-        let m = run_instrumented(
-            &net.dual,
-            cfg,
-            &assignment,
-            &params,
-            seeds[0],
-            amac_mac::policies::LazyPolicy::new(),
-        );
-        let used = m
-            .gather_done_round
-            .map(|g| g.saturating_sub(m.gather_start_round))
-            .unwrap_or(u64::MAX);
-        gather.push((k, used, k as u64 + lg));
-    }
+    let lg_fixed = amac_core::bounds::log2_ceil(n_fixed).max(1);
+    let gather: Vec<(usize, TrialStats, u64)> = ks
+        .iter()
+        .zip(gather_aggs)
+        .map(|(&k, a)| (k, TrialStats::from_aggregate(a), k as u64 + lg_fixed))
+        .collect();
 
-    // --- SUB-SPREAD: sweep n (D grows with sqrt n at fixed density) ---
-    let k_fixed = *ks.first().expect("non-empty ks");
-    let mut spread = Vec::new();
-    for &n in ns {
-        let side = (n as f64 / density).sqrt();
-        let net =
-            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-                .expect("connected sample");
-        let d = net.dual.diameter();
-        let params = FmmbParams::new(k_fixed, d);
-        let assignment = Assignment::random(n, k_fixed, &mut rng);
-        let m = run_instrumented(
-            &net.dual,
-            cfg,
-            &assignment,
-            &params,
-            seeds[0],
-            amac_mac::policies::LazyPolicy::new(),
-        );
-        let used = match (m.completion_round, m.gather_done_round) {
-            (Some(c), Some(g)) => c.saturating_sub(g),
-            _ => u64::MAX,
-        };
-        let lg = amac_core::bounds::log2_ceil(n).max(1);
-        spread.push((n, d, used, (d as u64 + k_fixed as u64) * lg));
-    }
+    let spread: Vec<(usize, u64, TrialStats, u64)> = ns
+        .iter()
+        .zip(spread_aggs.chunks_exact(3))
+        .map(|(&n, chunk)| {
+            (
+                n,
+                chunk[1].mean().round() as u64,
+                TrialStats::from_aggregate(&chunk[0]),
+                chunk[2].mean().round() as u64,
+            )
+        })
+        .collect();
 
     let mut table = Table::new(
         format!("SUB-*  FMMB subroutines (grey zone, density {density}, F_prog={f_prog})"),
-        &["subroutine", "param", "rounds used", "bound shape", "note"],
+        &[
+            "subroutine",
+            "param",
+            "rounds used",
+            "ci95",
+            "bound shape",
+            "note",
+        ],
     );
     for p in &mis {
         table.row([
             "MIS (Lem 4.5)".to_string(),
             format!("n={}", p.n),
             format!("{:.0}", p.decided_rounds),
+            String::new(),
             format!("log^3 n = {}", p.log_cubed),
             format!(
                 "segment {}, valid {:.0}%",
@@ -263,7 +334,8 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
         table.row([
             "gather (Lem 4.6)".to_string(),
             format!("k={k}"),
-            used.to_string(),
+            mean_cell(used),
+            ci_cell(used),
             format!("k + log n = {bound}"),
             String::new(),
         ]);
@@ -272,11 +344,17 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
         table.row([
             "spread (Lem 4.7/4.8)".to_string(),
             format!("n={n}"),
-            used.to_string(),
+            mean_cell(used),
+            ci_cell(used),
             format!("(D+k)*log n = {bound}"),
             format!("D={d}"),
         ]);
     }
+    table.note(format!(
+        "{} trial(s), {} instrumented seed(s) per network",
+        runner.trials(),
+        seeds.len()
+    ));
     table.note("rounds used are until the milestone, not the (longer) fixed schedule");
 
     Subroutines {
@@ -287,15 +365,25 @@ pub fn run(f_prog: u64, ns: &[usize], ks: &[usize], density: f64, seeds: &[u64])
     }
 }
 
-/// Default parameterisation used by `cargo bench` and the `repro` binary.
+/// Default parameterisation at an explicit trial/job count.
+pub fn run_default_with(runner: &TrialRunner) -> Subroutines {
+    run(2, &[16, 32, 64], &[2, 4, 8], 2.0, &[1, 2, 3], runner)
+}
+
+/// Default parameterisation used by `cargo bench` (single trial).
 pub fn run_default() -> Subroutines {
-    run(2, &[16, 32, 64], &[2, 4, 8], 2.0, &[1, 2, 3])
+    run_default_with(&TrialRunner::single())
+}
+
+/// Smoke parameterisation at an explicit trial/job count.
+pub fn run_smoke_with(runner: &TrialRunner) -> Subroutines {
+    run(2, &[8, 12], &[1, 2], 2.0, &[1], runner)
 }
 
 /// A seconds-scale smoke parameterisation used by `repro --smoke` in CI: the
-/// same code paths as [`run_default`], tiny sweeps.
+/// same code paths as [`run_default`], tiny sweeps, single trial.
 pub fn run_smoke() -> Subroutines {
-    run(2, &[8, 12], &[1, 2], 2.0, &[1])
+    run_smoke_with(&TrialRunner::single())
 }
 
 #[cfg(test)]
@@ -329,11 +417,27 @@ mod tests {
 
     #[test]
     fn small_sweep_produces_full_table() {
-        let res = run(2, &[16, 24], &[2], 2.0, &[1]);
+        let res = run(2, &[16, 24], &[2], 2.0, &[1], &TrialRunner::single());
         assert_eq!(res.mis.len(), 2);
         assert_eq!(res.gather.len(), 1);
         assert_eq!(res.spread.len(), 2);
         assert!(res.mis.iter().all(|p| p.validity_rate > 0.0));
         assert!(!res.table.is_empty());
+    }
+
+    #[test]
+    fn multi_trial_sweep_aggregates() {
+        let res = run(2, &[12, 16], &[1], 2.0, &[1], &TrialRunner::new(2, 2));
+        assert_eq!(res.mis.len(), 2);
+        for (_, used, _) in &res.gather {
+            assert_eq!(used.trials, 2);
+        }
+        for (_, _, used, _) in &res.spread {
+            assert_eq!(used.trials, 2);
+        }
+        assert!(res
+            .mis
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.validity_rate)));
     }
 }

@@ -49,10 +49,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
+    // Zero variance in y (flat sweeps — easy to hit with small smoke
+    // parameterisations or aggregated means) must not yield r2 = NaN from
+    // 0/0: a flat line fit perfectly is a perfect fit (1.0); a flat target
+    // the fit somehow misses is a total miss (0.0).
     let r2 = if ss_tot > 1e-12 {
         1.0 - ss_res / ss_tot
-    } else {
+    } else if ss_res <= 1e-12 {
         1.0
+    } else {
+        0.0
     };
     LinearFit {
         slope,
@@ -125,6 +131,34 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn linear_fit_needs_points() {
         linear_fit(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn flat_sweep_has_finite_r2() {
+        // y constant: ss_tot = 0; the least-squares line reproduces it
+        // exactly, so r2 must be 1.0, never NaN.
+        let f = linear_fit(&[(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]);
+        assert_eq!(f.r2, 1.0);
+        assert!((f.slope).abs() < 1e-12);
+        assert!((f.intercept - 5.0).abs() < 1e-12);
+        assert!(f.r2.is_finite());
+    }
+
+    #[test]
+    fn near_flat_sweep_r2_is_finite_and_clamped() {
+        // Values within the 1e-12 tolerance of flat: still well-defined.
+        let f = linear_fit(&[(1.0, 5.0), (2.0, 5.0 + 1e-13), (3.0, 5.0)]);
+        assert!(f.r2.is_finite());
+        assert!((0.0..=1.0).contains(&f.r2));
+    }
+
+    #[test]
+    fn proportional_fit_flat_y_is_finite() {
+        let f = proportional_fit(&[(10.0, 5.0), (20.0, 5.0)]);
+        assert!(f.ratio.is_finite());
+        assert!(f.max_ratio.is_finite() && f.min_ratio.is_finite());
+        assert!((f.max_ratio - 0.5).abs() < 1e-12);
+        assert!((f.min_ratio - 0.25).abs() < 1e-12);
     }
 
     #[test]

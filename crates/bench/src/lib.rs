@@ -5,13 +5,17 @@
 //! (the lower-bound network), plus the three FMMB subroutine guarantees.
 //!
 //! Each experiment lives in [`experiments`] and produces both structured
-//! data (sweep points, fits) and a rendered [`table::Table`]. The
-//! `benches/` targets print these tables under `cargo bench`; the `repro`
-//! binary emits the EXPERIMENTS.md dataset.
+//! data (sweep points, fits) and a rendered [`table::Table`]. Sweep points
+//! are measured by the multi-trial [`engine`] ([`TrialRunner`]): `N`
+//! independent trials per experiment, fanned over a worker pool, folded
+//! into mean/CI aggregates that are bit-identical for any worker count.
+//! The `benches/` targets print these tables under `cargo bench`; the
+//! `repro` binary (`--trials N --jobs J`) emits the EXPERIMENTS.md dataset.
 //!
 //! ```no_run
-//! // Regenerate the G' = G cell of Figure 1 and print it:
-//! let result = amac_bench::experiments::fig1_gg::run_default();
+//! // Regenerate the G' = G cell of Figure 1, 8 trials over 4 workers:
+//! use amac_bench::engine::TrialRunner;
+//! let result = amac_bench::experiments::fig1_gg::run_default_with(&TrialRunner::new(8, 4));
 //! println!("{}", result.table);
 //! assert!(result.bound_fit.max_ratio < 3.0);
 //! ```
@@ -19,8 +23,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod engine;
 pub mod experiments;
 pub mod fit;
 pub mod table;
 
+pub use engine::{TrialRunner, TrialStats};
 pub use experiments::SweepPoint;

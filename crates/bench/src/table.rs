@@ -1,7 +1,25 @@
 //! Plain-text tables in the style of the paper's Figure 1, printed by the
 //! bench targets and the `repro` binary.
 
+use crate::engine::TrialStats;
 use std::fmt;
+
+/// Renders a mean for a "measured" column: the exact integer for a single
+/// trial (preserving the historical single-measurement tables), one
+/// decimal once trials are aggregated.
+pub fn mean_cell(stats: &TrialStats) -> String {
+    if stats.trials == 1 {
+        format!("{:.0}", stats.mean)
+    } else {
+        format!("{:.1}", stats.mean)
+    }
+}
+
+/// Renders a 95% confidence-interval column: `±h` half-width (empty-ish
+/// `±0.0` for a single trial, which carries no spread information).
+pub fn ci_cell(stats: &TrialStats) -> String {
+    format!("±{:.1}", stats.ci95)
+}
 
 /// A titled, aligned text table with footnotes.
 ///
@@ -133,6 +151,20 @@ mod tests {
         assert!(s.lines().count() >= 4);
         assert!(!t.is_empty());
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cells_render_single_and_multi_trial() {
+        let one = TrialStats::single(328.0);
+        assert_eq!(mean_cell(&one), "328");
+        assert_eq!(ci_cell(&one), "±0.0");
+        let mut agg = amac_sim::stats::Aggregate::new();
+        for x in [100.0, 120.0, 140.0] {
+            agg.record(x);
+        }
+        let many = TrialStats::from_aggregate(&agg);
+        assert_eq!(mean_cell(&many), "120.0");
+        assert!(ci_cell(&many).starts_with('±'));
     }
 
     #[test]

@@ -118,6 +118,14 @@ pub struct Runtime<A: Automaton, P: Policy> {
     connected: Vec<BTreeSet<InstanceId>>,
     contending: Vec<BTreeSet<InstanceId>>,
     check_scheduled: Vec<bool>,
+    // Determinism policy: every collection whose *iteration order* can
+    // reach execution (in particular `connected`/`contending`, which
+    // build the forced-delivery candidate list handed to
+    // `Policy::pick_forced`) must be ordered — `BTreeSet` or indexed
+    // `Vec` — so executions are bit-reproducible from the seed alone,
+    // across processes and thread counts. `seen_keys` and `timers` are
+    // membership/keyed access only (never iterated), so hashed
+    // collections are safe and keep those hot-path lookups O(1).
     seen_keys: Vec<HashSet<MessageKey>>,
     timers: HashMap<u64, EventId>,
     next_timer: u64,

@@ -26,7 +26,7 @@ use crate::instance::InstanceId;
 use crate::trace::{Trace, TraceKind};
 use amac_graph::{DualGraph, NodeId};
 use amac_sim::Time;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -245,7 +245,9 @@ pub fn validate(
     quiescent: bool,
 ) -> ValidationReport {
     let mut report = ValidationReport::default();
-    let mut views: HashMap<InstanceId, InstanceView> = HashMap::new();
+    // Ordered maps keep the violation report order independent of hasher
+    // state (same determinism policy as the runtime).
+    let mut views: BTreeMap<InstanceId, InstanceView> = BTreeMap::new();
     let mut orphaned: Vec<InstanceId> = Vec::new();
 
     for (idx, e) in trace.entries().iter().enumerate() {
@@ -437,7 +439,7 @@ pub fn validate(
     }
 
     // User well-formedness: per-sender broadcasts must not overlap.
-    let mut by_sender: HashMap<NodeId, Vec<InstanceId>> = HashMap::new();
+    let mut by_sender: BTreeMap<NodeId, Vec<InstanceId>> = BTreeMap::new();
     for id in &ids {
         by_sender.entry(views[id].sender).or_default().push(*id);
     }

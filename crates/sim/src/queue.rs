@@ -58,7 +58,10 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Sequence numbers scheduled but neither delivered nor cancelled.
+    /// Membership (never iteration order) is observed, so a `HashSet` is
+    /// safe for determinism.
+    pending: HashSet<u64>,
     next_seq: u64,
     now: Time,
     popped: u64,
@@ -69,7 +72,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             now: Time::ZERO,
             popped: 0,
@@ -101,6 +104,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Entry { at, seq, event });
         EventId(seq)
     }
@@ -111,21 +115,20 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event had
-    /// not yet been delivered or cancelled. `O(1)`; memory is reclaimed when
-    /// the tombstone is popped.
+    /// not yet been delivered or cancelled; cancelling an already-delivered
+    /// (or unknown, or already-cancelled) id is a no-op returning `false`.
+    /// `O(1)`; the cancelled entry's heap slot is reclaimed when it reaches
+    /// the front.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        self.cancelled.insert(id.0)
+        self.pending.remove(&id.0)
     }
 
     /// Removes and returns the earliest pending event, advancing the clock
     /// to its timestamp. Ties are broken by scheduling order.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled: skip and reclaim
             }
             self.now = entry.at;
             self.popped += 1;
@@ -137,10 +140,8 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next pending event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
+            if !self.pending.contains(&entry.seq) {
                 self.heap.pop();
-                self.cancelled.remove(&seq);
                 continue;
             }
             return Some(entry.at);
@@ -255,6 +256,33 @@ mod tests {
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancel_of_delivered_event_is_false_and_leaves_no_tombstone() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ticks(1), 'a');
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 'a');
+        // Cancelling an already-delivered event must report false ...
+        assert!(!q.cancel(a), "event was already delivered");
+        // ... and must not poison later scheduling/delivery.
+        q.schedule(Time::from_ticks(2), 'b');
+        assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+        assert!(q.is_empty());
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    fn cancel_after_flush_via_peek_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ticks(1), 'a');
+        q.cancel(a);
+        // peek_time reclaims the cancelled entry from the heap; cancelling
+        // again afterwards must still be a no-op returning false.
+        assert_eq!(q.peek_time(), None);
+        assert!(!q.cancel(a));
+        assert_eq!(q.pending_upper_bound(), 0, "heap slot reclaimed");
     }
 
     #[test]
