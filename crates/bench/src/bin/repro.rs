@@ -7,10 +7,19 @@
 //! regeneration still works without paying for the full sweeps.
 //!
 //! `--trials N` runs `N` independent trials per experiment (tables then
-//! report mean ± 95% CI per sweep point) and `--jobs J` fans the trials
-//! over `J` worker threads (default: one per core). Output is
-//! **byte-identical for any `J`**: trial `i` is seeded by
-//! `SimRng::split(i)` and aggregates fold in trial order.
+//! report mean ± 95% CI per sweep point) and `--jobs J` fans `(sweep
+//! point, trial)` cells over `J` worker threads (default: one per core).
+//! `--target-ci FRAC` switches to adaptive precision: each sweep point
+//! stops recruiting trials once its 95% CI half-width falls below `FRAC`
+//! of its mean (floor `--trials`, cap `--max-trials`, default `8×trials`).
+//! `--dump-traces DIR` re-runs the min/median/max trial of every sweep
+//! point with MAC-trace recording, re-validates those executions, and
+//! writes one annotated trace file per outlier under `DIR`.
+//!
+//! Output is **byte-identical for any `J`** — including adaptive trial
+//! counts: trial `i` is seeded by `SimRng::split(i)`, aggregates fold in
+//! `(point, trial)` order, and adaptive stop decisions happen at fixed
+//! batch boundaries.
 //!
 //! Usage:
 //!
@@ -19,13 +28,19 @@
 //! cargo run --release -p amac-bench --bin repro -- --markdown > EXPERIMENTS.data.md
 //! cargo run --release -p amac-bench --bin repro -- --smoke  # CI fast path
 //! cargo run --release -p amac-bench --bin repro -- --trials 32 --jobs 8
+//! cargo run --release -p amac-bench --bin repro -- --trials 8 --target-ci 0.05 --max-trials 128
+//! cargo run --release -p amac-bench --bin repro -- --trials 8 --dump-traces traces/
 //! ```
 
 use amac_bench::engine::{default_jobs, TrialRunner};
-use amac_bench::experiments;
+use amac_bench::experiments::{self, LabeledOutlier};
+use std::path::{Path, PathBuf};
 
 fn usage_exit() -> ! {
-    eprintln!("usage: repro [--markdown] [--smoke] [--trials N] [--jobs J]");
+    eprintln!(
+        "usage: repro [--markdown] [--smoke] [--trials N] [--jobs J] \
+         [--target-ci FRAC] [--max-trials M] [--dump-traces DIR]"
+    );
     std::process::exit(2);
 }
 
@@ -39,11 +54,24 @@ fn positive_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
         })
 }
 
+fn fraction_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .filter(|&f: &f64| f > 0.0 && f < 1.0)
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a fraction in (0, 1), e.g. 0.05");
+            usage_exit()
+        })
+}
+
 fn main() {
     let mut markdown = false;
     let mut smoke = false;
     let mut trials = 1usize;
     let mut jobs = default_jobs();
+    let mut target_ci: Option<f64> = None;
+    let mut max_trials: Option<usize> = None;
+    let mut dump_traces: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,20 +79,50 @@ fn main() {
             "--smoke" => smoke = true,
             "--trials" => trials = positive_arg(&mut args, "--trials"),
             "--jobs" => jobs = positive_arg(&mut args, "--jobs"),
+            "--target-ci" => target_ci = Some(fraction_arg(&mut args, "--target-ci")),
+            "--max-trials" => max_trials = Some(positive_arg(&mut args, "--max-trials")),
+            "--dump-traces" => {
+                dump_traces = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--dump-traces needs a directory");
+                    usage_exit()
+                })))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit()
             }
         }
     }
-    let runner = TrialRunner::new(trials, jobs);
+    let mut runner = TrialRunner::new(trials, jobs).with_trace_capture(dump_traces.is_some());
+    if let Some(frac) = target_ci {
+        // Adaptive mode needs headroom above the floor; default the cap to
+        // 8x the floor when --max-trials is not given.
+        runner = runner
+            .with_max_trials(max_trials.unwrap_or(8 * runner.trials()))
+            .with_target_ci(frac);
+    } else if let Some(max) = max_trials {
+        if max > trials {
+            eprintln!("--max-trials only has an effect together with --target-ci");
+            usage_exit()
+        }
+    }
 
     let mode = if smoke { "smoke" } else { "full" };
-    let stochastic_detail = format!(
-        "{mode}, {} trial(s), {} job(s)",
-        runner.trials(),
-        runner.jobs()
-    );
+    let stochastic_detail = if runner.adaptive() {
+        format!(
+            "{mode}, adaptive {}..{} trials (target ci {:.0}%), {} job(s)",
+            runner.trials(),
+            runner.max_trials(),
+            runner.target_ci().unwrap_or(0.0) * 100.0,
+            runner.jobs()
+        )
+    } else {
+        format!(
+            "{mode}, {} trial(s), {} job(s)",
+            runner.trials(),
+            runner.jobs()
+        )
+    };
     // Deterministic experiments clamp the runner to a single trial (their
     // module-level DETERMINISTIC const); report the effective count.
     let deterministic_detail = format!("{mode}, deterministic: 1 trial");
@@ -77,86 +135,94 @@ fn main() {
     };
     let detail = &stochastic_detail;
     let mut tables = Vec::new();
+    let mut captures: Vec<(&'static str, Vec<LabeledOutlier>)> = Vec::new();
 
     eprintln!(
         "[1/7] F1-GG    standard model, G' = G ({}) ...",
         detail_for(experiments::fig1_gg::DETERMINISTIC)
     );
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::fig1_gg::run_smoke_with,
             experiments::fig1_gg::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("F1-GG", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!("[2/7] F1-RR    standard model, r-restricted G' ({detail}) ...");
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::fig1_r_restricted::run_smoke_with,
             experiments::fig1_r_restricted::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("F1-RR", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!(
         "[3/7] F1-ARB   standard model, arbitrary G' ({}) ...",
         detail_for(experiments::fig1_arbitrary::DETERMINISTIC)
     );
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::fig1_arbitrary::run_smoke_with,
             experiments::fig1_arbitrary::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("F1-ARB", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!(
         "[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ({}) ...",
         detail_for(experiments::lower_bounds::DETERMINISTIC)
     );
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::lower_bounds::run_smoke_with,
             experiments::lower_bounds::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("LB", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ({detail}) ...");
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::fig1_fmmb::run_smoke_with,
             experiments::fig1_fmmb::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("F1-ENH", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!("[6/7] SUB-*    FMMB subroutines ({detail}) ...");
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::subroutines::run_smoke_with,
             experiments::subroutines::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("SUB", res.outliers));
+        tables.push(res.table);
+    }
     eprintln!("[7/7] ABL      abort-interface ablation ({detail}) ...");
-    tables.push(
-        pick(
+    {
+        let res = pick(
             smoke,
             &runner,
             experiments::ablation_abort::run_smoke_with,
             experiments::ablation_abort::run_default_with,
-        )
-        .table,
-    );
+        );
+        captures.push(("ABL", res.outliers));
+        tables.push(res.table);
+    }
 
     for t in &tables {
         if markdown {
@@ -164,6 +230,9 @@ fn main() {
         } else {
             println!("{t}");
         }
+    }
+    if let Some(dir) = &dump_traces {
+        dump_outlier_traces(dir, &captures);
     }
     eprintln!("done: {} tables ({detail})", tables.len());
 }
@@ -179,4 +248,78 @@ fn pick<R>(
     } else {
         full(runner)
     }
+}
+
+/// Keeps filenames portable: anything outside `[A-Za-z0-9._=-]` becomes `_`.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || "._=-".contains(c) {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes one annotated trace file per captured outlier and prints a
+/// validation summary: the post-mortem record of each sweep point's
+/// min/median/max execution.
+fn dump_outlier_traces(dir: &Path, captures: &[(&'static str, Vec<LabeledOutlier>)]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let mut written = 0usize;
+    let mut invalid = 0usize;
+    for (experiment, outliers) in captures {
+        for o in outliers {
+            let name = format!(
+                "{experiment}_{}_{}_trial{}.txt",
+                sanitize(&o.label),
+                o.outlier.role,
+                o.outlier.trial
+            );
+            let verdict = match &o.outlier.validation {
+                Some(v) => {
+                    if !v.is_ok() {
+                        invalid += 1;
+                    }
+                    v.to_string()
+                }
+                None => "not validated".to_string(),
+            };
+            let body = format!(
+                "experiment: {experiment}\npoint: {}\nrole: {}\ntrial: {}\nmeasured: {}\nevents: {}\nlast event at: t={}\nvalidation: {verdict}\n\n{}",
+                o.label,
+                o.outlier.role,
+                o.outlier.trial,
+                o.outlier.value,
+                o.outlier.trace.len(),
+                o.outlier
+                    .trace
+                    .last_time()
+                    .map(|t| t.ticks().to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                o.outlier.trace
+            );
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            written += 1;
+        }
+    }
+    eprintln!(
+        "dumped {written} outlier trace(s) to {} ({})",
+        dir.display(),
+        if invalid == 0 {
+            "all validated ok".to_string()
+        } else {
+            format!("{invalid} with violations")
+        }
+    );
 }

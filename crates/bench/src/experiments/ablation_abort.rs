@@ -11,10 +11,11 @@
 //! the whole `O((D log n + k log n + log³n))`-round schedule — is paid in
 //! units of `F_ack`, erasing the enhanced model's advantage.
 
-use crate::engine::{TrialRunner, TrialStats};
+use super::LabeledOutlier;
+use crate::engine::{CellResult, TrialRunner, TrialStats};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{run_fmmb, Assignment, FmmbParams, RunOptions};
-use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_core::{run_fmmb, Assignment, FmmbParams};
+use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig, GreyZoneNetwork};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
 use amac_sim::SimRng;
@@ -43,12 +44,26 @@ impl AblationPoint {
 pub struct AblationAbort {
     /// Sweep over `F_ack`.
     pub points: Vec<AblationPoint>,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
 
+/// Per-trial shared state: one sampled grey-zone workload reused by every
+/// `(F_ack, variant)` cell of the trial.
+struct TrialSetup {
+    net: GreyZoneNetwork,
+    assignment: Assignment,
+    d: usize,
+    trial_seed: u64,
+}
+
 /// Runs the ablation; each trial samples its own grey-zone network and
 /// assignment, and runs the identical workload with and without abort.
+/// Every `(F_ack, with/without)` pair is its own engine cell, scheduled
+/// over the worker pool.
 pub fn run(
     f_prog: u64,
     f_acks: &[u64],
@@ -58,51 +73,66 @@ pub fn run(
     seed: u64,
     runner: &TrialRunner,
 ) -> AblationAbort {
-    // Per trial: [with, without] per f_ack.
-    let aggregates = runner.run_matrix(seed, |ctx| {
-        let trial_seed = ctx.seed(seed);
-        let mut rng = SimRng::seed(trial_seed);
-        let side = (n as f64 / density).sqrt();
-        let net =
-            connected_grey_zone_network(&GreyZoneConfig::new(n, side).with_c(2.0), 500, &mut rng)
-                .expect("connected sample");
-        let assignment = Assignment::random(n, k, &mut rng);
-        let d = net.dual.diameter();
-
-        let mut values = Vec::with_capacity(2 * f_acks.len());
-        for &f_ack in f_acks {
+    // Points: 2i = with abort @ f_acks[i], 2i+1 = without abort.
+    let widths = vec![1usize; 2 * f_acks.len()];
+    let run = runner.run_sweep(
+        seed,
+        &widths,
+        |trial| {
+            let trial_seed = trial.seed(seed);
+            let mut rng = SimRng::seed(trial_seed);
+            let side = (n as f64 / density).sqrt();
+            let net = connected_grey_zone_network(
+                &GreyZoneConfig::new(n, side).with_c(2.0),
+                500,
+                &mut rng,
+            )
+            .expect("connected sample");
+            let assignment = Assignment::random(n, k, &mut rng);
+            let d = net.dual.diameter();
+            TrialSetup {
+                net,
+                assignment,
+                d,
+                trial_seed,
+            }
+        },
+        |setup, cell| {
+            let f_ack = f_acks[cell.point / 2];
             let cfg = MacConfig::from_ticks(f_prog, f_ack).enhanced();
-            let with = run_fmmb(
-                &net.dual,
+            let params = if cell.point % 2 == 0 {
+                FmmbParams::new(k, setup.d)
+            } else {
+                FmmbParams::new(k, setup.d).without_abort()
+            };
+            let report = run_fmmb(
+                &setup.net.dual,
                 cfg,
-                &assignment,
-                &FmmbParams::new(k, d),
-                trial_seed ^ 0xAB,
+                &setup.assignment,
+                &params,
+                setup.trial_seed ^ 0xAB,
                 LazyPolicy::new(),
-                &RunOptions::fast().stopping_on_completion(),
+                &super::cell_options(cell.capture_requested()).stopping_on_completion(),
             );
-            let without = run_fmmb(
-                &net.dual,
-                cfg,
-                &assignment,
-                &FmmbParams::new(k, d).without_abort(),
-                trial_seed ^ 0xAB,
-                LazyPolicy::new(),
-                &RunOptions::fast().stopping_on_completion(),
-            );
-            values.push(with.completion_ticks() as f64);
-            values.push(without.completion_ticks() as f64);
-        }
-        values
+            CellResult::scalar(report.completion_ticks() as f64)
+                .with_capture(super::fmmb_capture(&report))
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        format!(
+            "Fack={}-{}",
+            f_acks[i / 2],
+            if i % 2 == 0 { "abort" } else { "noabort" }
+        )
     });
 
     let points: Vec<AblationPoint> = f_acks
         .iter()
-        .zip(aggregates.chunks_exact(2))
+        .zip(run.points().chunks_exact(2))
         .map(|(&f_ack, pair)| AblationPoint {
             f_ack,
-            with_abort: TrialStats::from_aggregate(&pair[0]),
-            without_abort: TrialStats::from_aggregate(&pair[1]),
+            with_abort: TrialStats::from_aggregate(pair[0].primary()),
+            without_abort: TrialStats::from_aggregate(pair[1].primary()),
         })
         .collect();
 
@@ -130,8 +160,8 @@ pub fn run(
         ]);
     }
     table.note(format!(
-        "{} trial(s) per point, each on a fresh grey-zone sample",
-        runner.trials()
+        "{}, each on a fresh grey-zone sample",
+        super::trials_phrase(runner, &run)
     ));
     table.note(
         "same algorithm, same seeds: without abort each round costs F_ack + 2 \
@@ -139,7 +169,11 @@ pub fn run(
          the paper's case for adding an abort interface to MAC layers",
     );
 
-    AblationAbort { points, table }
+    AblationAbort {
+        points,
+        outliers,
+        table,
+    }
 }
 
 /// Default parameterisation at an explicit trial/job count.

@@ -15,11 +15,11 @@
 //! schedule (Section 3.3), underscoring that the lower bound is about the
 //! *structure* of unreliability, not its quantity.
 
-use super::SweepPoint;
-use crate::engine::TrialRunner;
+use super::{LabeledOutlier, SweepPoint};
+use crate::engine::{CellResult, TrialRunner};
 use crate::fit::{proportional_fit, ProportionalFit};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
+use amac_core::{bounds, run_bmmb, Assignment, MmbReport, RunOptions};
 use amac_graph::{generators, NodeId};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
@@ -44,6 +44,9 @@ pub struct Fig1Arbitrary {
     /// Slope of completion time vs `D` under the crafted Figure 2
     /// adversary — `Θ(F_ack)` per hop, realizing the worst case.
     pub adversarial_d_slope: f64,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
@@ -54,24 +57,29 @@ pub struct Fig1Arbitrary {
 /// per-trial sampling; `repro` derives its progress labels from it.
 pub const DETERMINISTIC: bool = true;
 
-fn measure_ticks(d: usize, k: usize, config: MacConfig, shortcuts: usize) -> u64 {
+fn measure(
+    d: usize,
+    k: usize,
+    config: MacConfig,
+    shortcuts: usize,
+    options: &RunOptions,
+) -> MmbReport {
     let g = generators::line(d + 1).expect("d >= 1");
     let dual = generators::long_range_augment(g, shortcuts).expect("valid augment");
     let assignment = Assignment::all_at(NodeId::new(0), k);
-    let report = run_bmmb(
+    run_bmmb(
         &dual,
         config,
         &assignment,
         LazyPolicy::new().prefer_duplicates(),
-        &RunOptions::fast(),
-    );
-    report.completion_ticks()
+        options,
+    )
 }
 
 /// Runs the experiment: `shortcut_fraction` of `D` long-range unreliable
 /// edges are added to each line. The workload (evenly spaced shortcuts,
 /// lazy scheduler) is deterministic, so the runner is clamped to a single
-/// trial; the sweep still flows through the engine.
+/// trial; the sweep points fan out over the worker pool as cells.
 pub fn run(
     config: MacConfig,
     ds: &[usize],
@@ -87,28 +95,60 @@ pub fn run(
         *runner
     };
     let shortcuts = |d: usize| ((d as f64 * shortcut_fraction).ceil() as usize).max(1);
-    let aggregates = runner.run_matrix(0, |_ctx| {
-        ds.iter()
-            .map(|&d| measure_ticks(d, fixed_k, config, shortcuts(d)) as f64)
-            .chain(
-                ks.iter()
-                    .map(|&k| measure_ticks(fixed_d, k, config, shortcuts(fixed_d)) as f64),
-            )
-            .collect()
+    let point_params = |point: usize| {
+        if point < ds.len() {
+            (ds[point], fixed_k)
+        } else {
+            (fixed_d, ks[point - ds.len()])
+        }
+    };
+    let widths = vec![1usize; ds.len() + ks.len()];
+    let run = runner.run_sweep(
+        0,
+        &widths,
+        |_trial| (),
+        |_, cell| {
+            let (d, k) = point_params(cell.point);
+            let report = measure(
+                d,
+                k,
+                config,
+                shortcuts(d),
+                &super::cell_options(cell.capture_requested()),
+            );
+            CellResult::scalar(report.completion_ticks() as f64)
+                .with_capture(super::mmb_capture(&report))
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        let (d, k) = point_params(i);
+        if i < ds.len() {
+            format!("D={d}")
+        } else {
+            format!("k={k}")
+        }
     });
-    let (d_aggs, k_aggs) = aggregates.split_at(ds.len());
+    let (d_points, k_points) = run.points().split_at(ds.len());
     let d_sweep: Vec<SweepPoint> = ds
         .iter()
-        .zip(d_aggs)
-        .map(|(&d, a)| {
-            SweepPoint::from_aggregate(d, a, bounds::bmmb_arbitrary(d, fixed_k, &config).ticks())
+        .zip(d_points)
+        .map(|(&d, p)| {
+            SweepPoint::from_aggregate(
+                d,
+                p.primary(),
+                bounds::bmmb_arbitrary(d, fixed_k, &config).ticks(),
+            )
         })
         .collect();
     let k_sweep: Vec<SweepPoint> = ks
         .iter()
-        .zip(k_aggs)
-        .map(|(&k, a)| {
-            SweepPoint::from_aggregate(k, a, bounds::bmmb_arbitrary(fixed_d, k, &config).ticks())
+        .zip(k_points)
+        .map(|(&k, p)| {
+            SweepPoint::from_aggregate(
+                k,
+                p.primary(),
+                bounds::bmmb_arbitrary(fixed_d, k, &config).ticks(),
+            )
         })
         .collect();
     let bound_fit = proportional_fit(
@@ -207,6 +247,7 @@ pub fn run(
         reliable_d_slope,
         arbitrary_d_slope,
         adversarial_d_slope,
+        outliers,
         table,
     }
 }

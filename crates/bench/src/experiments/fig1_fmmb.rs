@@ -11,12 +11,12 @@
 //! * the **size** sweep grows `n` (at constant deployment density) and
 //!   fits FMMB's completion rounds against the Theorem 4.1 round bound.
 
-use super::SweepPoint;
-use crate::engine::{TrialRunner, TrialStats};
+use super::{LabeledOutlier, SweepPoint};
+use crate::engine::{CellResult, TrialRunner, TrialStats};
 use crate::fit::{proportional_fit, ProportionalFit};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{bounds, run_bmmb, run_fmmb, Assignment, FmmbParams, RunOptions};
-use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_core::{bounds, run_bmmb, run_fmmb, Assignment, FmmbParams};
+use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig, GreyZoneNetwork};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
 use amac_sim::SimRng;
@@ -44,8 +44,29 @@ pub struct Fig1Fmmb {
     pub bound_fit: ProportionalFit,
     /// The `F_ack` at which FMMB first beats BMMB, if any.
     pub crossover_f_ack: Option<u64>,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
+}
+
+/// Per-trial shared state: the crossover workload plus one sampled
+/// workload per size-sweep point, all drawn from the trial's stream in a
+/// fixed order.
+struct TrialSetup {
+    trial_seed: u64,
+    cross_net: GreyZoneNetwork,
+    cross_assignment: Assignment,
+    cross_params: FmmbParams,
+    size: Vec<SizeSetup>,
+}
+
+struct SizeSetup {
+    net: GreyZoneNetwork,
+    assignment: Assignment,
+    d: usize,
+    params: FmmbParams,
 }
 
 /// Runs the experiment.
@@ -69,80 +90,133 @@ pub fn run(
     seed: u64,
     runner: &TrialRunner,
 ) -> Fig1Fmmb {
-    // Per trial: [bmmb, fmmb] per f_ack, then [measured, bound] per n.
-    let aggregates = runner.run_matrix(seed, |ctx| {
-        let trial_seed = ctx.seed(seed);
-        let mut rng = SimRng::seed(trial_seed);
-        let mut values = Vec::with_capacity(2 * f_acks.len() + 2 * ns.len());
-
-        // --- Crossover sweep ---
-        let side = (crossover_n as f64 / density).sqrt();
-        let net = connected_grey_zone_network(
-            &GreyZoneConfig::new(crossover_n, side).with_c(2.0),
-            500,
-            &mut rng,
-        )
-        .expect("connected sample");
-        let assignment = Assignment::random(crossover_n, k, &mut rng);
-        let params = FmmbParams::new(k, net.dual.diameter());
-        for &f_ack in f_acks {
-            let cfg = MacConfig::from_ticks(f_prog, f_ack);
-            let bmmb = run_bmmb(
-                &net.dual,
-                cfg,
-                &assignment,
-                LazyPolicy::new().prefer_duplicates(),
-                &RunOptions::fast().stopping_on_completion(),
-            );
-            let fmmb = run_fmmb(
-                &net.dual,
-                cfg.enhanced(),
-                &assignment,
-                &params,
-                trial_seed ^ 0xF,
-                LazyPolicy::new(),
-                &RunOptions::fast().stopping_on_completion(),
-            );
-            values.push(bmmb.completion_ticks() as f64);
-            values.push(fmmb.completion_ticks() as f64);
-        }
-
-        // --- Size sweep (fixed moderate F_ack; FMMB does not depend on it) ---
-        let cfg = MacConfig::from_ticks(f_prog, 16 * f_prog).enhanced();
-        for &n in ns {
-            let side = (n as f64 / density).sqrt();
-            let net = connected_grey_zone_network(
-                &GreyZoneConfig::new(n, side).with_c(2.0),
+    // Points: [bmmb, fmmb] per f_ack (one cell each), then one two-lane
+    // [measured, bound] point per n. The per-trial networks are sampled
+    // once in setup — in the same stream order as the historical
+    // whole-sweep closure — and every cell of the trial reads them.
+    let widths: Vec<usize> = std::iter::repeat(1)
+        .take(2 * f_acks.len())
+        .chain(std::iter::repeat(2).take(ns.len()))
+        .collect();
+    let run = runner.run_sweep(
+        seed,
+        &widths,
+        |trial| {
+            let trial_seed = trial.seed(seed);
+            let mut rng = SimRng::seed(trial_seed);
+            let side = (crossover_n as f64 / density).sqrt();
+            let cross_net = connected_grey_zone_network(
+                &GreyZoneConfig::new(crossover_n, side).with_c(2.0),
                 500,
                 &mut rng,
             )
             .expect("connected sample");
-            let assignment = Assignment::random(n, k, &mut rng);
-            let d = net.dual.diameter();
-            let params = FmmbParams::new(k, d);
-            let report = run_fmmb(
-                &net.dual,
-                cfg,
-                &assignment,
-                &params,
-                trial_seed ^ (n as u64),
-                LazyPolicy::new(),
-                &RunOptions::fast().stopping_on_completion(),
-            );
-            values.push(super::ticks_or_end(report.completion, report.end_time) as f64);
-            values.push(bounds::fmmb_enhanced(n, d, k, &cfg).ticks().max(1) as f64);
+            let cross_assignment = Assignment::random(crossover_n, k, &mut rng);
+            let cross_params = FmmbParams::new(k, cross_net.dual.diameter());
+            let size = ns
+                .iter()
+                .map(|&n| {
+                    let side = (n as f64 / density).sqrt();
+                    let net = connected_grey_zone_network(
+                        &GreyZoneConfig::new(n, side).with_c(2.0),
+                        500,
+                        &mut rng,
+                    )
+                    .expect("connected sample");
+                    let assignment = Assignment::random(n, k, &mut rng);
+                    let d = net.dual.diameter();
+                    SizeSetup {
+                        net,
+                        assignment,
+                        d,
+                        params: FmmbParams::new(k, d),
+                    }
+                })
+                .collect();
+            TrialSetup {
+                trial_seed,
+                cross_net,
+                cross_assignment,
+                cross_params,
+                size,
+            }
+        },
+        |setup, cell| {
+            let options = super::cell_options(cell.capture_requested()).stopping_on_completion();
+            if cell.point < 2 * f_acks.len() {
+                let f_ack = f_acks[cell.point / 2];
+                let cfg = MacConfig::from_ticks(f_prog, f_ack);
+                if cell.point % 2 == 0 {
+                    let bmmb = run_bmmb(
+                        &setup.cross_net.dual,
+                        cfg,
+                        &setup.cross_assignment,
+                        LazyPolicy::new().prefer_duplicates(),
+                        &options,
+                    );
+                    CellResult::scalar(bmmb.completion_ticks() as f64)
+                        .with_capture(super::mmb_capture(&bmmb))
+                } else {
+                    let fmmb = run_fmmb(
+                        &setup.cross_net.dual,
+                        cfg.enhanced(),
+                        &setup.cross_assignment,
+                        &setup.cross_params,
+                        setup.trial_seed ^ 0xF,
+                        LazyPolicy::new(),
+                        &options,
+                    );
+                    // An unlucky trial can exhaust its whole schedule
+                    // without solving MMB (the bound is only w.h.p.);
+                    // record the schedule-end time instead of panicking —
+                    // a lower bound on the true completion time.
+                    CellResult::scalar(super::ticks_or_end(fmmb.completion, fmmb.end_time) as f64)
+                        .with_capture(super::fmmb_capture(&fmmb))
+                }
+            } else {
+                // Size sweep (fixed moderate F_ack; FMMB does not depend
+                // on it).
+                let idx = cell.point - 2 * f_acks.len();
+                let n = ns[idx];
+                let s = &setup.size[idx];
+                let cfg = MacConfig::from_ticks(f_prog, 16 * f_prog).enhanced();
+                let report = run_fmmb(
+                    &s.net.dual,
+                    cfg,
+                    &s.assignment,
+                    &s.params,
+                    setup.trial_seed ^ (n as u64),
+                    LazyPolicy::new(),
+                    &options,
+                );
+                CellResult::vector(vec![
+                    super::ticks_or_end(report.completion, report.end_time) as f64,
+                    bounds::fmmb_enhanced(n, s.d, k, &cfg).ticks().max(1) as f64,
+                ])
+                .with_capture(super::fmmb_capture(&report))
+            }
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        if i < 2 * f_acks.len() {
+            format!(
+                "{}-Fack={}",
+                if i % 2 == 0 { "bmmb" } else { "fmmb" },
+                f_acks[i / 2]
+            )
+        } else {
+            format!("n={}", ns[i - 2 * f_acks.len()])
         }
-        values
     });
 
-    let (crossover_aggs, size_aggs) = aggregates.split_at(2 * f_acks.len());
+    let (crossover_points, size_points) = run.points().split_at(2 * f_acks.len());
     let crossover: Vec<CrossoverPoint> = f_acks
         .iter()
-        .zip(crossover_aggs.chunks_exact(2))
+        .zip(crossover_points.chunks_exact(2))
         .map(|(&f_ack, pair)| CrossoverPoint {
             f_ack,
-            bmmb: TrialStats::from_aggregate(&pair[0]),
-            fmmb: TrialStats::from_aggregate(&pair[1]),
+            bmmb: TrialStats::from_aggregate(pair[0].primary()),
+            fmmb: TrialStats::from_aggregate(pair[1].primary()),
         })
         .collect();
     let crossover_f_ack = crossover
@@ -152,11 +226,11 @@ pub fn run(
 
     let size_sweep: Vec<SweepPoint> = ns
         .iter()
-        .zip(size_aggs.chunks_exact(2))
-        .map(|(&n, pair)| SweepPoint {
+        .zip(size_points)
+        .map(|(&n, p)| SweepPoint {
             param: n,
-            measured: TrialStats::from_aggregate(&pair[0]),
-            bound: (pair[1].mean().round() as u64).max(1),
+            measured: TrialStats::from_aggregate(p.lane(0)),
+            bound: (p.lane(1).mean().round() as u64).max(1),
         })
         .collect();
     let bound_fit = proportional_fit(
@@ -196,8 +270,8 @@ pub fn run(
         ]);
     }
     table.note(format!(
-        "{} trial(s) per point, each on a fresh grey-zone sample",
-        runner.trials()
+        "{}, each on a fresh grey-zone sample",
+        super::trials_phrase(runner, &run)
     ));
     match crossover_f_ack {
         Some(f) => table.note(format!(
@@ -216,6 +290,7 @@ pub fn run(
         size_sweep,
         bound_fit,
         crossover_f_ack,
+        outliers,
         table,
     }
 }

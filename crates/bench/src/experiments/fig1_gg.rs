@@ -10,11 +10,11 @@
 //! * sweep `k` at fixed `D` — slope `Θ(F_ack)` per message (each extra
 //!   message costs one acknowledgment at the bottleneck).
 
-use super::SweepPoint;
-use crate::engine::TrialRunner;
+use super::{LabeledOutlier, SweepPoint};
+use crate::engine::{CellResult, TrialRunner};
 use crate::fit::{linear_fit, proportional_fit, LinearFit, ProportionalFit};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
+use amac_core::{bounds, run_bmmb, Assignment, MmbReport, RunOptions};
 use amac_graph::{generators, DualGraph, NodeId};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
@@ -32,6 +32,9 @@ pub struct Fig1Gg {
     pub k_fit: LinearFit,
     /// Proportional fit of measured vs bound (the big-O constant).
     pub bound_fit: ProportionalFit,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
@@ -42,25 +45,25 @@ pub struct Fig1Gg {
 /// labels both key off it.
 pub const DETERMINISTIC: bool = true;
 
-fn measure_ticks(d: usize, k: usize, config: MacConfig) -> u64 {
+fn measure(d: usize, k: usize, config: MacConfig, options: &RunOptions) -> MmbReport {
     let dual = DualGraph::reliable(generators::line(d + 1).expect("d >= 1"));
     let assignment = Assignment::all_at(NodeId::new(0), k);
-    let report = run_bmmb(
+    run_bmmb(
         &dual,
         config,
         &assignment,
         LazyPolicy::new().prefer_duplicates(),
-        &RunOptions::fast(),
-    );
-    report.completion_ticks()
+        options,
+    )
 }
 
 /// Runs the experiment with explicit sweep lists.
 ///
 /// The workload (line topology, lazy duplicate-feeding scheduler) is fully
 /// deterministic, so extra trials would re-measure byte-identical values;
-/// the runner is clamped to a single trial (the sweep still flows through
-/// the engine so every experiment shares one measurement path).
+/// the runner is clamped to a single trial. The sweep points still fan out
+/// over the engine's worker pool as individual cells, so the single trial
+/// no longer serializes on its slowest point.
 pub fn run(
     config: MacConfig,
     ds: &[usize],
@@ -74,25 +77,54 @@ pub fn run(
     } else {
         *runner
     };
-    let aggregates = runner.run_matrix(0, |_ctx| {
-        ds.iter()
-            .map(|&d| measure_ticks(d, fixed_k, config) as f64)
-            .chain(ks.iter().map(|&k| measure_ticks(fixed_d, k, config) as f64))
-            .collect()
+    let point_params = |point: usize| {
+        if point < ds.len() {
+            (ds[point], fixed_k)
+        } else {
+            (fixed_d, ks[point - ds.len()])
+        }
+    };
+    let widths = vec![1usize; ds.len() + ks.len()];
+    let run = runner.run_sweep(
+        0,
+        &widths,
+        |_trial| (),
+        |_, cell| {
+            let (d, k) = point_params(cell.point);
+            let report = measure(d, k, config, &super::cell_options(cell.capture_requested()));
+            CellResult::scalar(report.completion_ticks() as f64)
+                .with_capture(super::mmb_capture(&report))
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        let (d, k) = point_params(i);
+        if i < ds.len() {
+            format!("D={d}")
+        } else {
+            format!("k={k}")
+        }
     });
-    let (d_aggs, k_aggs) = aggregates.split_at(ds.len());
+    let (d_points, k_points) = run.points().split_at(ds.len());
     let d_sweep: Vec<SweepPoint> = ds
         .iter()
-        .zip(d_aggs)
-        .map(|(&d, a)| {
-            SweepPoint::from_aggregate(d, a, bounds::bmmb_reliable(d, fixed_k, &config).ticks())
+        .zip(d_points)
+        .map(|(&d, p)| {
+            SweepPoint::from_aggregate(
+                d,
+                p.primary(),
+                bounds::bmmb_reliable(d, fixed_k, &config).ticks(),
+            )
         })
         .collect();
     let k_sweep: Vec<SweepPoint> = ks
         .iter()
-        .zip(k_aggs)
-        .map(|(&k, a)| {
-            SweepPoint::from_aggregate(k, a, bounds::bmmb_reliable(fixed_d, k, &config).ticks())
+        .zip(k_points)
+        .map(|(&k, p)| {
+            SweepPoint::from_aggregate(
+                k,
+                p.primary(),
+                bounds::bmmb_reliable(fixed_d, k, &config).ticks(),
+            )
         })
         .collect();
 
@@ -159,6 +191,7 @@ pub fn run(
         d_fit,
         k_fit,
         bound_fit,
+        outliers,
         table,
     }
 }
@@ -255,6 +288,36 @@ mod tests {
             res.bound_fit.max_ratio
         );
         assert_eq!(res.table.len(), 4);
+    }
+
+    #[test]
+    fn captured_outliers_carry_valid_traces() {
+        let runner = TrialRunner::new(1, 2).with_trace_capture(true);
+        let res = run(
+            MacConfig::from_ticks(2, 32),
+            &[4, 8],
+            2,
+            &[1, 2],
+            6,
+            &runner,
+        );
+        // 4 points x 3 roles (all collapsing onto the single trial).
+        assert_eq!(res.outliers.len(), 12);
+        for o in &res.outliers {
+            assert!(!o.outlier.trace.is_empty(), "{}: empty trace", o.label);
+            let v = o.outlier.validation.as_ref().expect("validated");
+            assert!(v.is_ok(), "{}: {v}", o.label);
+        }
+        // Capture off: no outliers retained.
+        let plain = run(
+            MacConfig::from_ticks(2, 32),
+            &[4, 8],
+            2,
+            &[1, 2],
+            6,
+            &TrialRunner::single(),
+        );
+        assert!(plain.outliers.is_empty());
     }
 
     #[test]

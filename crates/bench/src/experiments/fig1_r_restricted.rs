@@ -11,10 +11,10 @@
 //! paper's insight that the *reach* of unreliability (not its quantity)
 //! is what hurts.
 
-use super::SweepPoint;
-use crate::engine::TrialRunner;
+use super::{LabeledOutlier, SweepPoint};
+use crate::engine::{CellResult, TrialRunner};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{bounds, run_bmmb, Assignment, RunOptions};
+use amac_core::{bounds, run_bmmb, Assignment, MmbReport, RunOptions};
 use amac_graph::{generators, NodeId};
 use amac_mac::policies::LazyPolicy;
 use amac_mac::MacConfig;
@@ -28,30 +28,41 @@ pub struct Fig1RRestricted {
     /// `true` iff every measured time — in **every trial**, not just the
     /// mean — is within the exact Theorem 3.16 deadline.
     pub within_exact_bound: bool,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
 
-fn measure_ticks(config: MacConfig, d: usize, k: usize, r: usize, p: f64, seed: u64) -> u64 {
+fn measure(
+    config: MacConfig,
+    d: usize,
+    k: usize,
+    r: usize,
+    p: f64,
+    seed: u64,
+    options: &RunOptions,
+) -> MmbReport {
     let g = generators::line(d + 1).expect("d >= 1");
     let mut rng = SimRng::seed(seed ^ (r as u64).wrapping_mul(0x9E37));
     let dual = generators::r_restricted_augment(g, r, p, &mut rng).expect("valid parameters");
     debug_assert!(dual.check_r_restricted(r).is_ok());
     let assignment = Assignment::all_at(NodeId::new(0), k);
-    let report = run_bmmb(
+    run_bmmb(
         &dual,
         config,
         &assignment,
         LazyPolicy::new().prefer_duplicates(),
-        &RunOptions::fast(),
-    );
-    report.completion_ticks()
+        options,
+    )
 }
 
 /// Runs the experiment. Each trial samples its own `r`-restricted
 /// augmentation (from the trial's split seed), so the aggregate spans the
 /// topology distribution, and the exact Theorem 3.16 deadline is checked
-/// on every trial individually.
+/// on every trial individually. Each `(r, trial)` pair is its own engine
+/// cell, so the `r` points of one trial run concurrently.
 pub fn run(
     config: MacConfig,
     d: usize,
@@ -61,23 +72,37 @@ pub fn run(
     seed: u64,
     runner: &TrialRunner,
 ) -> Fig1RRestricted {
-    let aggregates = runner.run_matrix(seed, |ctx| {
-        let trial_seed = ctx.seed(seed);
-        rs.iter()
-            .map(|&r| measure_ticks(config, d, k, r, edge_probability, trial_seed) as f64)
-            .collect()
-    });
+    let widths = vec![1usize; rs.len()];
+    let run = runner.run_sweep(
+        seed,
+        &widths,
+        |_trial| (),
+        |_, cell| {
+            let report = measure(
+                config,
+                d,
+                k,
+                rs[cell.point],
+                edge_probability,
+                cell.seed(seed),
+                &super::cell_options(cell.capture_requested()),
+            );
+            CellResult::scalar(report.completion_ticks() as f64)
+                .with_capture(super::mmb_capture(&report))
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| format!("r={}", rs[i]));
     // Integer-tick note: a discrete simulator realizes a progress window
     // of F_prog + 1 ticks ("strictly longer than F_prog"), so the exact
     // t1 deadline is evaluated at that effective constant.
     let effective = MacConfig::from_ticks(config.f_prog().ticks() + 1, config.f_ack().ticks());
     let r_sweep: Vec<SweepPoint> = rs
         .iter()
-        .zip(&aggregates)
-        .map(|(&r, a)| {
+        .zip(run.points())
+        .map(|(&r, p)| {
             SweepPoint::from_aggregate(
                 r,
-                a,
+                p.primary(),
                 bounds::bmmb_r_restricted_exact(d, k, r, &effective).ticks(),
             )
         })
@@ -108,8 +133,8 @@ pub fn run(
         ]);
     }
     table.note(format!(
-        "{} trial(s) per point, each on a fresh r-restricted augmentation",
-        runner.trials()
+        "{}, each on a fresh r-restricted augmentation",
+        super::trials_phrase(runner, &run)
     ));
     table.note(if within_exact_bound {
         "every trial's measured time is within the exact Theorem 3.16 deadline t1".to_string()
@@ -121,6 +146,7 @@ pub fn run(
     Fig1RRestricted {
         r_sweep,
         within_exact_bound,
+        outliers,
         table,
     }
 }

@@ -10,11 +10,11 @@
 //! With multiple trials the check uses each point's **minimum** trial — a
 //! lower bound must hold on every execution, not on average.
 
-use super::SweepPoint;
-use crate::engine::TrialRunner;
+use super::{LabeledOutlier, SweepPoint};
+use crate::engine::{CellResult, TrialRunner};
 use crate::fit::{linear_fit, LinearFit};
 use crate::table::{ci_cell, mean_cell, Table};
-use amac_core::{bounds, RunOptions};
+use amac_core::bounds;
 use amac_lower::{run_choke_star, run_dual_line};
 use amac_mac::MacConfig;
 
@@ -31,6 +31,9 @@ pub struct LowerBounds {
     pub star_min_ratio: f64,
     /// Smallest per-trial ratio observed in the line sweep.
     pub line_min_ratio: f64,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
@@ -49,35 +52,50 @@ fn min_ratio(points: &[SweepPoint]) -> f64 {
 }
 
 /// Runs both sweeps. The adversarial constructions are deterministic, so
-/// the runner is clamped to a single trial; the sweeps still flow through
-/// the engine.
+/// the runner is clamped to a single trial; the sweep points fan out over
+/// the worker pool as cells.
 pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) -> LowerBounds {
     let runner = if DETERMINISTIC {
         runner.deterministic()
     } else {
         *runner
     };
-    let aggregates = runner.run_matrix(0, |_ctx| {
-        let options = RunOptions::fast();
-        ks.iter()
-            .map(|&k| run_choke_star(k, config, &options).completion_ticks as f64)
-            .chain(
-                ds.iter()
-                    .map(|&d| run_dual_line(d, config, &options).completion_ticks as f64),
-            )
-            .collect()
+    let widths = vec![1usize; ks.len() + ds.len()];
+    let run = runner.run_sweep(
+        0,
+        &widths,
+        |_trial| (),
+        |_, cell| {
+            let options = super::cell_options(cell.capture_requested());
+            let report = if cell.point < ks.len() {
+                run_choke_star(ks[cell.point], config, &options)
+            } else {
+                run_dual_line(ds[cell.point - ks.len()], config, &options)
+            };
+            CellResult::scalar(report.completion_ticks as f64)
+                .with_capture(super::mmb_capture(&report.run))
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        if i < ks.len() {
+            format!("star-k={}", ks[i])
+        } else {
+            format!("line-D={}", ds[i - ks.len()])
+        }
     });
-    let (star_aggs, line_aggs) = aggregates.split_at(ks.len());
+    let (star_points, line_points) = run.points().split_at(ks.len());
     let star: Vec<SweepPoint> = ks
         .iter()
-        .zip(star_aggs)
-        .map(|(&k, a)| SweepPoint::from_aggregate(k, a, bounds::lower_choke(k, &config).ticks()))
+        .zip(star_points)
+        .map(|(&k, p)| {
+            SweepPoint::from_aggregate(k, p.primary(), bounds::lower_choke(k, &config).ticks())
+        })
         .collect();
     let line: Vec<SweepPoint> = ds
         .iter()
-        .zip(line_aggs)
-        .map(|(&d, a)| {
-            SweepPoint::from_aggregate(d, a, bounds::lower_grey_zone(d, &config).ticks())
+        .zip(line_points)
+        .map(|(&d, p)| {
+            SweepPoint::from_aggregate(d, p.primary(), bounds::lower_grey_zone(d, &config).ticks())
         })
         .collect();
 
@@ -138,6 +156,7 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
         line_fit,
         star_min_ratio,
         line_min_ratio,
+        outliers,
         table,
     }
 }

@@ -22,8 +22,92 @@ pub mod lower_bounds;
 pub mod subroutines;
 
 use crate::engine::TrialStats;
+use crate::engine::{CellCapture, OutlierTrace, SweepRun, TrialRunner};
+use amac_core::{FmmbReport, MmbReport, RunOptions};
 use amac_sim::stats::Aggregate;
 use amac_sim::Time;
+
+/// A captured outlier execution labeled with the sweep point it belongs to
+/// (e.g. `"D=32"`), as exposed by each experiment's result struct and
+/// dumped by `repro --dump-traces`.
+#[derive(Clone, Debug)]
+pub struct LabeledOutlier {
+    /// Human-readable sweep-point label.
+    pub label: String,
+    /// The captured min/median/max trial: trace + validation verdict.
+    pub outlier: OutlierTrace,
+}
+
+/// Run options for one sweep cell: the fast no-validation path normally,
+/// the trace-capturing path when the engine is replaying an outlier.
+pub(crate) fn cell_options(capture: bool) -> RunOptions {
+    if capture {
+        RunOptions::fast().capturing_trace()
+    } else {
+        RunOptions::fast()
+    }
+}
+
+/// Bundles a BMMB report's kept trace (if any) for the engine.
+pub(crate) fn mmb_capture(report: &MmbReport) -> Option<CellCapture> {
+    report.trace.clone().map(|trace| CellCapture {
+        trace,
+        validation: report.validation.clone(),
+    })
+}
+
+/// Bundles an FMMB report's kept trace (if any) for the engine.
+pub(crate) fn fmmb_capture(report: &FmmbReport) -> Option<CellCapture> {
+    report.trace.clone().map(|trace| CellCapture {
+        trace,
+        validation: report.validation.clone(),
+    })
+}
+
+/// Flattens a sweep's captured outliers, labeling each with its point.
+pub(crate) fn collect_outliers(
+    run: &SweepRun,
+    label: impl Fn(usize) -> String,
+) -> Vec<LabeledOutlier> {
+    run.points()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, point)| {
+            point
+                .outliers()
+                .iter()
+                .cloned()
+                .map(move |outlier| (i, outlier))
+        })
+        .map(|(i, outlier)| LabeledOutlier {
+            label: label(i),
+            outlier,
+        })
+        .collect()
+}
+
+/// The per-point trial-count phrase for table footnotes: a fixed count in
+/// fixed mode, the observed `min..max` range plus the stopping rule in
+/// adaptive mode. Deterministic, so footnotes stay byte-identical across
+/// `--jobs`.
+pub(crate) fn trials_phrase(runner: &TrialRunner, run: &SweepRun) -> String {
+    if runner.adaptive() {
+        let (lo, hi) = (run.min_trials(), run.max_trials());
+        let target = runner.target_ci().expect("adaptive implies a target") * 100.0;
+        let range = if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}..{hi}")
+        };
+        format!(
+            "adaptive: {range} trial(s) per point (target ci {target:.0}% of mean, floor {}, cap {})",
+            runner.trials(),
+            runner.max_trials()
+        )
+    } else {
+        format!("{} trial(s) per point", runner.trials())
+    }
+}
 
 /// One measured sweep point: a driving parameter, the completion-time
 /// aggregate over the trials, and the paper's bound evaluated at that

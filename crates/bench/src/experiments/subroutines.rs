@@ -9,12 +9,13 @@
 //! * **spread** (Lemmas 4.7–4.8): rounds from gather completion until MMB
 //!   completion, versus `O((D + k)·log n)`.
 
-use crate::engine::{TrialRunner, TrialStats};
+use super::LabeledOutlier;
+use crate::engine::{CellCapture, CellResult, TrialRunner, TrialStats};
 use crate::table::{ci_cell, mean_cell, Table};
 use amac_core::{Assignment, Delivered, Fmmb, FmmbParams, MessageId, MisStatus};
-use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig};
+use amac_graph::generators::{connected_grey_zone_network, GreyZoneConfig, GreyZoneNetwork};
 use amac_graph::{algo, DualGraph, NodeId, NodeSet};
-use amac_mac::{MacConfig, Policy, Runtime};
+use amac_mac::{validate, MacConfig, Policy, Runtime};
 use amac_sim::{SimRng, Time};
 use std::collections::HashSet;
 
@@ -36,7 +37,16 @@ pub struct Milestones {
     pub gather_start_round: u64,
 }
 
-/// Runs FMMB while checking node-state milestones once per round.
+/// One instrumented run plus, when requested, its captured trace bundle.
+pub struct InstrumentedRun {
+    /// The per-round milestones the sweeps measure.
+    pub milestones: Milestones,
+    /// The MAC trace and validator verdict, when capture was requested.
+    pub capture: Option<CellCapture>,
+}
+
+/// Runs FMMB while checking node-state milestones once per round
+/// (convenience wrapper without trace capture).
 pub fn run_instrumented<P: Policy>(
     dual: &DualGraph,
     config: MacConfig,
@@ -45,6 +55,23 @@ pub fn run_instrumented<P: Policy>(
     seed: u64,
     policy: P,
 ) -> Milestones {
+    run_instrumented_traced(dual, config, assignment, params, seed, policy, false).milestones
+}
+
+/// Runs FMMB while checking node-state milestones once per round; with
+/// `capture` set, also records the MAC trace and validates it post-hoc.
+/// Trace recording never disturbs the execution, so the milestones are
+/// identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_instrumented_traced<P: Policy>(
+    dual: &DualGraph,
+    config: MacConfig,
+    assignment: &Assignment,
+    params: &FmmbParams,
+    seed: u64,
+    policy: P,
+    capture: bool,
+) -> InstrumentedRun {
     assert!(config.is_enhanced(), "FMMB requires the enhanced model");
     let n = dual.len();
     let schedule = params.schedule(n);
@@ -59,7 +86,10 @@ pub fn run_instrumented<P: Policy>(
             )
         })
         .collect();
-    let mut rt = Runtime::new(dual.clone(), config, nodes, policy).without_trace();
+    let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if !capture {
+        rt = rt.without_trace();
+    }
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -76,7 +106,7 @@ pub fn run_instrumented<P: Policy>(
     };
 
     let mut round = 0u64;
-    loop {
+    let quiescent = loop {
         let outcome = rt.run_until(Time::from_ticks((round + 1) * round_ticks));
         for rec in rt.take_outputs() {
             let Delivered(id) = rec.out;
@@ -106,9 +136,9 @@ pub fn run_instrumented<P: Policy>(
         }
         round += 1;
         if outcome == amac_mac::RunOutcome::Idle || milestones.completion_round.is_some() {
-            break;
+            break outcome == amac_mac::RunOutcome::Idle;
         }
-    }
+    };
 
     let mut mis = NodeSet::new(n);
     for i in 0..n {
@@ -117,7 +147,14 @@ pub fn run_instrumented<P: Policy>(
         }
     }
     milestones.mis_valid = algo::is_maximal_independent(dual.g(), &mis);
-    milestones
+    let capture = rt.trace().map(|trace| CellCapture {
+        validation: Some(validate(trace, dual, rt.config(), quiescent)),
+        trace: trace.clone(),
+    });
+    InstrumentedRun {
+        milestones,
+        capture,
+    }
 }
 
 /// One row of the MIS sweep (aggregated over seeds × trials).
@@ -146,14 +183,31 @@ pub struct Subroutines {
     /// Spread sweep over `n` (growing `D`): `(n, mean D, spread rounds
     /// used, mean (D + k) * log n)`.
     pub spread: Vec<(usize, u64, TrialStats, u64)>,
+    /// Captured outlier traces per sweep point (empty unless the runner
+    /// has trace capture enabled).
+    pub outliers: Vec<LabeledOutlier>,
     /// Rendered table.
     pub table: Table,
 }
 
+/// Per-trial shared state: every network/assignment the three subroutine
+/// sweeps need, sampled from the trial's stream in the historical order.
+struct TrialSetup {
+    salt: u64,
+    /// Per `n`: MIS network + params (`k = 1` singleton assignment).
+    mis: Vec<(GreyZoneNetwork, FmmbParams)>,
+    gather_net: GreyZoneNetwork,
+    /// Per `k`: gather params + random assignment on the fixed network.
+    gather: Vec<(FmmbParams, Assignment)>,
+    /// Per `n`: spread network, its diameter, params, and assignment.
+    spread: Vec<(GreyZoneNetwork, usize, FmmbParams, Assignment)>,
+}
+
 /// Runs all three subroutine experiments. Each trial samples fresh
 /// grey-zone networks and assignments from its split seed (trial 0 keeps
-/// the historical sampling), and the per-network `seeds` repetitions run
-/// within each trial as before.
+/// the historical sampling), the per-network `seeds` repetitions run
+/// within each trial as before, and each sweep point of a trial is its own
+/// engine cell, scheduled over the worker pool.
 pub fn run(
     f_prog: u64,
     ns: &[usize],
@@ -163,144 +217,216 @@ pub fn run(
     runner: &TrialRunner,
 ) -> Subroutines {
     let cfg = MacConfig::from_ticks(f_prog, 8 * f_prog).enhanced();
+    let n_fixed = *ns.last().expect("non-empty ns");
+    let k_fixed = *ks.first().expect("non-empty ks");
 
-    // Per trial: per n [decided_mean, validity, segment], per k
-    // [gather_used], per n [spread_used, d, bound].
-    let aggregates = runner.run_matrix(1234, |ctx| {
-        let mut rng = SimRng::seed(ctx.seed(1234));
-        let salt = ctx.seed(0);
-        let mut values = Vec::with_capacity(3 * ns.len() + ks.len() + 3 * ns.len());
-
-        // --- SUB-MIS: sweep n, several seeds each ---
-        for &n in ns {
-            let side = (n as f64 / density).sqrt();
-            let net = connected_grey_zone_network(
-                &GreyZoneConfig::new(n, side).with_c(2.0),
+    // Points: per n a 3-lane MIS point [decided_mean, validity, segment],
+    // per k a gather point [rounds used], per n a 3-lane spread point
+    // [rounds used, d, bound].
+    let widths: Vec<usize> = std::iter::repeat(3)
+        .take(ns.len())
+        .chain(std::iter::repeat(1).take(ks.len()))
+        .chain(std::iter::repeat(3).take(ns.len()))
+        .collect();
+    let run = runner.run_sweep(
+        1234,
+        &widths,
+        |trial| {
+            // Sampling order mirrors the historical whole-sweep closure,
+            // so per-trial topologies are unchanged.
+            let mut rng = SimRng::seed(trial.seed(1234));
+            let salt = trial.seed(0);
+            let mis = ns
+                .iter()
+                .map(|&n| {
+                    let side = (n as f64 / density).sqrt();
+                    let net = connected_grey_zone_network(
+                        &GreyZoneConfig::new(n, side).with_c(2.0),
+                        500,
+                        &mut rng,
+                    )
+                    .expect("connected sample");
+                    let params = FmmbParams::new(1, net.dual.diameter());
+                    (net, params)
+                })
+                .collect();
+            let side = (n_fixed as f64 / density).sqrt();
+            let gather_net = connected_grey_zone_network(
+                &GreyZoneConfig::new(n_fixed, side).with_c(2.0),
                 500,
                 &mut rng,
             )
             .expect("connected sample");
-            let params = FmmbParams::new(1, net.dual.diameter());
-            let assignment = Assignment::all_at(NodeId::new(0), 1);
-            let mut decided_sum = 0.0;
-            let mut valid = 0usize;
-            for &seed in seeds {
-                let m = run_instrumented(
+            let gather = ks
+                .iter()
+                .map(|&k| {
+                    let params = FmmbParams::new(k, gather_net.dual.diameter());
+                    let assignment = Assignment::random(n_fixed, k, &mut rng);
+                    (params, assignment)
+                })
+                .collect();
+            let spread = ns
+                .iter()
+                .map(|&n| {
+                    let side = (n as f64 / density).sqrt();
+                    let net = connected_grey_zone_network(
+                        &GreyZoneConfig::new(n, side).with_c(2.0),
+                        500,
+                        &mut rng,
+                    )
+                    .expect("connected sample");
+                    let d = net.dual.diameter();
+                    let params = FmmbParams::new(k_fixed, d);
+                    let assignment = Assignment::random(n, k_fixed, &mut rng);
+                    (net, d, params, assignment)
+                })
+                .collect();
+            TrialSetup {
+                salt,
+                mis,
+                gather_net,
+                gather,
+                spread,
+            }
+        },
+        |setup, cell| {
+            if cell.point < ns.len() {
+                // --- SUB-MIS: several instrumented seeds on one network ---
+                let n = ns[cell.point];
+                let (net, params) = &setup.mis[cell.point];
+                let assignment = Assignment::all_at(NodeId::new(0), 1);
+                let mut decided_sum = 0.0;
+                let mut valid = 0usize;
+                // The MIS lanes average over all instrumented seeds, so no
+                // single execution produces the recorded value; the capture
+                // is the first seed's run — a *representative* execution of
+                // this point's trial, unlike the other sweeps where the
+                // trace is exactly the run behind the statistic.
+                let mut capture = None;
+                for (si, &seed) in seeds.iter().enumerate() {
+                    let traced = run_instrumented_traced(
+                        &net.dual,
+                        cfg,
+                        &assignment,
+                        params,
+                        seed ^ setup.salt,
+                        amac_mac::policies::LazyPolicy::new(),
+                        cell.capture_requested() && si == 0,
+                    );
+                    let m = traced.milestones;
+                    if si == 0 {
+                        capture = traced.capture;
+                    }
+                    decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
+                    valid += usize::from(m.mis_valid);
+                }
+                CellResult::vector(vec![
+                    decided_sum / seeds.len() as f64,
+                    valid as f64 / seeds.len() as f64,
+                    params.schedule(n).mis_rounds() as f64,
+                ])
+                .with_capture(capture)
+            } else if cell.point < ns.len() + ks.len() {
+                // --- SUB-GATHER: sweep k on the fixed network ---
+                let (params, assignment) = &setup.gather[cell.point - ns.len()];
+                let traced = run_instrumented_traced(
+                    &setup.gather_net.dual,
+                    cfg,
+                    assignment,
+                    params,
+                    seeds[0] ^ setup.salt,
+                    amac_mac::policies::LazyPolicy::new(),
+                    cell.capture_requested(),
+                );
+                let m = traced.milestones;
+                // Unreached milestone: record NaN, not a huge finite
+                // sentinel — Welford propagates it, so the mean/ci95 cells
+                // print `NaN`, an explicit failure marker instead of a
+                // plausible-looking number.
+                let used = m
+                    .gather_done_round
+                    .map(|g| g.saturating_sub(m.gather_start_round) as f64)
+                    .unwrap_or(f64::NAN);
+                CellResult::scalar(used).with_capture(traced.capture)
+            } else {
+                // --- SUB-SPREAD: sweep n (D grows with sqrt n) ---
+                let idx = cell.point - ns.len() - ks.len();
+                let (net, d, params, assignment) = &setup.spread[idx];
+                let traced = run_instrumented_traced(
                     &net.dual,
                     cfg,
-                    &assignment,
-                    &params,
-                    seed ^ salt,
+                    assignment,
+                    params,
+                    seeds[0] ^ setup.salt,
                     amac_mac::policies::LazyPolicy::new(),
+                    cell.capture_requested(),
                 );
-                decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
-                valid += usize::from(m.mis_valid);
+                let m = traced.milestones;
+                // NaN on an unreached milestone, as in the gather sweep.
+                let used = match (m.completion_round, m.gather_done_round) {
+                    (Some(c), Some(g)) => c.saturating_sub(g) as f64,
+                    _ => f64::NAN,
+                };
+                let lg = amac_core::bounds::log2_ceil(ns[idx]).max(1);
+                CellResult::vector(vec![
+                    used,
+                    *d as f64,
+                    ((*d as u64 + k_fixed as u64) * lg) as f64,
+                ])
+                .with_capture(traced.capture)
             }
-            values.push(decided_sum / seeds.len() as f64);
-            values.push(valid as f64 / seeds.len() as f64);
-            values.push(params.schedule(n).mis_rounds() as f64);
+        },
+    );
+    let outliers = super::collect_outliers(&run, |i| {
+        if i < ns.len() {
+            format!("mis-n={}", ns[i])
+        } else if i < ns.len() + ks.len() {
+            format!("gather-k={}", ks[i - ns.len()])
+        } else {
+            format!("spread-n={}", ns[i - ns.len() - ks.len()])
         }
-
-        // --- SUB-GATHER: sweep k on a fixed network ---
-        let n_fixed = *ns.last().expect("non-empty ns");
-        let side = (n_fixed as f64 / density).sqrt();
-        let net = connected_grey_zone_network(
-            &GreyZoneConfig::new(n_fixed, side).with_c(2.0),
-            500,
-            &mut rng,
-        )
-        .expect("connected sample");
-        for &k in ks {
-            let params = FmmbParams::new(k, net.dual.diameter());
-            let assignment = Assignment::random(n_fixed, k, &mut rng);
-            let m = run_instrumented(
-                &net.dual,
-                cfg,
-                &assignment,
-                &params,
-                seeds[0] ^ salt,
-                amac_mac::policies::LazyPolicy::new(),
-            );
-            // Unreached milestone: record NaN, not a huge finite
-            // sentinel — Welford propagates it, so the mean/ci95 cells
-            // print `NaN`, an explicit failure marker instead of a
-            // plausible-looking number.
-            let used = m
-                .gather_done_round
-                .map(|g| g.saturating_sub(m.gather_start_round) as f64)
-                .unwrap_or(f64::NAN);
-            values.push(used);
-        }
-
-        // --- SUB-SPREAD: sweep n (D grows with sqrt n at fixed density) ---
-        let k_fixed = *ks.first().expect("non-empty ks");
-        for &n in ns {
-            let side = (n as f64 / density).sqrt();
-            let net = connected_grey_zone_network(
-                &GreyZoneConfig::new(n, side).with_c(2.0),
-                500,
-                &mut rng,
-            )
-            .expect("connected sample");
-            let d = net.dual.diameter();
-            let params = FmmbParams::new(k_fixed, d);
-            let assignment = Assignment::random(n, k_fixed, &mut rng);
-            let m = run_instrumented(
-                &net.dual,
-                cfg,
-                &assignment,
-                &params,
-                seeds[0] ^ salt,
-                amac_mac::policies::LazyPolicy::new(),
-            );
-            // NaN on an unreached milestone, as in the gather sweep.
-            let used = match (m.completion_round, m.gather_done_round) {
-                (Some(c), Some(g)) => c.saturating_sub(g) as f64,
-                _ => f64::NAN,
-            };
-            let lg = amac_core::bounds::log2_ceil(n).max(1);
-            values.push(used);
-            values.push(d as f64);
-            values.push(((d as u64 + k_fixed as u64) * lg) as f64);
-        }
-        values
     });
 
-    let (mis_aggs, rest) = aggregates.split_at(3 * ns.len());
-    let (gather_aggs, spread_aggs) = rest.split_at(ks.len());
+    let (mis_points, rest) = run.points().split_at(ns.len());
+    let (gather_points, spread_points) = rest.split_at(ks.len());
 
     let mis: Vec<MisPoint> = ns
         .iter()
-        .zip(mis_aggs.chunks_exact(3))
-        .map(|(&n, chunk)| {
+        .zip(mis_points)
+        .map(|(&n, p)| {
             let lg = amac_core::bounds::log2_ceil(n).max(1);
             MisPoint {
                 n,
                 log_cubed: lg * lg * lg,
-                decided_rounds: chunk[0].mean(),
-                segment_rounds: chunk[2].mean().round() as u64,
-                validity_rate: chunk[1].mean(),
+                decided_rounds: p.lane(0).mean(),
+                segment_rounds: p.lane(2).mean().round() as u64,
+                validity_rate: p.lane(1).mean(),
             }
         })
         .collect();
 
-    let n_fixed = *ns.last().expect("non-empty ns");
     let lg_fixed = amac_core::bounds::log2_ceil(n_fixed).max(1);
     let gather: Vec<(usize, TrialStats, u64)> = ks
         .iter()
-        .zip(gather_aggs)
-        .map(|(&k, a)| (k, TrialStats::from_aggregate(a), k as u64 + lg_fixed))
+        .zip(gather_points)
+        .map(|(&k, p)| {
+            (
+                k,
+                TrialStats::from_aggregate(p.primary()),
+                k as u64 + lg_fixed,
+            )
+        })
         .collect();
 
     let spread: Vec<(usize, u64, TrialStats, u64)> = ns
         .iter()
-        .zip(spread_aggs.chunks_exact(3))
-        .map(|(&n, chunk)| {
+        .zip(spread_points)
+        .map(|(&n, p)| {
             (
                 n,
-                chunk[1].mean().round() as u64,
-                TrialStats::from_aggregate(&chunk[0]),
-                chunk[2].mean().round() as u64,
+                p.lane(1).mean().round() as u64,
+                TrialStats::from_aggregate(p.lane(0)),
+                p.lane(2).mean().round() as u64,
             )
         })
         .collect();
@@ -351,8 +477,8 @@ pub fn run(
         ]);
     }
     table.note(format!(
-        "{} trial(s), {} instrumented seed(s) per network",
-        runner.trials(),
+        "{}, {} instrumented seed(s) per network",
+        super::trials_phrase(runner, &run),
         seeds.len()
     ));
     table.note("rounds used are until the milestone, not the (longer) fixed schedule");
@@ -361,6 +487,7 @@ pub fn run(
         mis,
         gather,
         spread,
+        outliers,
         table,
     }
 }

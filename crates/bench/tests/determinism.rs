@@ -73,6 +73,74 @@ fn markdown_rendering_is_jobs_invariant_too() {
 }
 
 #[test]
+fn adaptive_tables_are_jobs_invariant() {
+    // Adaptive mode adds a second scheduling-sensitive surface: per-point
+    // trial counts. Both the counts and the aggregates must be identical
+    // across worker counts (batch boundaries are fixed, stop decisions are
+    // functions of folded data only).
+    let render = |jobs: usize| {
+        let runner = TrialRunner::new(3, jobs)
+            .with_max_trials(24)
+            .with_target_ci(0.2);
+        experiments::fig1_fmmb::run(2, &[8, 32], 12, &[12], 2.0, 2, 5, &runner)
+            .table
+            .to_string()
+    };
+    assert_eq!(
+        render(1),
+        render(8),
+        "F1-ENH adaptive: jobs=1 and jobs=8 must render byte-identical tables"
+    );
+}
+
+#[test]
+fn adaptive_mode_stops_low_variance_sweeps_early() {
+    // r = 1 cannot add any edge to the line, so every trial measures the
+    // same topology: the CI collapses to zero at the floor and the point
+    // must stop there instead of burning trials up to the cap.
+    let runner = TrialRunner::new(2, 2)
+        .with_max_trials(32)
+        .with_target_ci(0.1);
+    let res = experiments::fig1_r_restricted::run(
+        amac_mac::MacConfig::from_ticks(2, 32),
+        8,
+        2,
+        &[1],
+        0.5,
+        11,
+        &runner,
+    );
+    assert_eq!(
+        res.r_sweep[0].measured.trials, 2,
+        "zero-variance point must stop at the floor"
+    );
+    assert!(res.r_sweep[0].measured.trials < runner.max_trials() as u64);
+}
+
+#[test]
+fn captured_outlier_traces_pass_the_validator() {
+    // The engine replays each point's min/median/max trial with trace
+    // recording; the replayed executions must conform to the MAC model.
+    let runner = TrialRunner::new(2, 2).with_trace_capture(true);
+    let res = experiments::fig1_fmmb::run(2, &[8], 12, &[12], 2.0, 2, 5, &runner);
+    assert!(!res.outliers.is_empty(), "capture must retain outliers");
+    for o in &res.outliers {
+        assert!(!o.outlier.trace.is_empty(), "{}: empty trace", o.label);
+        let verdict = o
+            .outlier
+            .validation
+            .as_ref()
+            .expect("capture replays validate");
+        assert!(verdict.is_ok(), "{}: {verdict}", o.label);
+    }
+    // Capture itself must not perturb measurements: same sweep without
+    // capture renders the identical table.
+    let plain = experiments::fig1_fmmb::run(2, &[8], 12, &[12], 2.0, 2, 5, &TrialRunner::new(2, 2));
+    let captured = res.table.to_string();
+    assert_eq!(captured, plain.table.to_string());
+}
+
+#[test]
 fn single_trial_reproduces_historical_seed_behaviour() {
     // Trial 0 is seeded with the experiment's historical base seed, so a
     // single-trial engine run must agree with itself across repeats and

@@ -6,6 +6,7 @@ use super::params::FmmbParams;
 use crate::harness::RunOptions;
 use crate::mmb::{Assignment, CompletionTracker, Delivered};
 use amac_graph::{algo, DualGraph, NodeId, NodeSet};
+use amac_mac::trace::Trace;
 use amac_mac::{validate, MacConfig, Policy, RunOutcome, Runtime, ValidationReport};
 use amac_sim::stats::Counters;
 use amac_sim::{SimRng, Time};
@@ -33,6 +34,9 @@ pub struct FmmbReport {
     pub counters: Counters,
     /// Trace validation report, when requested.
     pub validation: Option<ValidationReport>,
+    /// The recorded execution trace, when [`RunOptions::keep_trace`] was
+    /// set.
+    pub trace: Option<Trace>,
     /// Total rounds in the schedule (for round-based accounting).
     pub schedule_rounds: u64,
 }
@@ -143,7 +147,7 @@ pub fn run_fmmb<P: Policy>(
         .collect();
 
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
-    if !options.validate {
+    if !options.records_trace() {
         rt = rt.without_trace();
     }
     for (node, msg) in assignment.arrivals() {
@@ -179,6 +183,11 @@ pub fn run_fmmb<P: Policy>(
     } else {
         None
     };
+    let trace = if options.keep_trace {
+        rt.trace().cloned()
+    } else {
+        None
+    };
 
     FmmbReport {
         completion: tracker.completed_at(),
@@ -190,6 +199,7 @@ pub fn run_fmmb<P: Policy>(
         instances: rt.instances_started(),
         counters: rt.counters().clone(),
         validation,
+        trace,
         schedule_rounds: schedule.total_rounds(),
     }
 }

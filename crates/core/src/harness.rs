@@ -5,6 +5,7 @@
 use crate::bmmb::Bmmb;
 use crate::mmb::{Assignment, CompletionTracker, Delivered};
 use amac_graph::{DualGraph, NodeId};
+use amac_mac::trace::Trace;
 use amac_mac::{validate, Automaton, MacConfig, Policy, RunOutcome, Runtime, ValidationReport};
 use amac_sim::stats::Counters;
 use amac_sim::Time;
@@ -15,6 +16,10 @@ use std::fmt;
 pub struct RunOptions {
     /// Validate the recorded trace against the MAC model after the run.
     pub validate: bool,
+    /// Return the recorded [`Trace`] in the report (for post-mortem
+    /// inspection of outlier executions). Implies trace recording, but not
+    /// validation.
+    pub keep_trace: bool,
     /// Stop as soon as the MMB problem is solved (all required deliveries
     /// happened) instead of running the algorithm to quiescence.
     pub stop_on_completion: bool,
@@ -27,6 +32,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             validate: true,
+            keep_trace: false,
             stop_on_completion: false,
             horizon: Time::MAX,
         }
@@ -42,6 +48,15 @@ impl RunOptions {
         }
     }
 
+    /// Keeps the recorded trace in the report **and** validates it — the
+    /// post-mortem bundle the experiment engine captures for outlier
+    /// trials (the trace to inspect, the validation verdict alongside).
+    pub fn capturing_trace(mut self) -> RunOptions {
+        self.keep_trace = true;
+        self.validate = true;
+        self
+    }
+
     /// Stops the simulation at the moment of MMB completion.
     pub fn stopping_on_completion(mut self) -> RunOptions {
         self.stop_on_completion = true;
@@ -52,6 +67,12 @@ impl RunOptions {
     pub fn with_horizon(mut self, horizon: Time) -> RunOptions {
         self.horizon = horizon;
         self
+    }
+
+    /// `true` when the runtime must record a trace (for validation or for
+    /// the report).
+    pub fn records_trace(&self) -> bool {
+        self.validate || self.keep_trace
     }
 }
 
@@ -74,6 +95,9 @@ pub struct MmbReport {
     pub counters: Counters,
     /// Trace validation report, when requested.
     pub validation: Option<ValidationReport>,
+    /// The recorded execution trace, when [`RunOptions::keep_trace`] was
+    /// set.
+    pub trace: Option<Trace>,
 }
 
 impl MmbReport {
@@ -125,7 +149,7 @@ where
     let mut make_node = make_node;
     let nodes = (0..dual.len()).map(|i| make_node(NodeId::new(i))).collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
-    if !options.validate {
+    if !options.records_trace() {
         rt = rt.without_trace();
     }
     for (node, msg) in assignment.arrivals() {
@@ -155,6 +179,11 @@ where
     } else {
         None
     };
+    let trace = if options.keep_trace {
+        rt.trace().cloned()
+    } else {
+        None
+    };
 
     MmbReport {
         completion: tracker.completed_at(),
@@ -165,6 +194,7 @@ where
         instances: rt.instances_started(),
         counters: rt.counters().clone(),
         validation,
+        trace,
     }
 }
 
@@ -280,6 +310,28 @@ mod tests {
         // Truncated traces still validate (progress windows open at the
         // horizon are skipped).
         assert!(report.validation.unwrap().is_ok());
+    }
+
+    #[test]
+    fn capturing_trace_returns_trace_and_validation() {
+        let dual = line_dual(8);
+        let cfg = MacConfig::from_ticks(2, 20);
+        let a = Assignment::all_at(NodeId::new(0), 2);
+        let fast = run_bmmb(&dual, cfg, &a, LazyPolicy::new(), &RunOptions::fast());
+        assert!(fast.trace.is_none(), "fast runs keep no trace");
+        let captured = run_bmmb(
+            &dual,
+            cfg,
+            &a,
+            LazyPolicy::new(),
+            &RunOptions::fast().capturing_trace(),
+        );
+        let trace = captured.trace.as_ref().expect("trace kept");
+        assert!(!trace.is_empty());
+        assert!(captured.validation.expect("validated").is_ok());
+        // Keeping the trace must not disturb the execution itself.
+        assert_eq!(captured.completion, fast.completion);
+        assert_eq!(captured.deliveries, fast.deliveries);
     }
 
     #[test]

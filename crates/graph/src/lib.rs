@@ -35,7 +35,7 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod algo;

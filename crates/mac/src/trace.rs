@@ -111,6 +111,13 @@ impl Trace {
         self.entries.is_empty()
     }
 
+    /// Time of the last recorded event (the trace horizon), or `None` for
+    /// an empty trace. Entries are appended in time order, so this is also
+    /// the maximum timestamp.
+    pub fn last_time(&self) -> Option<Time> {
+        self.entries.last().map(|e| e.time)
+    }
+
     /// Number of entries of the given kind.
     pub fn count(&self, kind: TraceKind) -> usize {
         self.entries.iter().filter(|e| e.kind == kind).count()
@@ -157,6 +164,8 @@ mod tests {
             );
         }
         assert_eq!(entry_times(&t), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.last_time(), Some(Time::from_ticks(4)));
+        assert_eq!(Trace::new().last_time(), None);
     }
 
     #[test]

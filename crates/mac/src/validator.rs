@@ -190,6 +190,16 @@ impl ValidationReport {
         &self.violations
     }
 
+    /// One-line verdict for table footers and trace-dump headers:
+    /// `"ok"`, or the violation count.
+    pub fn summary(&self) -> String {
+        if self.is_ok() {
+            "ok".to_string()
+        } else {
+            format!("{} violation(s)", self.violations.len())
+        }
+    }
+
     /// Converts into a `Result`, yielding the first violation on failure.
     pub fn into_result(mut self) -> Result<(), Violation> {
         if self.violations.is_empty() {
@@ -520,6 +530,7 @@ mod tests {
             true,
         );
         assert!(report.is_ok(), "{report}");
+        assert_eq!(report.summary(), "ok");
     }
 
     #[test]

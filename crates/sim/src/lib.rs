@@ -37,7 +37,7 @@
 //! assert_eq!(q.now(), Time::from_ticks(4));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod queue;

@@ -164,6 +164,43 @@ impl Summary {
         }
     }
 
+    /// The CI half-width as a fraction of the mean's magnitude — the
+    /// quantity the adaptive trial engine drives below its `--target-ci`
+    /// threshold. Batches of trials keep recording into the same summary,
+    /// and this ratio shrinks as `t(n−1)/√n` once the spread stabilizes.
+    ///
+    /// Degenerate cases are chosen so thresholds behave sensibly: a spread
+    /// around a zero mean reports `f64::INFINITY` (never "converged"), and
+    /// a zero-spread stream reports `0.0` (converged at any threshold).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amac_sim::stats::Summary;
+    ///
+    /// let mut s = Summary::new();
+    /// for x in [99.0, 100.0, 101.0] {
+    ///     s.record(x);
+    /// }
+    /// // Tight spread around 100: well under a 5% target.
+    /// assert!(s.relative_ci95() < 0.05);
+    ///
+    /// let mut zero = Summary::new();
+    /// zero.record(-1.0);
+    /// zero.record(1.0);
+    /// assert_eq!(zero.relative_ci95(), f64::INFINITY);
+    /// ```
+    pub fn relative_ci95(&self) -> f64 {
+        let half = self.ci95_half_width();
+        if half == 0.0 {
+            0.0
+        } else if self.mean() == 0.0 {
+            f64::INFINITY
+        } else {
+            half / self.mean().abs()
+        }
+    }
+
     /// Minimum sample, or `None` when empty.
     pub fn min(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min)
@@ -495,6 +532,25 @@ impl Aggregate {
         self.summary.ci95_half_width()
     }
 
+    /// CI half-width relative to the mean's magnitude (see
+    /// [`Summary::relative_ci95`]); the adaptive trial engine's
+    /// convergence criterion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amac_sim::stats::Aggregate;
+    ///
+    /// let mut a = Aggregate::new();
+    /// for _ in 0..8 {
+    ///     a.record(250.0); // zero spread: converged at any threshold
+    /// }
+    /// assert_eq!(a.relative_ci95(), 0.0);
+    /// ```
+    pub fn relative_ci95(&self) -> f64 {
+        self.summary.relative_ci95()
+    }
+
     /// Smallest trial value.
     pub fn min(&self) -> Option<f64> {
         self.summary.min()
@@ -650,6 +706,32 @@ mod tests {
         // n = 1000: the t critical value has converged to the normal 1.96.
         let ci = 1.96 * (samp_var / n).sqrt();
         assert!((s.ci95_half_width() - ci).abs() / ci < 1e-9);
+    }
+
+    #[test]
+    fn relative_ci_handles_degenerate_means() {
+        let mut s = Summary::new();
+        for x in [90.0, 100.0, 110.0] {
+            s.record(x);
+        }
+        assert!((s.relative_ci95() - s.ci95_half_width() / 100.0).abs() < 1e-12);
+        // Zero spread: converged regardless of the mean (even a zero mean).
+        let mut flat = Summary::new();
+        flat.record(0.0);
+        flat.record(0.0);
+        assert_eq!(flat.relative_ci95(), 0.0);
+        // Spread around zero: never converged.
+        let mut sym = Summary::new();
+        sym.record(-5.0);
+        sym.record(5.0);
+        assert_eq!(sym.relative_ci95(), f64::INFINITY);
+        // Negative mean uses the magnitude.
+        let mut neg = Summary::new();
+        for x in [-90.0, -100.0, -110.0] {
+            neg.record(x);
+        }
+        assert!(neg.relative_ci95() > 0.0);
+        assert!(neg.relative_ci95() < 1.0);
     }
 
     #[test]
