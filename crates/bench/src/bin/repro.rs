@@ -3,8 +3,13 @@
 //! Prints each experiment's table to stdout (plain text) and, with
 //! `--markdown`, emits the EXPERIMENTS.md dataset instead. With `--smoke`,
 //! runs every experiment at a tiny, seconds-scale parameterisation — the
-//! same code paths as the full run — so CI can verify that Figure 1
+//! same code paths as the full run — so CI can verify that table
 //! regeneration still works without paying for the full sweeps.
+//!
+//! Positional arguments select individual experiments by id (run `repro
+//! --list` for the ids): `repro consensus_crash` regenerates just the
+//! consensus table, `repro fig1_gg election` two of them, no argument the
+//! whole suite.
 //!
 //! `--trials N` runs `N` independent trials per experiment (tables then
 //! report mean ± 95% CI per sweep point) and `--jobs J` fans `(sweep
@@ -15,11 +20,16 @@
 //! `--dump-traces DIR` re-runs the min/median/max trial of every sweep
 //! point with MAC-trace recording, re-validates those executions, and
 //! writes one annotated trace file per outlier under `DIR`.
+//! `--plots` appends an ASCII histogram/CDF of each sweep point's trial
+//! distribution to its table. `--json DIR` additionally writes one
+//! machine-readable `BENCH_<id>.json` per experiment (full dataset,
+//! engine parameters, wall clock) for tooling.
 //!
-//! Output is **byte-identical for any `J`** — including adaptive trial
-//! counts: trial `i` is seeded by `SimRng::split(i)`, aggregates fold in
-//! `(point, trial)` order, and adaptive stop decisions happen at fixed
-//! batch boundaries.
+//! Stdout is **byte-identical for any `J`** — including adaptive trial
+//! counts and plot lines: trial `i` is seeded by `SimRng::split(i)`,
+//! aggregates fold in `(point, trial)` order, and adaptive stop decisions
+//! happen at fixed batch boundaries. (The JSON files carry wall-clock
+//! seconds and are exempt from the byte-identity contract.)
 //!
 //! Usage:
 //!
@@ -27,20 +37,25 @@
 //! cargo run --release -p amac-bench --bin repro            # text tables
 //! cargo run --release -p amac-bench --bin repro -- --markdown > EXPERIMENTS.data.md
 //! cargo run --release -p amac-bench --bin repro -- --smoke  # CI fast path
-//! cargo run --release -p amac-bench --bin repro -- --trials 32 --jobs 8
+//! cargo run --release -p amac-bench --bin repro -- --trials 32 --jobs 8 --plots
 //! cargo run --release -p amac-bench --bin repro -- --trials 8 --target-ci 0.05 --max-trials 128
-//! cargo run --release -p amac-bench --bin repro -- --trials 8 --dump-traces traces/
+//! cargo run --release -p amac-bench --bin repro -- consensus_crash --trials 8 --json out/
 //! ```
 
 use amac_bench::engine::{default_jobs, TrialRunner};
-use amac_bench::experiments::{self, LabeledOutlier};
+use amac_bench::experiments::{self, ExperimentSpec, LabeledOutlier};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: repro [--markdown] [--smoke] [--trials N] [--jobs J] \
-         [--target-ci FRAC] [--max-trials M] [--dump-traces DIR]"
+        "usage: repro [EXPERIMENT ...] [--list] [--markdown] [--smoke] [--trials N] [--jobs J] \
+         [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR]"
     );
+    eprintln!("experiment ids:");
+    for spec in experiments::registry() {
+        eprintln!("  {:<18} {} ({})", spec.id, spec.summary, spec.label);
+    }
     std::process::exit(2);
 }
 
@@ -64,6 +79,13 @@ fn fraction_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> f64 {
         })
 }
 
+fn dir_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> PathBuf {
+    PathBuf::from(args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a directory");
+        usage_exit()
+    }))
+}
+
 fn main() {
     let mut markdown = false;
     let mut smoke = false;
@@ -72,6 +94,9 @@ fn main() {
     let mut target_ci: Option<f64> = None;
     let mut max_trials: Option<usize> = None;
     let mut dump_traces: Option<PathBuf> = None;
+    let mut plots = false;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut selected: Vec<&'static ExperimentSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -81,19 +106,43 @@ fn main() {
             "--jobs" => jobs = positive_arg(&mut args, "--jobs"),
             "--target-ci" => target_ci = Some(fraction_arg(&mut args, "--target-ci")),
             "--max-trials" => max_trials = Some(positive_arg(&mut args, "--max-trials")),
-            "--dump-traces" => {
-                dump_traces = Some(PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("--dump-traces needs a directory");
-                    usage_exit()
-                })))
+            "--dump-traces" => dump_traces = Some(dir_arg(&mut args, "--dump-traces")),
+            "--plots" => plots = true,
+            "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
+            "--list" => {
+                for spec in experiments::registry() {
+                    println!("{:<18} {} ({})", spec.id, spec.summary, spec.label);
+                }
+                return;
             }
+            other if !other.starts_with('-') => match experiments::find(other) {
+                // Dedup: a repeated id would run twice and overwrite its
+                // own --json/--dump-traces outputs.
+                Some(spec) => {
+                    if !selected.iter().any(|s| s.id == spec.id) {
+                        selected.push(spec);
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment: {other}");
+                    usage_exit()
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit()
             }
         }
     }
-    let mut runner = TrialRunner::new(trials, jobs).with_trace_capture(dump_traces.is_some());
+    let specs: Vec<&'static ExperimentSpec> = if selected.is_empty() {
+        experiments::registry().iter().collect()
+    } else {
+        selected
+    };
+
+    let mut runner = TrialRunner::new(trials, jobs)
+        .with_trace_capture(dump_traces.is_some())
+        .with_plots(plots);
     if let Some(frac) = target_ci {
         // Adaptive mode needs headroom above the floor; default the cap to
         // 8x the floor when --max-trials is not given.
@@ -126,102 +175,39 @@ fn main() {
     // Deterministic experiments clamp the runner to a single trial (their
     // module-level DETERMINISTIC const); report the effective count.
     let deterministic_detail = format!("{mode}, deterministic: 1 trial");
-    let detail_for = |deterministic: bool| {
-        if deterministic {
+
+    let total = specs.len();
+    let mut tables = Vec::new();
+    let mut captures: Vec<(&'static str, Vec<LabeledOutlier>)> = Vec::new();
+    let mut json_docs: Vec<(&'static str, String)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let detail = if spec.deterministic {
             &deterministic_detail
         } else {
             &stochastic_detail
+        };
+        eprintln!(
+            "[{}/{total}] {:<7}{} ({detail}) ...",
+            i + 1,
+            spec.label,
+            spec.summary
+        );
+        let started = Instant::now();
+        let out = spec.run(smoke, &runner);
+        if json_dir.is_some() {
+            json_docs.push((
+                spec.id,
+                amac_bench::json::experiment_json(
+                    spec.id,
+                    &out.table,
+                    &runner,
+                    smoke,
+                    started.elapsed().as_secs_f64(),
+                ),
+            ));
         }
-    };
-    let detail = &stochastic_detail;
-    let mut tables = Vec::new();
-    let mut captures: Vec<(&'static str, Vec<LabeledOutlier>)> = Vec::new();
-
-    eprintln!(
-        "[1/7] F1-GG    standard model, G' = G ({}) ...",
-        detail_for(experiments::fig1_gg::DETERMINISTIC)
-    );
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::fig1_gg::run_smoke_with,
-            experiments::fig1_gg::run_default_with,
-        );
-        captures.push(("F1-GG", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!("[2/7] F1-RR    standard model, r-restricted G' ({detail}) ...");
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::fig1_r_restricted::run_smoke_with,
-            experiments::fig1_r_restricted::run_default_with,
-        );
-        captures.push(("F1-RR", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!(
-        "[3/7] F1-ARB   standard model, arbitrary G' ({}) ...",
-        detail_for(experiments::fig1_arbitrary::DETERMINISTIC)
-    );
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::fig1_arbitrary::run_smoke_with,
-            experiments::fig1_arbitrary::run_default_with,
-        );
-        captures.push(("F1-ARB", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!(
-        "[4/7] LB       lower bounds (Lemma 3.18 + Figure 2) ({}) ...",
-        detail_for(experiments::lower_bounds::DETERMINISTIC)
-    );
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::lower_bounds::run_smoke_with,
-            experiments::lower_bounds::run_default_with,
-        );
-        captures.push(("LB", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!("[5/7] F1-ENH   enhanced model, FMMB vs BMMB ({detail}) ...");
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::fig1_fmmb::run_smoke_with,
-            experiments::fig1_fmmb::run_default_with,
-        );
-        captures.push(("F1-ENH", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!("[6/7] SUB-*    FMMB subroutines ({detail}) ...");
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::subroutines::run_smoke_with,
-            experiments::subroutines::run_default_with,
-        );
-        captures.push(("SUB", res.outliers));
-        tables.push(res.table);
-    }
-    eprintln!("[7/7] ABL      abort-interface ablation ({detail}) ...");
-    {
-        let res = pick(
-            smoke,
-            &runner,
-            experiments::ablation_abort::run_smoke_with,
-            experiments::ablation_abort::run_default_with,
-        );
-        captures.push(("ABL", res.outliers));
-        tables.push(res.table);
+        captures.push((spec.label, out.outliers));
+        tables.push(out.table);
     }
 
     for t in &tables {
@@ -234,20 +220,10 @@ fn main() {
     if let Some(dir) = &dump_traces {
         dump_outlier_traces(dir, &captures);
     }
-    eprintln!("done: {} tables ({detail})", tables.len());
-}
-
-fn pick<R>(
-    smoke: bool,
-    runner: &TrialRunner,
-    fast: impl FnOnce(&TrialRunner) -> R,
-    full: impl FnOnce(&TrialRunner) -> R,
-) -> R {
-    if smoke {
-        fast(runner)
-    } else {
-        full(runner)
+    if let Some(dir) = &json_dir {
+        write_json_results(dir, &json_docs);
     }
+    eprintln!("done: {} tables ({stochastic_detail})", tables.len());
 }
 
 /// Keeps filenames portable: anything outside `[A-Za-z0-9._=-]` becomes `_`.
@@ -262,6 +238,26 @@ fn sanitize(label: &str) -> String {
             }
         })
         .collect()
+}
+
+/// Writes one `BENCH_<id>.json` per experiment under `dir`.
+fn write_json_results(dir: &Path, docs: &[(&'static str, String)]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    for (id, doc) in docs {
+        let path = dir.join(format!("BENCH_{}.json", sanitize(id)));
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "wrote {} machine-readable result file(s) to {}",
+        docs.len(),
+        dir.display()
+    );
 }
 
 /// Writes one annotated trace file per captured outlier and prints a

@@ -323,6 +323,7 @@ pub struct TrialRunner {
     max_trials: usize,
     target_ci: Option<f64>,
     capture: bool,
+    plots: bool,
 }
 
 impl TrialRunner {
@@ -336,6 +337,7 @@ impl TrialRunner {
             max_trials: trials,
             target_ci: None,
             capture: false,
+            plots: false,
         }
     }
 
@@ -382,6 +384,16 @@ impl TrialRunner {
         self
     }
 
+    /// Enables (or disables) distribution plots: experiments append an
+    /// ASCII histogram/CDF of each sweep point's per-trial samples (from
+    /// the aggregate's [`Reservoir`](amac_sim::stats::Reservoir)) to their
+    /// tables. Rendering reads the deterministically folded samples, so
+    /// plots are byte-identical across `--jobs` like everything else.
+    pub fn with_plots(mut self, plots: bool) -> TrialRunner {
+        self.plots = plots;
+        self
+    }
+
     /// This runner clamped to a single trial, for fully deterministic
     /// workloads where extra trials would re-measure byte-identical
     /// values: the sweep runs once instead of `trials` times. Trace
@@ -394,6 +406,7 @@ impl TrialRunner {
             max_trials: 1,
             target_ci: None,
             capture: self.capture,
+            plots: self.plots,
         }
     }
 
@@ -425,6 +438,11 @@ impl TrialRunner {
     /// `true` when outlier trace capture is enabled.
     pub fn captures_traces(&self) -> bool {
         self.capture
+    }
+
+    /// `true` when distribution plots are enabled.
+    pub fn plots(&self) -> bool {
+        self.plots
     }
 
     /// Runs a sweep of `widths.len()` points, each measuring `widths[p]`

@@ -118,13 +118,14 @@ pub fn run(
                 .with_capture(super::fmmb_capture(&report))
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         format!(
             "Fack={}-{}",
             f_acks[i / 2],
             if i % 2 == 0 { "abort" } else { "noabort" }
         )
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
 
     let points: Vec<AblationPoint> = f_acks
         .iter()
@@ -168,6 +169,8 @@ pub fn run(
          instead of F_prog + 2 ticks, so the slowdown tracks F_ack/F_prog — \
          the paper's case for adding an abort interface to MAC layers",
     );
+
+    super::append_plots(&mut table, runner, &run, label);
 
     AblationAbort {
         points,

@@ -120,14 +120,15 @@ pub fn run(
                 .with_capture(super::mmb_capture(&report))
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         let (d, k) = point_params(i);
         if i < ds.len() {
             format!("D={d}")
         } else {
             format!("k={k}")
         }
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
     let (d_points, k_points) = run.points().split_at(ds.len());
     let d_sweep: Vec<SweepPoint> = ds
         .iter()
@@ -239,6 +240,8 @@ pub fn run(
         "finding: random long-range unreliability alone does not slow BMMB — \
          realizing Θ((D+k)·F_ack) requires the crafted Fig 2 schedule",
     );
+
+    super::append_plots(&mut table, &runner, &run, label);
 
     Fig1Arbitrary {
         d_sweep,

@@ -197,7 +197,7 @@ pub fn run(
             }
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         if i < 2 * f_acks.len() {
             format!(
                 "{}-Fack={}",
@@ -207,7 +207,8 @@ pub fn run(
         } else {
             format!("n={}", ns[i - 2 * f_acks.len()])
         }
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
 
     let (crossover_points, size_points) = run.points().split_at(2 * f_acks.len());
     let crossover: Vec<CrossoverPoint> = f_acks
@@ -284,6 +285,8 @@ pub fn run(
         "FMMB time <= {:.2} x (D log n + k log n + log^3 n) * F_prog across the size sweep",
         bound_fit.max_ratio
     ));
+
+    super::append_plots(&mut table, runner, &run, label);
 
     Fig1Fmmb {
         crossover,

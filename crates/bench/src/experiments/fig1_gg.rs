@@ -96,14 +96,15 @@ pub fn run(
                 .with_capture(super::mmb_capture(&report))
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         let (d, k) = point_params(i);
         if i < ds.len() {
             format!("D={d}")
         } else {
             format!("k={k}")
         }
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
     let (d_points, k_points) = run.points().split_at(ds.len());
     let d_sweep: Vec<SweepPoint> = ds
         .iter()
@@ -184,6 +185,8 @@ pub fn run(
         "measured <= {:.2} x bound across all points (paper: O(D*F_prog + k*F_ack))",
         bound_fit.max_ratio
     ));
+
+    super::append_plots(&mut table, &runner, &run, label);
 
     Fig1Gg {
         d_sweep,

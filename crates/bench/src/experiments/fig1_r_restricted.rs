@@ -91,7 +91,8 @@ pub fn run(
                 .with_capture(super::mmb_capture(&report))
         },
     );
-    let outliers = super::collect_outliers(&run, |i| format!("r={}", rs[i]));
+    let label = |i: usize| format!("r={}", rs[i]);
+    let outliers = super::collect_outliers(&run, label);
     // Integer-tick note: a discrete simulator realizes a progress window
     // of F_prog + 1 ticks ("strictly longer than F_prog"), so the exact
     // t1 deadline is evaluated at that effective constant.
@@ -142,6 +143,8 @@ pub fn run(
         "VIOLATION: some run exceeded the exact Theorem 3.16 deadline".to_string()
     });
     table.note("r=1 reproduces the G'=G cell; growing r interpolates toward (D+k)*F_ack");
+
+    super::append_plots(&mut table, runner, &run, label);
 
     Fig1RRestricted {
         r_sweep,

@@ -76,13 +76,14 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
                 .with_capture(super::mmb_capture(&report.run))
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         if i < ks.len() {
             format!("star-k={}", ks[i])
         } else {
             format!("line-D={}", ds[i - ks.len()])
         }
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
     let (star_points, line_points) = run.points().split_at(ks.len());
     let star: Vec<SweepPoint> = ks
         .iter()
@@ -149,6 +150,8 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
         line_fit.slope,
         config.f_ack()
     ));
+
+    super::append_plots(&mut table, &runner, &run, label);
 
     LowerBounds {
         star,

@@ -12,8 +12,12 @@
 //! | `SUB-GATHER` | [`subroutines`] | Lemma 4.6 gather in `O(k + log n)` periods |
 //! | `SUB-SPREAD` | [`subroutines`] | Lemmas 4.7–4.8 spread in `O((D+k) log n)` rounds |
 //! | `ABL-ABORT` | [`ablation_abort`] | ablation: FMMB without the abort interface |
+//! | `CONS` | [`consensus_crash`] | NR18/ZT24 crash-tolerant consensus on the aMAC layer |
+//! | `ELECT` | [`election`] | NR18 wake-up/leader election via broadcast back-off |
 
 pub mod ablation_abort;
+pub mod consensus_crash;
+pub mod election;
 pub mod fig1_arbitrary;
 pub mod fig1_fmmb;
 pub mod fig1_gg;
@@ -23,6 +27,7 @@ pub mod subroutines;
 
 use crate::engine::TrialStats;
 use crate::engine::{CellCapture, OutlierTrace, SweepRun, TrialRunner};
+use crate::table::Table;
 use amac_core::{FmmbReport, MmbReport, RunOptions};
 use amac_sim::stats::Aggregate;
 use amac_sim::Time;
@@ -155,4 +160,164 @@ impl SweepPoint {
 
 pub(crate) fn ticks_or_end(completion: Option<Time>, end: Time) -> u64 {
     completion.map(|t| t.ticks()).unwrap_or(end.ticks())
+}
+
+/// Appends one distribution-plot footnote per sweep point (primary lane,
+/// labeled like the outliers) when the runner has plots enabled —
+/// degenerate distributions (single trial, zero spread) are skipped.
+pub(crate) fn append_plots(
+    table: &mut Table,
+    runner: &TrialRunner,
+    run: &SweepRun,
+    label: impl Fn(usize) -> String,
+) {
+    if !runner.plots() {
+        return;
+    }
+    let mut any = false;
+    for (i, point) in run.points().iter().enumerate() {
+        if let Some(line) = crate::plot::point_line(&label(i), point.primary()) {
+            table.note(line);
+            any = true;
+        }
+    }
+    if !any {
+        table.note("dist: all points degenerate (single trial or zero spread), nothing to plot");
+    }
+}
+
+/// The uniform per-experiment output consumed by the `repro` binary: the
+/// rendered table plus any captured outlier traces.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Rendered result table.
+    pub table: Table,
+    /// Captured min/median/max traces (empty without trace capture).
+    pub outliers: Vec<LabeledOutlier>,
+}
+
+/// One registry entry: everything `repro` needs to list, select, and run
+/// an experiment.
+#[derive(Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Stable machine id — the `repro` subcommand name and the
+    /// `BENCH_<id>.json` stem.
+    pub id: &'static str,
+    /// Short table label (e.g. `F1-GG`).
+    pub label: &'static str,
+    /// One-line progress description.
+    pub summary: &'static str,
+    /// `true` for workloads with no per-trial randomness (the runner is
+    /// clamped to a single trial).
+    pub deterministic: bool,
+    run: fn(bool, &TrialRunner) -> ExperimentOutput,
+}
+
+impl ExperimentSpec {
+    /// Runs the experiment (`smoke` picks the seconds-scale
+    /// parameterisation) on the given engine.
+    pub fn run(&self, smoke: bool, runner: &TrialRunner) -> ExperimentOutput {
+        (self.run)(smoke, runner)
+    }
+}
+
+macro_rules! adapter {
+    ($name:ident, $module:ident) => {
+        fn $name(smoke: bool, runner: &TrialRunner) -> ExperimentOutput {
+            let res = if smoke {
+                $module::run_smoke_with(runner)
+            } else {
+                $module::run_default_with(runner)
+            };
+            ExperimentOutput {
+                table: res.table,
+                outliers: res.outliers,
+            }
+        }
+    };
+}
+
+adapter!(run_fig1_gg, fig1_gg);
+adapter!(run_fig1_r_restricted, fig1_r_restricted);
+adapter!(run_fig1_arbitrary, fig1_arbitrary);
+adapter!(run_lower_bounds, lower_bounds);
+adapter!(run_fig1_fmmb, fig1_fmmb);
+adapter!(run_subroutines, subroutines);
+adapter!(run_ablation_abort, ablation_abort);
+adapter!(run_consensus_crash, consensus_crash);
+adapter!(run_election, election);
+
+/// Every experiment in suite order. `repro` runs the whole list by
+/// default, or the subset named on its command line.
+pub fn registry() -> &'static [ExperimentSpec] {
+    &[
+        ExperimentSpec {
+            id: "fig1_gg",
+            label: "F1-GG",
+            summary: "standard model, G' = G",
+            deterministic: fig1_gg::DETERMINISTIC,
+            run: run_fig1_gg,
+        },
+        ExperimentSpec {
+            id: "fig1_r_restricted",
+            label: "F1-RR",
+            summary: "standard model, r-restricted G'",
+            deterministic: false,
+            run: run_fig1_r_restricted,
+        },
+        ExperimentSpec {
+            id: "fig1_arbitrary",
+            label: "F1-ARB",
+            summary: "standard model, arbitrary G'",
+            deterministic: fig1_arbitrary::DETERMINISTIC,
+            run: run_fig1_arbitrary,
+        },
+        ExperimentSpec {
+            id: "lower_bounds",
+            label: "LB",
+            summary: "lower bounds (Lemma 3.18 + Figure 2)",
+            deterministic: lower_bounds::DETERMINISTIC,
+            run: run_lower_bounds,
+        },
+        ExperimentSpec {
+            id: "fig1_fmmb",
+            label: "F1-ENH",
+            summary: "enhanced model, FMMB vs BMMB",
+            deterministic: false,
+            run: run_fig1_fmmb,
+        },
+        ExperimentSpec {
+            id: "subroutines",
+            label: "SUB-*",
+            summary: "FMMB subroutines",
+            deterministic: false,
+            run: run_subroutines,
+        },
+        ExperimentSpec {
+            id: "ablation_abort",
+            label: "ABL",
+            summary: "abort-interface ablation",
+            deterministic: false,
+            run: run_ablation_abort,
+        },
+        ExperimentSpec {
+            id: "consensus_crash",
+            label: "CONS",
+            summary: "crash-tolerant consensus (NR18), crash-fraction sweep",
+            deterministic: false,
+            run: run_consensus_crash,
+        },
+        ExperimentSpec {
+            id: "election",
+            label: "ELECT",
+            summary: "leader election via broadcast back-off, grey zone",
+            deterministic: false,
+            run: run_election,
+        },
+    ]
+}
+
+/// Looks an experiment up by its registry [`id`](ExperimentSpec::id).
+pub fn find(id: &str) -> Option<&'static ExperimentSpec> {
+    registry().iter().find(|spec| spec.id == id)
 }

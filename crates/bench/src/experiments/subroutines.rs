@@ -377,7 +377,7 @@ pub fn run(
             }
         },
     );
-    let outliers = super::collect_outliers(&run, |i| {
+    let label = |i: usize| {
         if i < ns.len() {
             format!("mis-n={}", ns[i])
         } else if i < ns.len() + ks.len() {
@@ -385,7 +385,8 @@ pub fn run(
         } else {
             format!("spread-n={}", ns[i - ns.len() - ks.len()])
         }
-    });
+    };
+    let outliers = super::collect_outliers(&run, label);
 
     let (mis_points, rest) = run.points().split_at(ns.len());
     let (gather_points, spread_points) = rest.split_at(ks.len());
@@ -482,6 +483,8 @@ pub fn run(
         seeds.len()
     ));
     table.note("rounds used are until the milestone, not the (longer) fixed schedule");
+
+    super::append_plots(&mut table, runner, &run, label);
 
     Subroutines {
         mis,

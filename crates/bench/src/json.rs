@@ -1,0 +1,132 @@
+//! Minimal machine-readable results serialization: one JSON document per
+//! experiment, written by `repro --json DIR` as `BENCH_<id>.json`.
+//!
+//! The document carries the full rendered dataset (title, headers, sweep
+//! rows, footnotes — everything the text table shows, cell for cell), the
+//! engine parameterisation, and the wall-clock time of the run, so the
+//! perf trajectory of the workspace can finally be tracked by tooling
+//! instead of eyeballs. Hand-rolled writer: the workspace builds offline
+//! and vendors no serde.
+
+use crate::engine::TrialRunner;
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (control characters, quotes,
+/// backslashes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: impl IntoIterator<Item = impl AsRef<str>>) -> String {
+    let body: Vec<String> = items
+        .into_iter()
+        .map(|s| format!("\"{}\"", escape(s.as_ref())))
+        .collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// Serializes one experiment's results: the rendered table plus engine
+/// parameters and wall-clock seconds. The output is a single pretty-ish
+/// JSON object terminated by a newline.
+pub fn experiment_json(
+    id: &str,
+    table: &Table,
+    runner: &TrialRunner,
+    smoke: bool,
+    wall_clock_seconds: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"{}\",", escape(id));
+    let _ = writeln!(out, "  \"title\": \"{}\",", escape(table.title()));
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"headers\": {},", string_array(table.headers()));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in table.rows().iter().enumerate() {
+        let comma = if i + 1 < table.rows().len() { "," } else { "" };
+        let _ = writeln!(out, "    {}{comma}", string_array(row));
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"notes\": {},", string_array(table.notes()));
+    out.push_str("  \"engine\": {\n");
+    let _ = writeln!(out, "    \"trials\": {},", runner.trials());
+    let _ = writeln!(out, "    \"max_trials\": {},", runner.max_trials());
+    let _ = writeln!(out, "    \"jobs\": {},", runner.jobs());
+    let _ = writeln!(
+        out,
+        "    \"target_ci\": {},",
+        runner
+            .target_ci()
+            .map_or("null".to_string(), |f| format!("{f}"))
+    );
+    let _ = writeln!(out, "    \"trace_capture\": {}", runner.captures_traces());
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"wall_clock_seconds\": {wall_clock_seconds:.6}");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_shape_is_valid_enough() {
+        let mut t = Table::new("demo \"quoted\"", &["x", "y"]);
+        t.row(["1", "2"]);
+        t.row(["3", "4"]);
+        t.note("a note");
+        let runner = TrialRunner::new(3, 2)
+            .with_max_trials(12)
+            .with_target_ci(0.1);
+        let doc = experiment_json("demo", &t, &runner, true, 0.25);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"experiment\": \"demo\""));
+        assert!(doc.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        assert!(doc.contains("[\"1\", \"2\"],"));
+        assert!(doc.contains("[\"3\", \"4\"]\n"));
+        assert!(doc.contains("\"target_ci\": 0.1"));
+        assert!(doc.contains("\"wall_clock_seconds\": 0.250000"));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn fixed_mode_serializes_null_target() {
+        let t = Table::new("t", &["a"]);
+        let doc = experiment_json("x", &t, &TrialRunner::single(), false, 1.0);
+        assert!(doc.contains("\"target_ci\": null"));
+        assert!(doc.contains("\"mode\": \"full\""));
+        assert!(doc.contains("\"rows\": [\n  ],"));
+    }
+}

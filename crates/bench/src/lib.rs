@@ -26,6 +26,8 @@
 pub mod engine;
 pub mod experiments;
 pub mod fit;
+pub mod json;
+pub mod plot;
 pub mod table;
 
 pub use engine::{TrialRunner, TrialStats};

@@ -1,0 +1,163 @@
+//! ASCII distribution plots: per-sweep-point histogram and CDF sparklines
+//! rendered from the per-trial samples the engine's reservoir retains.
+//!
+//! A w.h.p. bound lives in the tail of its distribution, and a mean ± CI
+//! column hides that tail. With `repro --plots`, every experiment appends
+//! one line per sweep point next to its table:
+//!
+//! ```text
+//! dist n=48: hist |#%:.  . | cdf |.:=#%%%@| n=32 min=412 p50=466 p95=541 max=560
+//! ```
+//!
+//! The histogram bins the samples into [`BINS`] equal-width buckets
+//! between the observed min and max and maps each bucket's count onto an
+//! ASCII density ramp; the CDF shows the cumulative share per bucket. The
+//! samples come out of the deterministic trial-order fold, so plot lines
+//! obey the same byte-identical-across-`--jobs` contract as the tables.
+
+use amac_sim::stats::Aggregate;
+
+/// Number of histogram/CDF buckets per plot line.
+pub const BINS: usize = 8;
+
+/// ASCII density ramp, sparsest to densest.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn ramp_char(fraction: f64) -> char {
+    let last = RAMP.len() - 1;
+    let idx = (fraction * last as f64).ceil() as usize;
+    RAMP[idx.min(last)] as char
+}
+
+/// Bucket counts of `samples` over `[min, max]` in `BINS` equal-width
+/// buckets. `None` when fewer than two samples or zero spread (nothing to
+/// plot).
+fn bucket(samples: &[f64]) -> Option<(Vec<u64>, f64, f64)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !(max - min).is_finite() || max <= min {
+        return None;
+    }
+    let mut counts = vec![0u64; BINS];
+    for &x in samples {
+        let t = ((x - min) / (max - min) * BINS as f64) as usize;
+        counts[t.min(BINS - 1)] += 1;
+    }
+    Some((counts, min, max))
+}
+
+/// The histogram sparkline of `samples`, e.g. `|#%:.  . |`, or `None`
+/// when there is nothing to plot (fewer than two samples or zero spread).
+pub fn histogram(samples: &[f64]) -> Option<String> {
+    let (counts, _, _) = bucket(samples)?;
+    let peak = *counts.iter().max().expect("BINS > 0") as f64;
+    let body: String = counts.iter().map(|&c| ramp_char(c as f64 / peak)).collect();
+    Some(format!("|{body}|"))
+}
+
+/// The CDF sparkline of `samples`: cumulative share per bucket on the
+/// same ramp, e.g. `|.:=#%%%@|`.
+pub fn cdf(samples: &[f64]) -> Option<String> {
+    let (counts, _, _) = bucket(samples)?;
+    let total: u64 = counts.iter().sum();
+    let mut acc = 0u64;
+    let body: String = counts
+        .iter()
+        .map(|&c| {
+            acc += c;
+            ramp_char(acc as f64 / total as f64)
+        })
+        .collect();
+    Some(format!("|{body}|"))
+}
+
+/// Renders one value compactly: integers without a fraction, otherwise
+/// one decimal.
+fn compact(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// One full plot line for a labeled sweep point, or `None` when its
+/// distribution is degenerate (single trial or zero spread — the mean
+/// column already says everything then).
+pub fn point_line(label: &str, aggregate: &Aggregate) -> Option<String> {
+    let samples = aggregate.samples();
+    let hist = histogram(samples)?;
+    let cdf = cdf(samples).expect("histogram implies cdf");
+    Some(format!(
+        "dist {label}: hist {hist} cdf {cdf} n={} min={} p50={} p95={} max={}",
+        aggregate.count(),
+        compact(aggregate.min().unwrap_or(0.0)),
+        compact(aggregate.median().unwrap_or(0.0)),
+        compact(aggregate.p95().unwrap_or(0.0)),
+        compact(aggregate.max().unwrap_or(0.0)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggregate_of(values: &[f64]) -> Aggregate {
+        let mut a = Aggregate::new();
+        for &x in values {
+            a.record(x);
+        }
+        a
+    }
+
+    #[test]
+    fn histogram_peaks_where_the_mass_is() {
+        let mut values = vec![10.0; 30];
+        values.push(90.0);
+        let h = histogram(&values).unwrap();
+        assert_eq!(h.len(), BINS + 2);
+        assert!(h.starts_with("|@"), "mass bucket renders densest: {h}");
+        assert!(h.contains(' '), "empty buckets render blank: {h}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_on_the_ramp() {
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let c = cdf(&values).unwrap();
+        let ranks: Vec<usize> = c
+            .trim_matches('|')
+            .chars()
+            .map(|ch| RAMP.iter().position(|&r| r as char == ch).unwrap())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "not monotone: {c}");
+        assert_eq!(*ranks.last().unwrap(), RAMP.len() - 1, "ends at 100%");
+    }
+
+    #[test]
+    fn degenerate_distributions_render_nothing() {
+        assert!(histogram(&[]).is_none());
+        assert!(histogram(&[5.0]).is_none());
+        assert!(histogram(&[7.0, 7.0, 7.0]).is_none(), "zero spread");
+        assert!(point_line("x", &aggregate_of(&[3.0])).is_none());
+    }
+
+    #[test]
+    fn point_line_carries_label_and_order_stats() {
+        let line = point_line("D=32", &aggregate_of(&[1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert!(line.starts_with("dist D=32: hist |"));
+        assert!(line.contains("n=4"));
+        assert!(line.contains("min=1"));
+        assert!(line.contains("max=4"));
+        assert!(line.contains("p50=2"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let values: Vec<f64> = (0..40).map(|i| ((i * 37) % 100) as f64).collect();
+        assert_eq!(histogram(&values), histogram(&values));
+        assert_eq!(cdf(&values), cdf(&values));
+    }
+}

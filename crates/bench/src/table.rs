@@ -70,6 +70,26 @@ impl Table {
         self
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

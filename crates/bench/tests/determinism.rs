@@ -73,6 +73,43 @@ fn markdown_rendering_is_jobs_invariant_too() {
 }
 
 #[test]
+fn consensus_crash_tables_are_jobs_invariant() {
+    // The new fault-injection path adds scheduling-sensitive surface
+    // (crash schedules, decision tracking): sweep two crash fractions and
+    // a size point, with distribution plots on — table plus plot lines
+    // must be byte-identical across worker counts.
+    assert_jobs_invariant(
+        |r| {
+            experiments::consensus_crash::run(
+                2,
+                12,
+                10,
+                &[0.0, 0.3],
+                &[8],
+                0.25,
+                13,
+                &r.with_plots(true),
+            )
+            .table
+            .to_string()
+        },
+        "CONS",
+    );
+}
+
+#[test]
+fn election_tables_are_jobs_invariant() {
+    assert_jobs_invariant(
+        |r| {
+            experiments::election::run(2, 12, 24, &[10, 14], 2.0, 17, &r.with_plots(true))
+                .table
+                .to_string()
+        },
+        "ELECT",
+    );
+}
+
+#[test]
 fn adaptive_tables_are_jobs_invariant() {
     // Adaptive mode adds a second scheduling-sensitive surface: per-point
     // trial counts. Both the counts and the aggregates must be identical

@@ -40,7 +40,7 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod bmmb;

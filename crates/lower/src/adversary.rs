@@ -118,6 +118,43 @@ impl Policy for GreyZoneAdversary {
     }
 }
 
+/// A scheduler that staggers each broadcast's deliveries one receiver per
+/// tick (rank `r` in the sender's reliable-neighbor list receives at tick
+/// `r + 1`) and holds the ack to the full `F_ack`.
+///
+/// This is the delivery order that makes a mid-broadcast crash *split* an
+/// audience: crash the sender at tick `c` and exactly the first `c − 1`
+/// neighbors have heard it — the partial-delivery adversary behind the
+/// [crash-star consensus scenario](crate::scenarios::run_crash_star).
+/// (Use it with `F_prog` larger than the neighbor count, or the progress
+/// bound forces deliveries ahead of the stagger.)
+#[derive(Debug, Default)]
+pub struct StaggeredPolicy;
+
+impl StaggeredPolicy {
+    /// Creates the staggered scheduler.
+    pub fn new() -> StaggeredPolicy {
+        StaggeredPolicy
+    }
+}
+
+impl Policy for StaggeredPolicy {
+    fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan {
+        let reliable = ctx
+            .dual
+            .reliable_neighbors(info.sender)
+            .iter()
+            .enumerate()
+            .map(|(r, &j)| (j, amac_sim::Duration::from_ticks(r as u64 + 1)))
+            .collect();
+        BcastPlan {
+            ack_delay: ctx.config.f_ack(),
+            reliable,
+            unreliable: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,13 @@
 //! arbitrary (and grey zone) `G′` — the `Θ((D+k)·F_ack)` cell of the
 //! paper's Figure 1.
 //!
+//! The fault model gets its own impossibility witness: the
+//! [crash-star scenario](scenarios::run_crash_star) crashes a star's hub
+//! mid-broadcast under the [`StaggeredPolicy`], splitting the leaves into
+//! camps that heard different values and can never reconcile — the reason
+//! the `amac-proto` consensus guarantees are conditioned on crashes not
+//! disconnecting `G`.
+//!
 //! ```
 //! use amac_lower::scenarios::run_choke_star;
 //! use amac_core::RunOptions;
@@ -27,13 +34,14 @@
 //! assert!(report.ratio >= 0.6, "completion took Omega(k * F_ack)");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod adversary;
 pub mod scenarios;
 
-pub use adversary::GreyZoneAdversary;
+pub use adversary::{GreyZoneAdversary, StaggeredPolicy};
 pub use scenarios::{
-    choke_star_instance, dual_line_instance, run_choke_star, run_dual_line, LowerBoundReport,
+    choke_star_instance, dual_line_instance, run_choke_star, run_crash_star, run_dual_line,
+    CrashStarReport, LowerBoundReport,
 };

@@ -2,11 +2,13 @@
 //! paper's adversarial constructions and report how the measured time
 //! compares to the claimed bound.
 
-use crate::adversary::GreyZoneAdversary;
+use crate::adversary::{GreyZoneAdversary, StaggeredPolicy};
 use amac_core::{bounds, run_bmmb, Assignment, MessageId, MmbReport, RunOptions};
 use amac_graph::{generators, DualGraph, NodeId};
 use amac_mac::policies::LazyPolicy;
-use amac_mac::{MacConfig, MessageKey};
+use amac_mac::{FaultPlan, MacConfig, MessageKey};
+use amac_proto::consensus::{run_consensus, ConsensusParams, ConsensusReport};
+use amac_sim::Time;
 use std::fmt;
 
 /// Outcome of a lower-bound scenario: the measured completion time versus
@@ -115,6 +117,116 @@ pub fn run_dual_line(d: usize, config: MacConfig, options: &RunOptions) -> Lower
     }
 }
 
+/// Outcome of the [crash-star consensus scenario](run_crash_star): how a
+/// hub crash splits a flooding-consensus audience.
+#[derive(Clone, Debug)]
+pub struct CrashStarReport {
+    /// Number of leaves (network size is `leaves + 1`).
+    pub leaves: usize,
+    /// Flooding phases the protocol ran.
+    pub phases: u64,
+    /// When the hub crashed (mid-stagger).
+    pub crash_time: Time,
+    /// Leaves that decided `false` (heard the hub's value before the
+    /// crash).
+    pub decided_false: usize,
+    /// Leaves that decided `true` (never heard it).
+    pub decided_true: usize,
+    /// The underlying consensus run, including the violation list.
+    pub run: ConsensusReport,
+}
+
+impl CrashStarReport {
+    /// `true` when the crash split the leaves into disagreeing camps.
+    pub fn disagreement(&self) -> bool {
+        self.decided_false > 0 && self.decided_true > 0
+    }
+}
+
+impl fmt::Display for CrashStarReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crash-star: {} leaves, {} phase(s), hub crashed at t={}: {} decided false, {} true ({})",
+            self.leaves,
+            self.phases,
+            self.crash_time,
+            self.decided_false,
+            self.decided_true,
+            if self.disagreement() {
+                "agreement VIOLATED"
+            } else {
+                "agreement held"
+            }
+        )
+    }
+}
+
+/// The crash-star consensus scenario: why flooding consensus needs more
+/// than flooding.
+///
+/// A star of `leaves` nodes around a hub — the same single-bridge
+/// fragility as the Lemma 3.18 choke star, pointed at consensus instead
+/// of broadcast. The hub holds the only `false` input; every leaf holds
+/// `true`. Under the [`StaggeredPolicy`] the hub's first broadcast
+/// reaches one leaf per tick, and the hub **crashes mid-broadcast** at
+/// tick `⌊leaves/2⌋ + 1`: exactly the leaves served before the crash
+/// learn `false`. Because the hub was the star's only bridge, the two
+/// camps can never reconcile — flooding consensus on this topology
+/// *stalls* at disagreement no matter how many extra phases it is given
+/// (run it with `phases > 1` to watch the extra rounds change nothing).
+///
+/// This is the fault-model counterpart of the choke-star lower bound: the
+/// NR18-style consensus guarantee is conditioned on crashes not
+/// disconnecting `G` (e.g. the single-hop/complete setting of
+/// `amac_proto::consensus`), and this scenario is the witness that the
+/// condition is necessary. The MAC layer itself stays blameless — the
+/// returned run's trace still passes `amac_mac::validate` with the crash
+/// event present.
+pub fn run_crash_star(leaves: usize, phases: u64, options: &RunOptions) -> CrashStarReport {
+    assert!(leaves >= 2, "need at least two leaves to split");
+    let n = leaves + 1;
+    // F_prog above the stagger span, or forced progress deliveries would
+    // outrun the staggered schedule and defuse the partial delivery.
+    let config = MacConfig::from_ticks(leaves as u64 + 2, 2 * leaves as u64 + 8).enhanced();
+    let params = ConsensusParams {
+        phases,
+        phase_len: config.f_ack() + amac_sim::Duration::from_ticks(2),
+    };
+    let dual = DualGraph::reliable(generators::star(n).expect("n >= 2"));
+    // Node 0 is the hub: the only false input.
+    let initial: Vec<bool> = (0..n).map(|i| i != 0).collect();
+    let crash_time = Time::from_ticks(leaves as u64 / 2 + 1);
+    let faults = FaultPlan::new().crash_at(NodeId::new(0), crash_time);
+    let run = run_consensus(
+        &dual,
+        config,
+        &initial,
+        &params,
+        faults,
+        StaggeredPolicy::new(),
+        options,
+    );
+    let decided_false = run
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Some((_, false))))
+        .count();
+    let decided_true = run
+        .decisions
+        .iter()
+        .filter(|d| matches!(d, Some((_, true))))
+        .count();
+    CrashStarReport {
+        leaves,
+        phases,
+        crash_time,
+        decided_false,
+        decided_true,
+        run,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +302,67 @@ mod tests {
             scale >= 2.5,
             "quadrupling F_ack should scale time ~4x, got x{scale:.2}"
         );
+    }
+
+    #[test]
+    fn crash_star_splits_naive_flooding_consensus() {
+        for leaves in [4, 6, 9] {
+            let report = run_crash_star(leaves, 1, &RunOptions::default());
+            assert!(report.disagreement(), "{report}");
+            assert!(
+                !report.run.check.is_ok(),
+                "the consensus validator must flag the split"
+            );
+            // Both camps are non-trivial: the stagger split mid-audience.
+            assert_eq!(report.decided_false, leaves / 2);
+            assert_eq!(report.decided_true, leaves - leaves / 2);
+            // The MAC layer is blameless: the trace (crash included) is
+            // model-valid; only the protocol-level guarantee broke.
+            assert!(
+                report.run.validation.as_ref().unwrap().is_ok(),
+                "MAC trace must stay valid"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_phases_do_not_heal_a_disconnected_star() {
+        // The whole point: once the hub (the only bridge) is gone, no
+        // amount of extra flooding rounds reconnects the camps — unlike
+        // on a complete graph, where crashes+1 phases always suffice.
+        let naive = run_crash_star(6, 1, &RunOptions::fast());
+        let patient = run_crash_star(6, 4, &RunOptions::fast());
+        assert!(naive.disagreement());
+        assert!(patient.disagreement(), "{patient}");
+        assert_eq!(
+            (patient.decided_false, patient.decided_true),
+            (naive.decided_false, naive.decided_true),
+            "extra rounds changed nothing"
+        );
+    }
+
+    #[test]
+    fn without_the_crash_the_star_agrees() {
+        let leaves = 6;
+        let n = leaves + 1;
+        let config = MacConfig::from_ticks(leaves as u64 + 2, 2 * leaves as u64 + 8).enhanced();
+        let params = ConsensusParams {
+            phases: 1,
+            phase_len: config.f_ack() + amac_sim::Duration::from_ticks(2),
+        };
+        let dual = DualGraph::reliable(generators::star(n).unwrap());
+        let initial: Vec<bool> = (0..n).map(|i| i != 0).collect();
+        let report = run_consensus(
+            &dual,
+            config,
+            &initial,
+            &params,
+            FaultPlan::new(),
+            StaggeredPolicy::new(),
+            &RunOptions::default(),
+        );
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.agreed_value(), Some(false));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! | `F_ack`, `F_prog`, model variant | [`MacConfig`], [`ModelVariant`] |
 //! | execution (admissible timed execution) | [`Runtime`] + [`trace::Trace`] |
 //! | guarantees 1–5 of Section 3.2.1 | [`Runtime`] enforcement + [`validate`] |
+//! | node-crash faults (the NR18/ZT24 follow-up model) | [`FaultPlan`] + [`Runtime::with_faults`] |
 //!
 //! ## Example: flooding a token under a worst-case scheduler
 //!
@@ -78,10 +79,11 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod config;
+mod fault;
 mod instance;
 mod message;
 mod node;
@@ -92,6 +94,7 @@ pub mod trace;
 mod validator;
 
 pub use config::{MacConfig, ModelVariant};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use instance::InstanceId;
 pub use message::{MacMessage, MessageKey};
 pub use node::{Automaton, Ctx, TimerId};

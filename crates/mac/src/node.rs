@@ -282,4 +282,13 @@ pub trait Automaton {
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {
         let _ = (tag, ctx);
     }
+
+    /// The node recovered from a crash (crash-recovery fault model, see
+    /// [`FaultPlan`](crate::FaultPlan)): its state survived the outage, but
+    /// every broadcast, delivery, and timer firing scheduled during the
+    /// outage was silently dropped, and any broadcast in flight at the
+    /// crash was silenced. Default: do nothing.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {
+        let _ = ctx;
+    }
 }

@@ -32,6 +32,7 @@
 //!   qualifies.
 
 use crate::config::MacConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::instance::InstanceId;
 use crate::message::{MacMessage, MessageKey};
 use crate::node::{Automaton, Command, Ctx};
@@ -75,12 +76,17 @@ enum Ev<E> {
     AckDue(InstanceId),
     ProgressCheck(NodeId),
     Timer(NodeId, u64, u64),
+    Fault(NodeId, FaultKind),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Terminated {
     Acked,
     Aborted,
+    /// The sender crashed mid-instance: deliveries already made stand, the
+    /// rest (and the ack) are silenced. No trace entry marks this — the
+    /// crash itself is in the trace's fault log.
+    Crashed,
 }
 
 struct InstanceState<M> {
@@ -127,6 +133,7 @@ pub struct Runtime<A: Automaton, P: Policy> {
     // membership/keyed access only (never iterated), so hashed
     // collections are safe and keep those hot-path lookups O(1).
     seen_keys: Vec<HashSet<MessageKey>>,
+    crashed: Vec<bool>,
     timers: HashMap<u64, EventId>,
     next_timer: u64,
     outputs: Vec<OutputRecord<A::Out>>,
@@ -167,6 +174,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             contending: vec![BTreeSet::new(); n],
             check_scheduled: vec![false; n],
             seen_keys: vec![HashSet::new(); n],
+            crashed: vec![false; n],
             timers: HashMap::new(),
             next_timer: 0,
             outputs: Vec::new(),
@@ -187,6 +195,28 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     /// Sets the safety cap on processed events (default 2·10⁸).
     pub fn with_event_limit(mut self, limit: u64) -> Self {
         self.event_limit = limit;
+        self
+    }
+
+    /// Arms a [`FaultPlan`]: each scheduled crash/recovery is applied at
+    /// its time, recorded in the trace's fault log, and enforced by the
+    /// runtime (a crashed node neither broadcasts, acknowledges, receives,
+    /// nor gets callbacks until it recovers; its in-flight broadcast is
+    /// silenced at the crash, leaving prior deliveries standing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a node outside the topology.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        for e in plan.events() {
+            assert!(
+                e.node.index() < self.dual.len(),
+                "fault plan names node {} outside the {}-node topology",
+                e.node,
+                self.dual.len()
+            );
+            self.queue.schedule(e.at, Ev::Fault(e.node, e.kind));
+        }
         self
     }
 
@@ -227,6 +257,12 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         self.trace.as_ref()
     }
 
+    /// `true` while `node` is crashed (between an applied crash and any
+    /// later recovery).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
     /// All outputs emitted so far.
     pub fn outputs(&self) -> &[OutputRecord<A::Out>] {
         &self.outputs
@@ -262,10 +298,16 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         self.counters.incr("events");
         match ev {
             Ev::Start(node) => {
+                if self.crashed[node.index()] {
+                    return true;
+                }
                 let cmds = self.callback(node, |n, ctx| n.on_start(ctx));
                 self.apply(node, cmds);
             }
             Ev::Env(node, input) => {
+                if self.crashed[node.index()] {
+                    return true; // inputs to a crashed node are lost
+                }
                 self.counters.incr("env");
                 let cmds = self.callback(node, |n, ctx| n.on_env(input, ctx));
                 self.apply(node, cmds);
@@ -285,11 +327,16 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             Ev::ProgressCheck(node) => self.progress_check(node),
             Ev::Timer(node, tag, key) => {
                 if self.timers.remove(&key).is_some() {
+                    if self.crashed[node.index()] {
+                        return true; // timer firings during an outage are lost
+                    }
                     self.counters.incr("timer");
                     let cmds = self.callback(node, |n, ctx| n.on_timer(tag, ctx));
                     self.apply(node, cmds);
                 }
             }
+            Ev::Fault(node, FaultKind::Crash) => self.crash_node(node),
+            Ev::Fault(node, FaultKind::Recover) => self.recover_node(node),
         }
         true
     }
@@ -386,6 +433,10 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     }
 
     fn start_instance(&mut self, sender: NodeId, msg: A::Msg) {
+        debug_assert!(
+            !self.crashed[sender.index()],
+            "crashed node {sender} cannot broadcast (callbacks are suppressed)"
+        );
         assert!(
             self.in_flight_of[sender.index()].is_none(),
             "node {sender} issued a second bcast without ack/abort (user well-formedness)"
@@ -438,6 +489,9 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
 
         let mut pending = Vec::with_capacity(delays.len());
         for (j, d) in delays {
+            if self.crashed[j.index()] {
+                continue; // a crashed receiver gets nothing
+            }
             let ev = self.queue.schedule(now + d, Ev::Deliver(id, j));
             pending.push((j, ev));
         }
@@ -471,6 +525,10 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     /// for receiver `j`, or `None` while no violation is possible (no
     /// spanning `G`-neighbor instance, or a live protector exists).
     fn deadline(&self, j: NodeId) -> Option<Time> {
+        if self.crashed[j.index()] {
+            // The progress bound is conditioned on the receiver's liveness.
+            return None;
+        }
         let oldest = *self.connected[j.index()].iter().next()?;
         if !self.live_protectors[j.index()].is_empty() {
             // Some in-flight instance already delivered to j: every window
@@ -563,6 +621,9 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     }
 
     fn deliver_core(&mut self, inst: InstanceId, to: NodeId, forced: bool) {
+        if self.crashed[to.index()] {
+            return; // defensive: deliveries to crashed nodes are cancelled
+        }
         let st = &mut self.instances[inst.index()];
         if st.terminated.is_some() || st.delivered.contains(&to) {
             return;
@@ -647,6 +708,76 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 self.ensure_check(j);
             }
         }
+    }
+
+    /// Applies a crash: silences the node's in-flight broadcast (pending
+    /// deliveries and the ack are cancelled, deliveries already made
+    /// stand), cancels every delivery still headed to the node, and
+    /// suppresses all of its future callbacks until recovery.
+    fn crash_node(&mut self, v: NodeId) {
+        if self.crashed[v.index()] {
+            return;
+        }
+        self.crashed[v.index()] = true;
+        self.counters.incr("crash");
+        let now = self.queue.now();
+        if let Some(trace) = &mut self.trace {
+            trace.push_fault(now, v, FaultKind::Crash);
+        }
+        // Silence the node's own broadcast in flight.
+        if let Some(inst) = self.in_flight_of[v.index()] {
+            {
+                let st = &mut self.instances[inst.index()];
+                debug_assert!(st.terminated.is_none());
+                for (_, ev) in st.pending.drain(..) {
+                    self.queue.cancel(ev);
+                }
+                if let Some(ev) = st.ack_event.take() {
+                    self.queue.cancel(ev);
+                }
+                st.terminated = Some((now, Terminated::Crashed));
+            }
+            self.cleanup_instance(inst, v);
+        }
+        // Cancel deliveries still headed to the crashed node (crashes are
+        // rare, so the scan over live instances is cheap in practice).
+        for idx in 0..self.instances.len() {
+            let st = &mut self.instances[idx];
+            if st.terminated.is_some() {
+                continue;
+            }
+            if let Some(pos) = st.pending.iter().position(|(n, _)| *n == v) {
+                let (_, ev) = st.pending.remove(pos);
+                self.queue.cancel(ev);
+            }
+        }
+    }
+
+    /// Applies a recovery: the node's automaton state is intact, its
+    /// `on_recover` callback runs, and its progress-bound tracking re-arms
+    /// (in-flight broadcasts of `G`-neighbors resume entitling it to
+    /// forced deliveries). A no-op for a node that is not crashed.
+    fn recover_node(&mut self, v: NodeId) {
+        if !self.crashed[v.index()] {
+            return;
+        }
+        self.crashed[v.index()] = false;
+        self.counters.incr("recover");
+        let now = self.queue.now();
+        if let Some(trace) = &mut self.trace {
+            trace.push_fault(now, v, FaultKind::Recover);
+        }
+        // A window uncovered while crashed does not count against the
+        // model: the next possible violation starts at the recovery.
+        if !self.live_protectors[v.index()].is_empty() {
+            // Still protected by an in-flight instance received pre-crash.
+        } else if self.connected[v.index()].iter().next().is_some() {
+            let pf = &mut self.protected_until[v.index()];
+            *pf = Some(pf.map_or(now, |t| t.max(now)));
+        }
+        self.ensure_check(v);
+        let cmds = self.callback(v, |n, ctx| n.on_recover(ctx));
+        self.apply(v, cmds);
     }
 }
 
@@ -898,6 +1029,137 @@ mod tests {
         let trace = rt.trace().unwrap();
         assert_eq!(trace.count(TraceKind::Abort), 1);
         assert_eq!(trace.count(TraceKind::Ack), 0);
+    }
+
+    #[test]
+    fn crash_silences_the_source_before_delivery() {
+        // The source broadcasts at t=0 under the lazy policy (deliveries
+        // held to the forced-progress schedule); crashing it at t=1 —
+        // before any forced delivery is due — must silence the flood.
+        let dual = line_dual(5);
+        let cfg = MacConfig::from_ticks(3, 60);
+        let plan = FaultPlan::new().crash_at(NodeId::new(0), Time::from_ticks(1));
+        let mut rt = Runtime::new(
+            dual.clone(),
+            cfg,
+            flooders(5),
+            crate::policies::LazyPolicy::new(),
+        )
+        .with_faults(plan);
+        assert_eq!(rt.run(), RunOutcome::Idle);
+        assert_eq!(rt.outputs().len(), 1, "only the source itself delivered");
+        assert!(rt.is_crashed(NodeId::new(0)));
+        assert_eq!(rt.counters().get("crash"), 1);
+        assert_eq!(rt.counters().get("rcv"), 0);
+        let trace = rt.trace().unwrap();
+        assert_eq!(trace.faults().len(), 1);
+        assert_eq!(trace.count(TraceKind::Ack), 0);
+        let report = crate::validate(trace, &dual, &cfg, true);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn mid_instance_crash_leaves_partial_delivery_standing() {
+        // Star: the hub floods, the eager policy delivers after one tick
+        // (t=1) and would ack at t=2; the crash lands at t=2 but was
+        // enqueued before the ack, so the deliveries stand and the ack is
+        // silenced — and the trace is still valid.
+        let dual = DualGraph::reliable(amac_graph::generators::star(4).unwrap());
+        let cfg = MacConfig::from_ticks(2, 16);
+        let nodes = flooders(4);
+        let plan = FaultPlan::new().crash_at(NodeId::new(0), Time::from_ticks(2));
+        let mut rt = Runtime::new(
+            dual.clone(),
+            cfg,
+            nodes,
+            EagerPolicy::new().with_delivery_delay(Duration::from_ticks(1)),
+        )
+        .with_faults(plan);
+        rt.run();
+        // Same-tick ordering: deliveries at t=1 were scheduled before the
+        // crash at t=1, so the leaves hear the token; the ack (t=2) does
+        // not fire.
+        let trace = rt.trace().unwrap();
+        assert_eq!(trace.of_kind(TraceKind::Rcv).count(), 3);
+        assert_eq!(
+            trace
+                .of_kind(TraceKind::Ack)
+                .filter(|e| e.node == NodeId::new(0))
+                .count(),
+            0,
+            "the crashed hub never acks"
+        );
+        let report = crate::validate(trace, &dual, &cfg, true);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn crashed_receiver_gets_nothing_until_recovery() {
+        struct Recoverer {
+            is_source: bool,
+            got: Option<u64>,
+            recovered: bool,
+        }
+        impl Automaton for Recoverer {
+            type Msg = Token;
+            type Env = ();
+            type Out = u64;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Token, u64>) {
+                if self.is_source {
+                    ctx.bcast(Token(9));
+                }
+            }
+            fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, u64>) {
+                self.got = Some(msg.0);
+                ctx.output(msg.0);
+            }
+            fn on_ack(&mut self, _m: Token, ctx: &mut Ctx<'_, Token, u64>) {
+                // Keep rebroadcasting so the recovered neighbor can catch
+                // up via the progress bound.
+                if self.is_source {
+                    ctx.bcast(Token(9));
+                }
+            }
+            fn on_recover(&mut self, _ctx: &mut Ctx<'_, Token, u64>) {
+                self.recovered = true;
+            }
+        }
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(2, 8);
+        let nodes = vec![
+            Recoverer {
+                is_source: true,
+                got: None,
+                recovered: false,
+            },
+            Recoverer {
+                is_source: false,
+                got: None,
+                recovered: false,
+            },
+        ];
+        let plan = FaultPlan::new()
+            .crash_at(NodeId::new(1), Time::ZERO)
+            .recover_at(NodeId::new(1), Time::from_ticks(20));
+        let mut rt = Runtime::new(dual.clone(), cfg, nodes, EagerPolicy::new())
+            .with_faults(plan)
+            .with_event_limit(5_000);
+        rt.run_until(Time::from_ticks(40));
+        let receiver = rt.node(NodeId::new(1));
+        assert!(receiver.recovered, "on_recover must run");
+        assert_eq!(receiver.got, Some(9), "catches up after recovery");
+        let first_rcv = rt
+            .trace()
+            .unwrap()
+            .of_kind(TraceKind::Rcv)
+            .map(|e| e.time)
+            .next()
+            .unwrap();
+        assert!(
+            first_rcv >= Time::from_ticks(20),
+            "no delivery during the outage, got one at {first_rcv}"
+        );
+        assert_eq!(rt.counters().get("recover"), 1);
     }
 
     #[test]

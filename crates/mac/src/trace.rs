@@ -8,6 +8,7 @@
 //! test suite uses for fault injection (deliberately invalid traces must be
 //! rejected).
 
+use crate::fault::FaultKind;
 use crate::instance::InstanceId;
 use crate::message::MessageKey;
 use amac_graph::NodeId;
@@ -44,6 +45,20 @@ pub struct TraceEntry {
     pub key: MessageKey,
 }
 
+/// One applied node fault (crash or recovery), recorded alongside the
+/// MAC-level events so the validator can condition the model guarantees on
+/// node liveness. Kept in a separate log from [`TraceEntry`]: faults are
+/// node-level, not instance-level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// When the fault was applied.
+    pub time: Time,
+    /// The affected node.
+    pub node: NodeId,
+    /// Crash or recovery.
+    pub kind: FaultKind,
+}
+
 /// An append-only log of MAC-level events in execution order.
 ///
 /// Entries are totally ordered by append position; ties in `time` reflect
@@ -67,6 +82,7 @@ pub struct TraceEntry {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
+    faults: Vec<FaultRecord>,
 }
 
 impl Trace {
@@ -94,6 +110,20 @@ impl Trace {
             kind,
             key,
         });
+    }
+
+    /// Appends a node fault (crash or recovery) to the fault log.
+    pub fn push_fault(&mut self, time: Time, node: NodeId, kind: FaultKind) {
+        if let Some(last) = self.faults.last() {
+            debug_assert!(last.time <= time, "fault log must be time-ordered");
+        }
+        self.faults.push(FaultRecord { time, node, kind });
+    }
+
+    /// All applied node faults in execution order (empty for crash-free
+    /// executions).
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
     }
 
     /// All entries in execution order.
@@ -138,6 +168,12 @@ impl fmt::Display for Trace {
                 "  t={:<8} {:?} inst={:?} node={} key={}",
                 e.time, e.kind, e.instance, e.node, e.key
             )?;
+        }
+        if !self.faults.is_empty() {
+            writeln!(f, "faults ({}):", self.faults.len())?;
+            for rec in &self.faults {
+                writeln!(f, "  t={:<8} {} node={}", rec.time, rec.kind, rec.node)?;
+            }
         }
         Ok(())
     }
@@ -204,6 +240,19 @@ mod tests {
         assert_eq!(t.count(TraceKind::Abort), 0);
         assert_eq!(t.of_kind(TraceKind::Rcv).count(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fault_log_is_recorded_and_displayed() {
+        let mut t = Trace::new();
+        t.push_fault(Time::from_ticks(4), NodeId::new(2), FaultKind::Crash);
+        t.push_fault(Time::from_ticks(9), NodeId::new(2), FaultKind::Recover);
+        assert_eq!(t.faults().len(), 2);
+        assert_eq!(t.faults()[0].kind, FaultKind::Crash);
+        assert!(t.is_empty(), "faults live in their own log");
+        let s = t.to_string();
+        assert!(s.contains("crash"));
+        assert!(s.contains("recover"));
     }
 
     #[test]

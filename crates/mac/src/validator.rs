@@ -18,10 +18,27 @@
 //!
 //! plus **user well-formedness** (no overlapping broadcasts per sender).
 //!
+//! ## Crash conditioning
+//!
+//! When the trace carries a fault log (see [`FaultPlan`](crate::FaultPlan)),
+//! every guarantee is conditioned on the liveness of the nodes involved,
+//! exactly as the runtime enforces it:
+//!
+//! * an instance whose **sender crashed** mid-flight is exempt from
+//!   termination and its progress span is capped at the crash;
+//! * a **receiver crashed** at any point during an instance's lifetime is
+//!   exempt from that instance's reliable-delivery obligation;
+//! * progress windows only count while the receiver is **alive
+//!   throughout** (an uncovered window spent crashed is not starvation);
+//! * conversely, no crashed node may *act*: a `bcast`/`ack`/`abort` by — or
+//!   a `rcv` to — a node strictly inside one of its crash intervals is a
+//!   new violation, [`Violation::ActionWhileCrashed`].
+//!
 //! Every test execution in this workspace is validated; fault-injection
 //! tests hand-build invalid traces and assert they are rejected.
 
 use crate::config::MacConfig;
+use crate::fault::FaultKind;
 use crate::instance::InstanceId;
 use crate::trace::{Trace, TraceKind};
 use amac_graph::{DualGraph, NodeId};
@@ -109,6 +126,16 @@ pub enum Violation {
         /// Start of the uncovered window.
         window_start: Time,
     },
+    /// A crashed node acted (broadcast, acknowledged, aborted) or received
+    /// a message strictly inside one of its crash intervals.
+    ActionWhileCrashed {
+        /// The instance the offending event belongs to.
+        instance: InstanceId,
+        /// The crashed node recorded on the event.
+        node: NodeId,
+        /// The offending event's kind.
+        kind: TraceKind,
+    },
     /// A sender started a new broadcast before terminating the previous one
     /// (user well-formedness).
     OverlappingBcasts {
@@ -162,6 +189,10 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "receiver {receiver} had no covering receive for the window starting at t={window_start} while instance {instance} of a G-neighbor spanned it (progress bound)"
+            ),
+            Violation::ActionWhileCrashed { instance, node, kind } => write!(
+                f,
+                "crashed node {node} appears on a {kind:?} event of instance {instance}"
             ),
             Violation::OverlappingBcasts { sender, first, second } => write!(
                 f,
@@ -231,6 +262,81 @@ struct InstanceView {
     term: Option<(usize, Time, TraceKind)>,
 }
 
+/// Per-node crash intervals `[crash, recover)` derived from the trace's
+/// fault log. Boundary instants are permissive: an event at exactly the
+/// crash or recovery tick counts as live (the runtime processes same-tick
+/// events in order, so a node may legitimately act in the tick its crash
+/// lands).
+struct CrashIntervals {
+    by_node: BTreeMap<NodeId, Vec<(Time, Time)>>,
+}
+
+impl CrashIntervals {
+    fn from_trace(trace: &Trace) -> CrashIntervals {
+        let mut by_node: BTreeMap<NodeId, Vec<(Time, Time)>> = BTreeMap::new();
+        for rec in trace.faults() {
+            match rec.kind {
+                FaultKind::Crash => by_node
+                    .entry(rec.node)
+                    .or_default()
+                    .push((rec.time, Time::MAX)),
+                FaultKind::Recover => {
+                    if let Some(last) = by_node.get_mut(&rec.node).and_then(|v| v.last_mut()) {
+                        if last.1 == Time::MAX {
+                            last.1 = rec.time;
+                        }
+                    }
+                }
+            }
+        }
+        CrashIntervals { by_node }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_node.is_empty()
+    }
+
+    /// `true` when `node` is crashed strictly inside an interval at `t`.
+    fn crashed_at(&self, node: NodeId, t: Time) -> bool {
+        self.by_node
+            .get(&node)
+            .is_some_and(|iv| iv.iter().any(|&(c, r)| c < t && t < r))
+    }
+
+    /// `true` when any crash interval of `node` touches `[lo, hi]`. The
+    /// interval is `[crash, recover)`: the node is alive again *at* the
+    /// recovery instant, so an interval ending exactly at `lo` does not
+    /// overlap — windows starting at a recovery count in full.
+    fn overlaps(&self, node: NodeId, lo: Time, hi: Time) -> bool {
+        self.by_node
+            .get(&node)
+            .is_some_and(|iv| iv.iter().any(|&(c, r)| c <= hi && r > lo))
+    }
+
+    /// The first crash of `node` at or after `t`, if any.
+    fn first_crash_at_or_after(&self, node: NodeId, t: Time) -> Option<Time> {
+        self.by_node
+            .get(&node)?
+            .iter()
+            .map(|&(c, _)| c)
+            .filter(|&c| c >= t)
+            .min()
+    }
+
+    /// Finite recovery instants of `node`, in log order.
+    fn recoveries(&self, node: NodeId) -> Vec<Time> {
+        self.by_node
+            .get(&node)
+            .map(|iv| {
+                iv.iter()
+                    .map(|&(_, r)| r)
+                    .filter(|&r| r < Time::MAX)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
 /// Validates a recorded execution against the model guarantees.
 ///
 /// Set `quiescent` to `true` when the execution ran to idleness, enabling
@@ -255,6 +361,7 @@ pub fn validate(
     quiescent: bool,
 ) -> ValidationReport {
     let mut report = ValidationReport::default();
+    let crashes = CrashIntervals::from_trace(trace);
     // Ordered maps keep the violation report order independent of hasher
     // state (same determinism policy as the runtime).
     let mut views: BTreeMap<InstanceId, InstanceView> = BTreeMap::new();
@@ -311,6 +418,20 @@ pub fn validate(
         report.violations.push(Violation::MissingBcast { instance });
     }
 
+    // No crashed node may act: every event attributed to a node strictly
+    // inside one of its crash intervals is a violation.
+    if !crashes.is_empty() {
+        for e in trace.entries() {
+            if crashes.crashed_at(e.node, e.time) {
+                report.violations.push(Violation::ActionWhileCrashed {
+                    instance: e.instance,
+                    node: e.node,
+                    kind: e.kind,
+                });
+            }
+        }
+    }
+
     let horizon = trace.entries().last().map(|e| e.time).unwrap_or(Time::ZERO);
 
     // Per-instance checks (receive/ack correctness, bounds, termination).
@@ -349,7 +470,11 @@ pub fn validate(
                         .rcvs
                         .iter()
                         .any(|&(idx, _, r)| r == g_neighbor && idx < term_idx);
-                    if !delivered_before_ack {
+                    // A receiver crashed at any point of the instance's
+                    // lifetime is exempt: its delivery may have been
+                    // silenced by the crash.
+                    let crash_exempt = crashes.overlaps(g_neighbor, v.bcast_time, term_time);
+                    if !delivered_before_ack && !crash_exempt {
                         report.violations.push(Violation::MissingReliableDelivery {
                             instance: *id,
                             receiver: g_neighbor,
@@ -366,7 +491,15 @@ pub fn validate(
             }
             Some(_) => {} // aborts exempt from ack correctness and bound
             None => {
-                if quiescent {
+                // Termination is conditioned on the sender staying alive
+                // *through the ack window*: a crash within `F_ack` of the
+                // broadcast silences the instance (no ack follows). A
+                // crash only after the ack was already overdue exempts
+                // nothing — a live sender must have acked by then.
+                let crashed_mid_flight = crashes
+                    .first_crash_at_or_after(v.sender, v.bcast_time)
+                    .is_some_and(|c| c <= v.bcast_time + config.f_ack());
+                if quiescent && !crashed_mid_flight {
                     report
                         .violations
                         .push(Violation::MissingTermination { instance: *id });
@@ -385,9 +518,20 @@ pub fn validate(
     // `max{T : t_r ≤ s + F + 1} ≥ s`. It suffices to test the window
     // starts `s = b` and `s = T_i + 1` for each receive (coverage only
     // switches off just past a termination time).
+    // An instance stops spanning (and stops protecting) at its sender's
+    // first crash after the broadcast: the runtime silences it there.
+    let crash_cap = |v: &InstanceView| -> Time {
+        crashes
+            .first_crash_at_or_after(v.sender, v.bcast_time)
+            .unwrap_or(Time::MAX)
+    };
     let mut rcv_cover: Vec<Vec<(Time, Time)>> = vec![Vec::new(); dual.len()];
     for v in views.values() {
-        let term_time = v.term.map(|(_, t, _)| t).unwrap_or(Time::MAX);
+        let term_time = v
+            .term
+            .map(|(_, t, _)| t)
+            .unwrap_or(Time::MAX)
+            .min(crash_cap(v));
         for &(_, t, r) in &v.rcvs {
             rcv_cover[r.index()].push((t, term_time));
         }
@@ -411,7 +555,8 @@ pub fn validate(
         let span_end = match v.term {
             Some((_, t, _)) => t,
             None => horizon,
-        };
+        }
+        .min(crash_cap(v));
         // A violating window must fit strictly inside the span: the
         // terminating event at `span_end` must come after the window's
         // end, so the latest admissible window start is
@@ -435,9 +580,21 @@ pub fn validate(
                     candidates.push(term + amac_sim::Duration::TICK);
                 }
             }
+            // Coverage also switches at the receiver's recoveries: the
+            // first window after an outage starts at the recovery.
+            for r_t in crashes.recoveries(j) {
+                if r_t >= lo && r_t <= hi {
+                    candidates.push(r_t);
+                }
+            }
+            // The guarantee only binds while the receiver is alive for the
+            // whole window: windows touching one of j's crash intervals
+            // are skipped (starvation spent crashed is not starvation).
+            let alive_throughout =
+                |s: Time| -> bool { !crashes.overlaps(j, s, Time::from_ticks(s.ticks() + window)) };
             if let Some(&s) = candidates
                 .iter()
-                .find(|&&s| s >= lo && s <= hi && !covered(s))
+                .find(|&&s| s >= lo && s <= hi && alive_throughout(s) && !covered(s))
             {
                 report.violations.push(Violation::ProgressViolation {
                     receiver: j,
@@ -462,7 +619,12 @@ pub fn validate(
                 Some((term_idx, _, _)) => term_idx < second.bcast_idx,
                 None => false,
             };
-            if !first_closed {
+            // A crash between the two broadcasts silenced the first
+            // instance, so a post-recovery broadcast is well-formed.
+            let crash_closed = crashes
+                .first_crash_at_or_after(sender, first.bcast_time)
+                .is_some_and(|c| c <= second.bcast_time);
+            if !first_closed && !crash_closed {
                 report.violations.push(Violation::OverlappingBcasts {
                     sender,
                     first: pair[0],
@@ -939,6 +1101,210 @@ mod tests {
         );
         let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
         assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn late_crash_does_not_excuse_an_overdue_ack() {
+        // The sender crashes only at t=100, long after its F_ack = 8 ack
+        // window closed: no runtime can produce this trace (a live sender
+        // must have acked by t=8), so the exemption must not apply.
+        let mut tr = Trace::new();
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push_fault(t(100), NodeId::new(0), crate::FaultKind::Crash);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        assert!(
+            report
+                .violations()
+                .iter()
+                .any(|v| matches!(v, Violation::MissingTermination { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn recovered_receiver_can_starve_again() {
+        // Receiver 1 is crashed during [2, 10) but alive from t=10 on; a
+        // G-neighbor instance spans [0, 100] and only delivers at t=100.
+        // The window starting exactly at the recovery is uncovered and
+        // fully alive: a progress violation — the outage excuses nothing
+        // past its end.
+        let mut tr = Trace::new();
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(100),
+            InstanceId::new(0),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            key(),
+        );
+        tr.push(
+            t(100),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
+        tr.push_fault(t(2), NodeId::new(1), crate::FaultKind::Crash);
+        tr.push_fault(t(10), NodeId::new(1), crate::FaultKind::Recover);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(4, 200), true);
+        assert!(
+            report.violations().iter().any(
+                |v| matches!(v, Violation::ProgressViolation { window_start, .. }
+                    if window_start.ticks() == 10)
+            ),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn crashed_sender_exempts_termination_and_progress() {
+        // inst0: node 0 broadcasts at t=0 and is silenced by a crash at
+        // t=2; it never terminates and never delivers. inst1 extends the
+        // horizon past every window inst0 could have spanned.
+        let mut tr = Trace::new();
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(10),
+            InstanceId::new(1),
+            NodeId::new(1),
+            TraceKind::Bcast,
+            MessageKey(2),
+        );
+        tr.push(
+            t(12),
+            InstanceId::new(1),
+            NodeId::new(0),
+            TraceKind::Rcv,
+            MessageKey(2),
+        );
+        tr.push(
+            t(13),
+            InstanceId::new(1),
+            NodeId::new(1),
+            TraceKind::Ack,
+            MessageKey(2),
+        );
+        // Without the fault log this trace is invalid (inst0 never
+        // terminated in a quiescent run).
+        let bare = validate(&tr, &line_dual(2), &MacConfig::from_ticks(4, 64), true);
+        assert!(matches!(
+            bare.violations()[0],
+            Violation::MissingTermination { .. }
+        ));
+        // With the crash recorded (and a recovery before node 0 receives
+        // again), every guarantee is conditioned on liveness: valid.
+        tr.push_fault(t(2), NodeId::new(0), crate::FaultKind::Crash);
+        tr.push_fault(t(11), NodeId::new(0), crate::FaultKind::Recover);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(4, 64), true);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn rejects_actions_by_crashed_nodes() {
+        let mut tr = valid_trace();
+        tr.push_fault(t(0), NodeId::new(1), crate::FaultKind::Crash);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        assert!(
+            report.violations().iter().any(|v| matches!(
+                v,
+                Violation::ActionWhileCrashed {
+                    node,
+                    kind: TraceKind::Rcv,
+                    ..
+                } if node.index() == 1
+            )),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn crashed_receiver_exempts_reliable_delivery() {
+        let mut tr = Trace::new();
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(2),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Ack,
+            key(),
+        );
+        tr.push_fault(t(1), NodeId::new(1), crate::FaultKind::Crash);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn post_recovery_rebroadcast_is_well_formed() {
+        // Instance 0 is silenced by a crash; after recovery the sender
+        // starts instance 1 — not an overlapping-broadcast violation.
+        let mut tr = Trace::new();
+        tr.push(
+            t(0),
+            InstanceId::new(0),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            key(),
+        );
+        tr.push(
+            t(3),
+            InstanceId::new(1),
+            NodeId::new(0),
+            TraceKind::Bcast,
+            MessageKey(2),
+        );
+        tr.push(
+            t(4),
+            InstanceId::new(1),
+            NodeId::new(1),
+            TraceKind::Rcv,
+            MessageKey(2),
+        );
+        tr.push(
+            t(5),
+            InstanceId::new(1),
+            NodeId::new(0),
+            TraceKind::Ack,
+            MessageKey(2),
+        );
+        tr.push_fault(t(1), NodeId::new(0), crate::FaultKind::Crash);
+        tr.push_fault(t(2), NodeId::new(0), crate::FaultKind::Recover);
+        let report = validate(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        assert!(report.is_ok(), "{report}");
+        // Without the fault log the same trace is rejected twice over
+        // (overlap + missing termination of instance 0).
+        let mut bare = Trace::new();
+        for e in tr.entries() {
+            bare.push(e.time, e.instance, e.node, e.kind, e.key);
+        }
+        let report = validate(&bare, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::OverlappingBcasts { .. })));
     }
 
     #[test]

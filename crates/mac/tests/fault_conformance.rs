@@ -1,0 +1,192 @@
+//! Model conformance under fault injection: every execution the [`Runtime`]
+//! produces under a random [`FaultPlan`] must be accepted by the
+//! crash-conditioned [`validate`] function, and the fault semantics
+//! themselves must hold (a crashed node goes silent the instant it
+//! crashes).
+
+use amac_graph::{generators, DualGraph, NodeId};
+use amac_mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
+use amac_mac::trace::{Trace, TraceKind};
+use amac_mac::{
+    validate, Automaton, Ctx, FaultKind, FaultPlan, MacConfig, MacMessage, MessageKey, Policy,
+    Runtime,
+};
+use amac_sim::{SimRng, Time};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct Token(u64);
+impl MacMessage for Token {
+    fn key(&self) -> MessageKey {
+        MessageKey(self.0)
+    }
+}
+
+/// Floods one token per source: forwards the first copy received, then
+/// keeps rebroadcasting on every ack so executions stay busy long enough
+/// for crashes to land mid-traffic.
+struct Chatter {
+    token: Option<u64>,
+    rebroadcasts: u64,
+}
+
+impl Automaton for Chatter {
+    type Msg = Token;
+    type Env = ();
+    type Out = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Token, ()>) {
+        if let Some(t) = self.token {
+            ctx.bcast(Token(t));
+        }
+    }
+
+    fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, ()>) {
+        if self.token.is_none() {
+            self.token = Some(msg.0);
+            if !ctx.has_broadcast_in_flight() {
+                ctx.bcast(msg);
+            }
+        }
+    }
+
+    fn on_ack(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, ()>) {
+        if self.rebroadcasts > 0 {
+            self.rebroadcasts -= 1;
+            ctx.bcast(msg);
+        }
+    }
+}
+
+fn topology(pick: u8, n: usize) -> DualGraph {
+    let g = match pick % 4 {
+        0 => generators::line(n).unwrap(),
+        1 => generators::ring(n.max(3)).unwrap(),
+        2 => generators::star(n).unwrap(),
+        _ => generators::complete(n).unwrap(),
+    };
+    DualGraph::reliable(g)
+}
+
+fn chatters(n: usize, sources: usize) -> Vec<Chatter> {
+    (0..n)
+        .map(|i| Chatter {
+            token: (i < sources).then_some(i as u64 + 1),
+            rebroadcasts: 3,
+        })
+        .collect()
+}
+
+fn run_with_plan(
+    dual: &DualGraph,
+    cfg: MacConfig,
+    nodes: Vec<Chatter>,
+    policy: impl Policy,
+    plan: FaultPlan,
+) -> Trace {
+    let mut rt = Runtime::new(dual.clone(), cfg, nodes, policy)
+        .with_faults(plan)
+        .with_event_limit(2_000_000);
+    rt.run();
+    rt.into_trace().expect("trace recording is on by default")
+}
+
+/// The regression check the fault model hangs on: once a node's crash time
+/// has passed (with no recovery in between), it must never appear as a
+/// broadcaster — nor as an acker, aborter, or receiver — in the trace.
+fn assert_silent_after_crash(trace: &Trace) {
+    for fault in trace.faults() {
+        if fault.kind != FaultKind::Crash {
+            continue;
+        }
+        let recovery = trace
+            .faults()
+            .iter()
+            .find(|r| r.kind == FaultKind::Recover && r.node == fault.node && r.time >= fault.time)
+            .map(|r| r.time)
+            .unwrap_or(Time::MAX);
+        for e in trace.entries() {
+            if e.node == fault.node && e.time > fault.time && e.time < recovery {
+                panic!(
+                    "crashed node {} appears on a {:?} at t={} (crashed at t={}, recovery {:?})",
+                    fault.node, e.kind, e.time, fault.time, recovery
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crashed_broadcaster_never_reappears_in_the_trace() {
+    // Deterministic regression instance: heavy traffic on a ring, half the
+    // nodes crash at staggered times.
+    let dual = topology(1, 8);
+    let cfg = MacConfig::from_ticks(2, 12);
+    let mut plan = FaultPlan::new();
+    for (i, node) in [1usize, 3, 5, 7].into_iter().enumerate() {
+        plan = plan.crash_at(NodeId::new(node), Time::from_ticks(4 * (i as u64 + 1)));
+    }
+    let trace = run_with_plan(&dual, cfg, chatters(8, 4), LazyPolicy::new(), plan);
+    assert!(
+        trace.faults().len() == 4,
+        "all four crashes applied: {trace}"
+    );
+    assert_silent_after_crash(&trace);
+    assert!(
+        trace.count(TraceKind::Bcast) > 4,
+        "traffic must outlive the crashes"
+    );
+    let report = validate(&trace, &dual, &cfg, true);
+    assert!(report.is_ok(), "{report}");
+}
+
+#[test]
+fn recovery_reopens_the_node_without_breaking_conformance() {
+    let dual = topology(0, 6);
+    let cfg = MacConfig::from_ticks(2, 10);
+    let plan = FaultPlan::new()
+        .crash_at(NodeId::new(2), Time::from_ticks(3))
+        .recover_at(NodeId::new(2), Time::from_ticks(30))
+        .crash_at(NodeId::new(4), Time::from_ticks(5));
+    let trace = run_with_plan(&dual, cfg, chatters(6, 3), EagerPolicy::new(), plan);
+    assert_silent_after_crash(&trace);
+    let report = validate(&trace, &dual, &cfg, true);
+    assert!(report.is_ok(), "{report}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The acceptance property of the fault subsystem: for any topology,
+    /// scheduler, and random crash schedule, the runtime's execution
+    /// passes the crash-conditioned validator — crashes never manufacture
+    /// spurious guarantee violations.
+    #[test]
+    fn validator_accepts_every_faulted_runtime_trace(
+        seed in 0u64..1_000_000,
+        topo in 0u8..4,
+        n in 3usize..10,
+        sources in 1usize..4,
+        crash_count in 0usize..5,
+        window in 5u64..80,
+        f_prog in 1u64..4,
+        f_ack_mult in 2u64..10,
+        policy_pick in 0u8..3,
+    ) {
+        let crash_count = crash_count.min(n - 1);
+        let sources = sources.min(n);
+        let dual = topology(topo, n);
+        let cfg = MacConfig::from_ticks(f_prog, f_prog * f_ack_mult);
+        let mut rng = SimRng::seed(seed);
+        let plan = FaultPlan::random_crashes(n, crash_count, Time::from_ticks(window), &mut rng);
+        let policy: Box<dyn Policy> = match policy_pick {
+            0 => Box::new(EagerPolicy::new()),
+            1 => Box::new(LazyPolicy::new().prefer_duplicates()),
+            _ => Box::new(RandomPolicy::new(seed ^ 0xFA57)),
+        };
+        let trace = run_with_plan(&dual, cfg, chatters(n, sources), policy, plan);
+        assert_silent_after_crash(&trace);
+        let report = validate(&trace, &dual, &cfg, true);
+        prop_assert!(report.is_ok(), "seed {}: {}", seed, report);
+    }
+}

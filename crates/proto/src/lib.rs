@@ -1,0 +1,71 @@
+//! # amac-proto — protocol services on the abstract MAC layer
+//!
+//! The PODC 2014 paper positions the abstract MAC layer as a reusable
+//! substrate: multi-message broadcast (MMB/FMMB, in `amac-core`) is just
+//! the first service built on it. Follow-up work builds much stronger
+//! services on the same `bcast`/`ack` interface under **node-crash
+//! faults** — *Fault-Tolerant Consensus with an Abstract MAC Layer*
+//! (Newport & Robinson, DISC 2018) and *The Power of Abstract MAC Layer:
+//! A Fault-tolerance Perspective* (Zhang & Tseng, 2024). This crate
+//! reproduces that layer-above-the-layer:
+//!
+//! * [`consensus`] — **crash-tolerant binary consensus** in the
+//!   Newport–Robinson style: timed flooding phases driven by `bcast`/`ack`
+//!   over the enhanced MAC layer, tolerating up to `phases − 1` crashes
+//!   (partial deliveries included) on any topology that crashes cannot
+//!   disconnect. Agreement, validity, integrity, and termination of live
+//!   nodes are re-checked post hoc by [`validate_consensus`].
+//! * [`election`] — **wake-up / leader election** via randomized broadcast
+//!   back-off: nodes sleep a random delay, the first to wake claims
+//!   leadership, claims flood and suppress later wake-ups, and the
+//!   smallest claimed id wins. Checked post hoc by [`validate_election`].
+//!
+//! Both services run on [`amac_mac::Runtime`] automata and exercise the
+//! fault-injection subsystem ([`amac_mac::FaultPlan`]): a crash silences a
+//! node's broadcasts and acknowledgments mid-instance, which is precisely
+//! the half-delivered-broadcast adversary those papers are about.
+//!
+//! ## Example: consensus surviving crashes
+//!
+//! ```
+//! use amac_core::RunOptions;
+//! use amac_graph::{generators, DualGraph};
+//! use amac_mac::{policies::LazyPolicy, FaultPlan, MacConfig};
+//! use amac_proto::consensus::{run_consensus, ConsensusParams};
+//! use amac_sim::{SimRng, Time};
+//!
+//! let n = 8;
+//! let dual = DualGraph::reliable(generators::complete(n)?);
+//! let config = MacConfig::from_ticks(2, 16).enhanced();
+//! // Tolerate up to 2 crashes: 3 flooding phases.
+//! let params = ConsensusParams::for_crashes(2, &config);
+//! let mut rng = SimRng::seed(7);
+//! let faults = FaultPlan::random_crashes(n, 2, params.horizon(), &mut rng);
+//! let initial: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+//! let report = run_consensus(
+//!     &dual,
+//!     config,
+//!     &initial,
+//!     &params,
+//!     faults,
+//!     LazyPolicy::new().prefer_duplicates(),
+//!     &RunOptions::default(),
+//! );
+//! // Agreement + validity + termination of live nodes, all checked:
+//! assert!(report.ok(), "{}", report.check);
+//! # Ok::<(), amac_graph::GraphError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod consensus;
+pub mod election;
+
+pub use consensus::{
+    run_consensus, validate_consensus, ConsensusCheck, ConsensusParams, ConsensusReport,
+    ConsensusViolation, Decision,
+};
+pub use election::{
+    run_election, validate_election, ElectionCheck, ElectionReport, ElectionViolation,
+};

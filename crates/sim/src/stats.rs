@@ -456,6 +456,14 @@ impl Reservoir {
     pub fn p95(&self) -> Option<f64> {
         self.quantile(0.95)
     }
+
+    /// The held samples, in insertion/replacement order (all offered
+    /// samples while [`is_exact`](Reservoir::is_exact); a uniform
+    /// subsample afterwards). Deterministic for a fixed feed order — the
+    /// distribution plots in `amac-bench` render from this.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
 const RESERVOIR_SEED: u64 = 0x5EED_4E5E_4901_4001;
@@ -569,6 +577,12 @@ impl Aggregate {
     /// 95th-percentile trial value (exact while trials fit the reservoir).
     pub fn p95(&self) -> Option<f64> {
         self.reservoir.p95()
+    }
+
+    /// The retained per-trial samples (see [`Reservoir::samples`]): the
+    /// raw material for histogram/CDF rendering.
+    pub fn samples(&self) -> &[f64] {
+        self.reservoir.samples()
     }
 }
 

@@ -18,6 +18,8 @@
 //! * [`core`] — the MMB problem, BMMB, FMMB, and bound formulas
 //!   ([`amac_core`]);
 //! * [`lower`] — executable lower bounds ([`amac_lower`]);
+//! * [`proto`] — protocol services layered on the MAC abstraction:
+//!   crash-tolerant consensus and leader election ([`amac_proto`]);
 //! * [`mod@bench`] — parameter sweeps, fits, and table rendering for the
 //!   Figure 1 reproduction ([`amac_bench`]).
 //!
@@ -63,6 +65,10 @@ pub use amac_core as core;
 
 /// Executable lower-bound constructions (re-export of [`amac_lower`]).
 pub use amac_lower as lower;
+
+/// Protocol services on the abstract MAC layer: crash-tolerant consensus
+/// and leader election (re-export of [`amac_proto`]).
+pub use amac_proto as proto;
 
 /// Experiment harness for the Figure 1 reproduction (re-export of
 /// [`amac_bench`]).
