@@ -35,6 +35,44 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// The runtime hot path at scale: a k=2 BMMB flood over a 1,000-node line
+/// under the eager scheduler (~10⁴ events per run), measured bare and with
+/// the streaming validator attached. Criterion reports seconds per run;
+/// events/sec = events ÷ mean time. The pre-refactor pin for this workload
+/// (trace-recording runtime + post-hoc validation) is recorded in
+/// `experiments::scale::PRE_REFACTOR_PIN_EVENTS_PER_SEC` — the observer
+/// refactor's ≥2× claim is measured against it.
+fn bench_runtime_hot_path(c: &mut Criterion) {
+    let dual = DualGraph::reliable(generators::line(1000).unwrap());
+    let cfg = MacConfig::from_ticks(2, 32);
+    let assignment = Assignment::all_at(NodeId::new(0), 2);
+    c.bench_function("flood_line1k_k2_fast", |b| {
+        b.iter(|| {
+            let report = run_bmmb(
+                black_box(&dual),
+                cfg,
+                &assignment,
+                EagerPolicy::new(),
+                &RunOptions::fast(),
+            );
+            black_box(report.counters.get("events"))
+        })
+    });
+    c.bench_function("flood_line1k_k2_validated", |b| {
+        b.iter(|| {
+            let report = run_bmmb(
+                black_box(&dual),
+                cfg,
+                &assignment,
+                EagerPolicy::new(),
+                &RunOptions::default(),
+            );
+            assert!(report.validation.as_ref().is_some_and(|v| v.is_ok()));
+            black_box(report.counters.get("events"))
+        })
+    });
+}
+
 fn bench_bmmb(c: &mut Criterion) {
     let dual = DualGraph::reliable(generators::line(64).unwrap());
     let cfg = MacConfig::from_ticks(2, 32);
@@ -81,5 +119,11 @@ fn bench_topology(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_bmmb, bench_topology);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_runtime_hot_path,
+    bench_bmmb,
+    bench_topology
+);
 criterion_main!(benches);

@@ -29,7 +29,9 @@
 //! counts and plot lines: trial `i` is seeded by `SimRng::split(i)`,
 //! aggregates fold in `(point, trial)` order, and adaptive stop decisions
 //! happen at fixed batch boundaries. (The JSON files carry wall-clock
-//! seconds and are exempt from the byte-identity contract.)
+//! seconds, and the `scale` experiment's `events/s` column is wall clock;
+//! both are exempt from the byte-identity contract — every other cell of
+//! every table is covered.)
 //!
 //! Usage:
 //!
@@ -111,7 +113,16 @@ fn main() {
             "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
             "--list" => {
                 for spec in experiments::registry() {
-                    println!("{:<18} {} ({})", spec.id, spec.summary, spec.label);
+                    let mode = if spec.deterministic {
+                        "deterministic"
+                    } else {
+                        "stochastic"
+                    };
+                    println!(
+                        "{:<18} {:<7} {} [{mode}]",
+                        spec.id, spec.label, spec.summary
+                    );
+                    println!("{:<18} {:<7} {}", "", "", spec.detail);
                 }
                 return;
             }

@@ -14,6 +14,7 @@
 //! | `ABL-ABORT` | [`ablation_abort`] | ablation: FMMB without the abort interface |
 //! | `CONS` | [`consensus_crash`] | NR18/ZT24 crash-tolerant consensus on the aMAC layer |
 //! | `ELECT` | [`election`] | NR18 wake-up/leader election via broadcast back-off |
+//! | `SCALE` | [`scale`] | runtime throughput + streaming-validation memory at n ≤ 10⁴ |
 
 pub mod ablation_abort;
 pub mod consensus_crash;
@@ -23,6 +24,7 @@ pub mod fig1_fmmb;
 pub mod fig1_gg;
 pub mod fig1_r_restricted;
 pub mod lower_bounds;
+pub mod scale;
 pub mod subroutines;
 
 use crate::engine::TrialStats;
@@ -207,6 +209,9 @@ pub struct ExperimentSpec {
     pub label: &'static str,
     /// One-line progress description.
     pub summary: &'static str,
+    /// One-line description of what the experiment measures and against
+    /// which paper artifact — printed by `repro --list`.
+    pub detail: &'static str,
     /// `true` for workloads with no per-trial randomness (the runner is
     /// clamped to a single trial).
     pub deterministic: bool,
@@ -246,6 +251,7 @@ adapter!(run_subroutines, subroutines);
 adapter!(run_ablation_abort, ablation_abort);
 adapter!(run_consensus_crash, consensus_crash);
 adapter!(run_election, election);
+adapter!(run_scale, scale);
 
 /// Every experiment in suite order. `repro` runs the whole list by
 /// default, or the subset named on its command line.
@@ -255,6 +261,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "fig1_gg",
             label: "F1-GG",
             summary: "standard model, G' = G",
+            detail: "BMMB on reliable lines: completion tracks O(D*F_prog + k*F_ack) (Fig. 1, KLN11 row)",
             deterministic: fig1_gg::DETERMINISTIC,
             run: run_fig1_gg,
         },
@@ -262,6 +269,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "fig1_r_restricted",
             label: "F1-RR",
             summary: "standard model, r-restricted G'",
+            detail: "BMMB under r-restricted unreliable augmentation: Thm 3.2/3.16 bound, exact t1 deadline",
             deterministic: false,
             run: run_fig1_r_restricted,
         },
@@ -269,6 +277,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "fig1_arbitrary",
             label: "F1-ARB",
             summary: "standard model, arbitrary G'",
+            detail: "BMMB with arbitrary unreliable links: the O((D+k)*F_ack) slowdown of Thm 3.1",
             deterministic: fig1_arbitrary::DETERMINISTIC,
             run: run_fig1_arbitrary,
         },
@@ -276,6 +285,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "lower_bounds",
             label: "LB",
             summary: "lower bounds (Lemma 3.18 + Figure 2)",
+            detail: "choke-star Omega(k*F_ack) and grey-zone Omega(D*F_ack) adversary constructions",
             deterministic: lower_bounds::DETERMINISTIC,
             run: run_lower_bounds,
         },
@@ -283,6 +293,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "fig1_fmmb",
             label: "F1-ENH",
             summary: "enhanced model, FMMB vs BMMB",
+            detail: "FMMB (MIS + gather + spread) beats BMMB on grey-zone duals: Thm 4.1 regime",
             deterministic: false,
             run: run_fig1_fmmb,
         },
@@ -290,6 +301,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "subroutines",
             label: "SUB-*",
             summary: "FMMB subroutines",
+            detail: "MIS O(log^3 n) rounds, gather O(k+log n) periods, spread O((D+k) log n) rounds",
             deterministic: false,
             run: run_subroutines,
         },
@@ -297,6 +309,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "ablation_abort",
             label: "ABL",
             summary: "abort-interface ablation",
+            detail: "FMMB with the enhanced-layer abort disabled: what the interface buys (and costs)",
             deterministic: false,
             run: run_ablation_abort,
         },
@@ -304,6 +317,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "consensus_crash",
             label: "CONS",
             summary: "crash-tolerant consensus (NR18), crash-fraction sweep",
+            detail: "timed flooding consensus under node crashes: agreement/validity, (f+1)-phase deadline",
             deterministic: false,
             run: run_consensus_crash,
         },
@@ -311,8 +325,17 @@ pub fn registry() -> &'static [ExperimentSpec] {
             id: "election",
             label: "ELECT",
             summary: "leader election via broadcast back-off, grey zone",
+            detail: "randomized wake-up/election: convergence vs W + 2(D+1)(F_prog+1), claimant suppression",
             deterministic: false,
             run: run_election,
+        },
+        ExperimentSpec {
+            id: "scale",
+            label: "SCALE",
+            summary: "runtime throughput + streaming validation, n up to 10k",
+            detail: "BMMB floods on 1k..10k-node duals with the online validator: events/s and peak in-flight state",
+            deterministic: scale::DETERMINISTIC,
+            run: run_scale,
         },
     ]
 }

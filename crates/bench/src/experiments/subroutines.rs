@@ -87,8 +87,8 @@ pub fn run_instrumented_traced<P: Policy>(
         })
         .collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
-    if !capture {
-        rt = rt.without_trace();
+    if capture {
+        rt = rt.tracing();
     }
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
@@ -108,7 +108,7 @@ pub fn run_instrumented_traced<P: Policy>(
     let mut round = 0u64;
     let quiescent = loop {
         let outcome = rt.run_until(Time::from_ticks((round + 1) * round_ticks));
-        for rec in rt.take_outputs() {
+        for rec in rt.drain_outputs() {
             let Delivered(id) = rec.out;
             tracker.record(rec.time, rec.node, id);
         }

@@ -178,6 +178,40 @@ fn captured_outlier_traces_pass_the_validator() {
 }
 
 #[test]
+fn scale_tables_are_jobs_invariant_modulo_wall_clock() {
+    // The scale experiment's `events/s` column is wall clock and exempt
+    // from the byte-identity contract (like the JSON wall clock); every
+    // other cell — events, instances, completion, validator peaks,
+    // violations — must be byte-identical across worker counts.
+    let strip = |table: &amac_bench::table::Table| {
+        let col = table
+            .headers()
+            .iter()
+            .position(|h| h == "events/s")
+            .expect("events/s column present");
+        let rows: Vec<Vec<String>> = table
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != col)
+                    .map(|(_, c)| c.clone())
+                    .collect()
+            })
+            .collect();
+        (table.headers().to_vec(), rows)
+    };
+    let serial = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 1));
+    let parallel = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 8));
+    assert_eq!(
+        strip(&serial.table),
+        strip(&parallel.table),
+        "SCALE: jobs=1 and jobs=8 must agree on every deterministic cell"
+    );
+}
+
+#[test]
 fn single_trial_reproduces_historical_seed_behaviour() {
     // Trial 0 is seeded with the experiment's historical base seed, so a
     // single-trial engine run must agree with itself across repeats and

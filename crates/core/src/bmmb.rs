@@ -18,7 +18,8 @@
 
 use crate::mmb::{Delivered, MessageId, MmbMessage};
 use amac_mac::{Automaton, Ctx};
-use std::collections::{HashSet, VecDeque};
+use amac_sim::FastHashSet;
+use std::collections::VecDeque;
 
 /// One BMMB process (node automaton).
 ///
@@ -43,8 +44,8 @@ use std::collections::{HashSet, VecDeque};
 #[derive(Debug, Default)]
 pub struct Bmmb {
     bcastq: VecDeque<MmbMessage>,
-    rcvd: HashSet<MessageId>,
-    sent: HashSet<MessageId>,
+    rcvd: FastHashSet<MessageId>,
+    sent: FastHashSet<MessageId>,
 }
 
 impl Bmmb {
@@ -108,11 +109,11 @@ impl Automaton for Bmmb {
         self.learn(input, ctx);
     }
 
-    fn on_receive(&mut self, msg: MmbMessage, ctx: &mut Ctx<'_, MmbMessage, Delivered>) {
-        self.learn(msg, ctx);
+    fn on_receive(&mut self, msg: &MmbMessage, ctx: &mut Ctx<'_, MmbMessage, Delivered>) {
+        self.learn(*msg, ctx);
     }
 
-    fn on_ack(&mut self, msg: MmbMessage, ctx: &mut Ctx<'_, MmbMessage, Delivered>) {
+    fn on_ack(&mut self, msg: &MmbMessage, ctx: &mut Ctx<'_, MmbMessage, Delivered>) {
         let head = self
             .bcastq
             .pop_front()
@@ -138,7 +139,7 @@ mod tests {
         let dual = DualGraph::reliable(generators::line(n).unwrap());
         let cfg = MacConfig::from_ticks(2, 24);
         let nodes = (0..n).map(|_| Bmmb::new()).collect();
-        let mut rt = Runtime::new(dual, cfg, nodes, policy);
+        let mut rt = Runtime::new(dual, cfg, nodes, policy).tracing();
         for (node, msg) in assignment.arrivals() {
             rt.inject(*node, *msg);
         }
@@ -218,7 +219,8 @@ mod tests {
             cfg,
             nodes,
             policies::EagerPolicy::new().with_unreliable(1.0, 5),
-        );
+        )
+        .tracing();
         rt.inject(
             NodeId::new(0),
             MmbMessage {

@@ -7,7 +7,10 @@ use crate::harness::RunOptions;
 use crate::mmb::{Assignment, CompletionTracker, Delivered};
 use amac_graph::{algo, DualGraph, NodeId, NodeSet};
 use amac_mac::trace::Trace;
-use amac_mac::{validate, MacConfig, Policy, RunOutcome, Runtime, ValidationReport};
+use amac_mac::{
+    MacConfig, OnlineStats, OnlineValidator, Policy, RunOutcome, Runtime, TraceObserver,
+    ValidationReport,
+};
 use amac_sim::stats::Counters;
 use amac_sim::{SimRng, Time};
 use std::fmt;
@@ -32,8 +35,11 @@ pub struct FmmbReport {
     pub instances: usize,
     /// MAC-level event counters.
     pub counters: Counters,
-    /// Trace validation report, when requested.
+    /// Validation report from the streaming validator, when requested.
     pub validation: Option<ValidationReport>,
+    /// Peak-memory statistics of the streaming validator, when validation
+    /// ran.
+    pub validator_stats: Option<OnlineStats>,
     /// The recorded execution trace, when [`RunOptions::keep_trace`] was
     /// set.
     pub trace: Option<Trace>,
@@ -147,9 +153,10 @@ pub fn run_fmmb<P: Policy>(
         .collect();
 
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
-    if !options.records_trace() {
-        rt = rt.without_trace();
-    }
+    let validator = options
+        .validate
+        .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
+    let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -160,7 +167,7 @@ pub fn run_fmmb<P: Policy>(
             break RunOutcome::Stopped;
         }
         let step_outcome = rt.run_until_next(options.horizon);
-        for rec in rt.take_outputs() {
+        for rec in rt.drain_outputs() {
             let Delivered(id) = rec.out;
             tracker.record(rec.time, rec.node, id);
         }
@@ -177,17 +184,13 @@ pub fn run_fmmb<P: Policy>(
     }
     let mis_valid = algo::is_maximal_independent(dual.g(), &mis);
 
-    let validation = if options.validate {
-        rt.trace()
-            .map(|t| validate(t, dual, rt.config(), outcome == RunOutcome::Idle))
-    } else {
-        None
-    };
-    let trace = if options.keep_trace {
-        rt.trace().cloned()
-    } else {
-        None
-    };
+    let mut validator_stats = None;
+    let validation = validator.map(|handle| {
+        let validator = rt.detach(handle);
+        validator_stats = Some(validator.stats());
+        validator.into_report(outcome == RunOutcome::Idle)
+    });
+    let trace = tracer.map(|handle| rt.detach(handle).into_trace());
 
     FmmbReport {
         completion: tracker.completed_at(),
@@ -197,8 +200,9 @@ pub fn run_fmmb<P: Policy>(
         mis,
         mis_valid,
         instances: rt.instances_started(),
-        counters: rt.counters().clone(),
+        counters: rt.counters(),
         validation,
+        validator_stats,
         trace,
         schedule_rounds: schedule.total_rounds(),
     }

@@ -423,14 +423,14 @@ impl Automaton for Fmmb {
         }
     }
 
-    fn on_receive(&mut self, pkt: FmmbPacket, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+    fn on_receive(&mut self, pkt: &FmmbPacket, ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
         if let Some(m) = pkt.mmb_message() {
             self.learn(m, ctx);
         }
-        self.rcvd.push(pkt);
+        self.rcvd.push(pkt.clone());
     }
 
-    fn on_ack(&mut self, _msg: FmmbPacket, _ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
+    fn on_ack(&mut self, _msg: &FmmbPacket, _ctx: &mut Ctx<'_, FmmbPacket, Delivered>) {
         // Round bookkeeping happens at the timer; nothing to do here.
     }
 

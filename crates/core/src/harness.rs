@@ -6,7 +6,10 @@ use crate::bmmb::Bmmb;
 use crate::mmb::{Assignment, CompletionTracker, Delivered};
 use amac_graph::{DualGraph, NodeId};
 use amac_mac::trace::Trace;
-use amac_mac::{validate, Automaton, MacConfig, Policy, RunOutcome, Runtime, ValidationReport};
+use amac_mac::{
+    Automaton, MacConfig, OnlineStats, OnlineValidator, Policy, RunOutcome, Runtime, TraceObserver,
+    ValidationReport,
+};
 use amac_sim::stats::Counters;
 use amac_sim::Time;
 use std::fmt;
@@ -14,11 +17,13 @@ use std::fmt;
 /// Options controlling a harness run.
 #[derive(Clone, Debug)]
 pub struct RunOptions {
-    /// Validate the recorded trace against the MAC model after the run.
+    /// Check the execution against the MAC model by attaching a streaming
+    /// [`OnlineValidator`] — O(in-flight) memory, no trace retention, so
+    /// it is cheap enough to leave on for large sweeps.
     pub validate: bool,
-    /// Return the recorded [`Trace`] in the report (for post-mortem
-    /// inspection of outlier executions). Implies trace recording, but not
-    /// validation.
+    /// Attach a [`TraceObserver`] and return the recorded [`Trace`] in the
+    /// report (for post-mortem inspection of outlier executions). This is
+    /// the only option that retains O(events) state.
     pub keep_trace: bool,
     /// Stop as soon as the MMB problem is solved (all required deliveries
     /// happened) instead of running the algorithm to quiescence.
@@ -48,9 +53,10 @@ impl RunOptions {
         }
     }
 
-    /// Keeps the recorded trace in the report **and** validates it — the
-    /// post-mortem bundle the experiment engine captures for outlier
-    /// trials (the trace to inspect, the validation verdict alongside).
+    /// Keeps the recorded trace in the report **and** validates the
+    /// execution — the post-mortem bundle the experiment engine captures
+    /// for outlier trials (the trace to inspect, the validation verdict
+    /// alongside).
     pub fn capturing_trace(mut self) -> RunOptions {
         self.keep_trace = true;
         self.validate = true;
@@ -67,12 +73,6 @@ impl RunOptions {
     pub fn with_horizon(mut self, horizon: Time) -> RunOptions {
         self.horizon = horizon;
         self
-    }
-
-    /// `true` when the runtime must record a trace (for validation or for
-    /// the report).
-    pub fn records_trace(&self) -> bool {
-        self.validate || self.keep_trace
     }
 }
 
@@ -93,8 +93,12 @@ pub struct MmbReport {
     pub instances: usize,
     /// MAC-level event counters.
     pub counters: Counters,
-    /// Trace validation report, when requested.
+    /// Validation report from the streaming validator, when requested.
     pub validation: Option<ValidationReport>,
+    /// Peak-memory statistics of the streaming validator (evidence that
+    /// validation state stayed bounded by the in-flight instances), when
+    /// validation ran.
+    pub validator_stats: Option<OnlineStats>,
     /// The recorded execution trace, when [`RunOptions::keep_trace`] was
     /// set.
     pub trace: Option<Trace>,
@@ -149,9 +153,10 @@ where
     let mut make_node = make_node;
     let nodes = (0..dual.len()).map(|i| make_node(NodeId::new(i))).collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
-    if !options.records_trace() {
-        rt = rt.without_trace();
-    }
+    let validator = options
+        .validate
+        .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
+    let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -163,7 +168,7 @@ where
             break RunOutcome::Stopped;
         }
         let step_outcome = rt.run_until_next(options.horizon);
-        for rec in rt.take_outputs() {
+        for rec in rt.drain_outputs() {
             deliveries += 1;
             let Delivered(id) = rec.out;
             tracker.record(rec.time, rec.node, id);
@@ -173,17 +178,13 @@ where
         }
     };
 
-    let validation = if options.validate {
-        rt.trace()
-            .map(|t| validate(t, dual, rt.config(), outcome == RunOutcome::Idle))
-    } else {
-        None
-    };
-    let trace = if options.keep_trace {
-        rt.trace().cloned()
-    } else {
-        None
-    };
+    let mut validator_stats = None;
+    let validation = validator.map(|handle| {
+        let validator = rt.detach(handle);
+        validator_stats = Some(validator.stats());
+        validator.into_report(outcome == RunOutcome::Idle)
+    });
+    let trace = tracer.map(|handle| rt.detach(handle).into_trace());
 
     MmbReport {
         completion: tracker.completed_at(),
@@ -192,8 +193,9 @@ where
         missing: tracker.remaining(),
         deliveries,
         instances: rt.instances_started(),
-        counters: rt.counters().clone(),
+        counters: rt.counters(),
         validation,
+        validator_stats,
         trace,
     }
 }

@@ -3,8 +3,7 @@
 
 use amac_graph::{algo, DualGraph, NodeId, NodeSet};
 use amac_mac::{MacMessage, MessageKey};
-use amac_sim::{SimRng, Time};
-use std::collections::HashMap;
+use amac_sim::{FastHashMap, SimRng, Time};
 use std::fmt;
 
 /// Identity of one of the `k` MMB messages.
@@ -125,7 +124,7 @@ impl Assignment {
 #[derive(Clone, Debug)]
 pub struct CompletionTracker {
     /// Per message: the set of nodes that still must deliver it.
-    outstanding: HashMap<MessageId, NodeSet>,
+    outstanding: FastHashMap<MessageId, NodeSet>,
     remaining_total: usize,
     completed_at: Option<Time>,
     duplicates: usize,
@@ -135,7 +134,7 @@ impl CompletionTracker {
     /// Builds the obligation sets for `assignment` over `dual`'s reliable
     /// layer.
     pub fn new(dual: &DualGraph, assignment: &Assignment) -> CompletionTracker {
-        let mut outstanding = HashMap::new();
+        let mut outstanding = FastHashMap::default();
         let mut remaining_total = 0;
         for (node, msg) in assignment.arrivals() {
             let comp = algo::component_of(dual.g(), *node);

@@ -83,6 +83,7 @@ impl Policy for GreyZoneAdversary {
             }
         }
         BcastPlan {
+            reliable_default: None,
             ack_delay: ctx.config.f_ack(),
             reliable: Vec::new(),
             unreliable,
@@ -148,6 +149,7 @@ impl Policy for StaggeredPolicy {
             .map(|(r, &j)| (j, amac_sim::Duration::from_ticks(r as u64 + 1)))
             .collect();
         BcastPlan {
+            reliable_default: None,
             ack_delay: ctx.config.f_ack(),
             reliable,
             unreliable: Vec::new(),

@@ -17,9 +17,14 @@
 //! which message satisfies the progress bound — belongs to an adversarial
 //! *message scheduler*, modelled by the [`Policy`] trait. The [`Runtime`]
 //! clamps every policy into validity and *enforces* the progress bound, so
-//! every execution this crate produces conforms to the model; the
-//! [`validate`] function re-checks conformance post hoc from the recorded
-//! [`trace::Trace`].
+//! every execution this crate produces conforms to the model.
+//!
+//! Execution and observation are decoupled: the runtime streams every
+//! MAC-level event to pluggable [`Observer`]s. Attach an
+//! [`OnlineValidator`] to re-check conformance *while the execution runs*
+//! in memory proportional to the in-flight state, or a [`TraceObserver`]
+//! to record a full [`trace::Trace`] for the post-hoc [`validate`]
+//! function and hand inspection.
 //!
 //! ## Layer map
 //!
@@ -29,8 +34,8 @@
 //! | `bcast`/`ack`/`abort`/`rcv` interface | [`Ctx::bcast`], [`Automaton::on_ack`], [`Ctx::abort`], [`Automaton::on_receive`] |
 //! | message scheduler adversary | [`Policy`] (+ [`policies`]) |
 //! | `F_ack`, `F_prog`, model variant | [`MacConfig`], [`ModelVariant`] |
-//! | execution (admissible timed execution) | [`Runtime`] + [`trace::Trace`] |
-//! | guarantees 1–5 of Section 3.2.1 | [`Runtime`] enforcement + [`validate`] |
+//! | execution (admissible timed execution) | [`Runtime`] + [`Observer`] stream |
+//! | guarantees 1–5 of Section 3.2.1 | [`Runtime`] enforcement + [`OnlineValidator`] / [`validate`] |
 //! | node-crash faults (the NR18/ZT24 follow-up model) | [`FaultPlan`] + [`Runtime::with_faults`] |
 //!
 //! ## Example: flooding a token under a worst-case scheduler
@@ -38,8 +43,8 @@
 //! ```
 //! use amac_graph::{generators, DualGraph, NodeId};
 //! use amac_mac::{
-//!     policies::LazyPolicy, validate, Automaton, Ctx, MacConfig, MacMessage, MessageKey,
-//!     Runtime,
+//!     policies::LazyPolicy, Automaton, Ctx, MacConfig, MacMessage, MessageKey,
+//!     OnlineValidator, Runtime,
 //! };
 //!
 //! #[derive(Clone, Debug)]
@@ -59,23 +64,25 @@
 //!             ctx.bcast(Token);
 //!         }
 //!     }
-//!     fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, ()>) {
+//!     fn on_receive(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, ()>) {
 //!         if !self.seen {
 //!             self.seen = true;
-//!             ctx.bcast(msg);
+//!             ctx.bcast(msg.clone());
 //!         }
 //!     }
-//!     fn on_ack(&mut self, _: Token, _: &mut Ctx<'_, Token, ()>) {}
+//!     fn on_ack(&mut self, _: &Token, _: &mut Ctx<'_, Token, ()>) {}
 //! }
 //!
 //! let dual = DualGraph::reliable(generators::line(8)?);
 //! let cfg = MacConfig::from_ticks(2, 40);
 //! let nodes = (0..8).map(|_| Hop { seen: false }).collect();
 //! let mut rt = Runtime::new(dual.clone(), cfg, nodes, LazyPolicy::new());
+//! let validator = rt.attach(OnlineValidator::new(dual, cfg));
 //! rt.run();
 //! // Even under the lazy scheduler the progress bound drives the token
-//! // down the line at F_prog per hop, and the execution is model-valid:
-//! assert!(validate(rt.trace().unwrap(), &dual, &cfg, true).is_ok());
+//! // down the line at F_prog per hop, and the execution is model-valid —
+//! // checked while it ran, with no retained trace:
+//! assert!(rt.detach(validator).into_report(true).is_ok());
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
@@ -87,9 +94,12 @@ mod fault;
 mod instance;
 mod message;
 mod node;
+pub mod observer;
+pub mod online;
 pub mod policies;
 mod policy;
 mod runtime;
+mod small_set;
 pub mod trace;
 mod validator;
 
@@ -98,6 +108,8 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use instance::InstanceId;
 pub use message::{MacMessage, MessageKey};
 pub use node::{Automaton, Ctx, TimerId};
+pub use observer::{CounterObserver, Observer, ObserverHandle, TraceObserver};
+pub use online::{OnlineStats, OnlineValidator};
 pub use policy::{BcastInfo, BcastPlan, ForcedCandidate, Policy, PolicyCtx};
 pub use runtime::{OutputRecord, RunOutcome, Runtime};
 pub use validator::{validate, ValidationReport, Violation};

@@ -218,6 +218,12 @@ impl<M, O> fmt::Debug for Ctx<'_, M, O> {
 ///
 /// A one-shot flooder: broadcast a token on start, forward it once.
 ///
+/// Message payloads are interned by the runtime at broadcast time and
+/// handed to [`on_receive`](Automaton::on_receive) /
+/// [`on_ack`](Automaton::on_ack) **by reference**: a delivery costs a
+/// pointer clone, never a payload clone, regardless of payload size.
+/// Automata that need ownership (e.g. to re-broadcast) clone explicitly.
+///
 /// ```
 /// use amac_mac::{Automaton, Ctx, MacMessage, MessageKey};
 ///
@@ -241,17 +247,17 @@ impl<M, O> fmt::Debug for Ctx<'_, M, O> {
 ///         }
 ///     }
 ///
-///     fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, u64>) {
+///     fn on_receive(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, u64>) {
 ///         if !self.seen {
 ///             self.seen = true;
 ///             ctx.output(msg.0);
 ///             if !ctx.has_broadcast_in_flight() {
-///                 ctx.bcast(msg);
+///                 ctx.bcast(msg.clone());
 ///             }
 ///         }
 ///     }
 ///
-///     fn on_ack(&mut self, _msg: Token, _ctx: &mut Ctx<'_, Token, u64>) {}
+///     fn on_ack(&mut self, _msg: &Token, _ctx: &mut Ctx<'_, Token, u64>) {}
 /// }
 /// ```
 pub trait Automaton {
@@ -272,11 +278,13 @@ pub trait Automaton {
         let _ = (input, ctx);
     }
 
-    /// The MAC layer delivered a message to this node.
-    fn on_receive(&mut self, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>);
+    /// The MAC layer delivered a message to this node. The payload is
+    /// borrowed from the instance's interned copy; clone it if ownership
+    /// is needed.
+    fn on_receive(&mut self, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>);
 
     /// The MAC layer acknowledged this node's broadcast of `msg`.
-    fn on_ack(&mut self, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>);
+    fn on_ack(&mut self, msg: &Self::Msg, ctx: &mut Ctx<'_, Self::Msg, Self::Out>);
 
     /// A timer set via [`Ctx::set_timer`] fired (enhanced model only).
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Self::Msg, Self::Out>) {

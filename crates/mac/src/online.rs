@@ -1,0 +1,931 @@
+//! Streaming (online) validation of the MAC-layer guarantees.
+//!
+//! [`OnlineValidator`] is an [`Observer`] that checks the same guarantees
+//! as the post-hoc [`validate`](crate::validate) function — receive
+//! correctness, acknowledgment correctness, termination, the ack bound,
+//! the progress bound, crash conditioning, and user well-formedness — but
+//! *incrementally, as the events happen*, instead of over a retained
+//! [`Trace`].
+//!
+//! ## Memory model
+//!
+//! The validator never stores the event stream. Its state at any instant
+//! is proportional to the *in-flight* portion of the execution, not its
+//! length:
+//!
+//! * one record per **live instance** (broadcast, not yet terminated) —
+//!   at most one per sender by user well-formedness;
+//! * one record per **recently retired instance**, kept only until the
+//!   clock passes its termination time by `F_ack` (the window within
+//!   which any straggler event of that instance must fall), so late
+//!   `rcv`s and double terminations are still classified exactly;
+//! * O(1) **progress state per receiver** (its live connected/protector
+//!   bookkeeping mirrors what the runtime itself maintains to *enforce*
+//!   the bound) plus a lazy deadline heap;
+//! * the (small) node fault log, and the violations found.
+//!
+//! Per-instance state is retired at termination; [`OnlineStats`] reports
+//! the observed peaks so harnesses can assert the bound. An execution
+//! with millions of events therefore validates in memory proportional to
+//! its concurrency, which is what makes `n = 10⁴`-node sweeps (and the
+//! ROADMAP's larger ambitions) validatable at all.
+//!
+//! ## Equivalence with the post-hoc validator
+//!
+//! On any trace the [`Runtime`](crate::Runtime) can produce — including
+//! under crash/recovery fault plans — the online validator reports exactly
+//! the same violation set as [`validate`](crate::validate) (a property
+//! test in `tests/fault_conformance.rs` holds this). On *hand-built*
+//! pathological streams the two can classify differently at the margins,
+//! by construction of the memory model:
+//!
+//! * an event referencing an instance terminated more than `F_ack` ago
+//!   (impossible for a runtime: every event of an instance falls within
+//!   `F_ack` of its broadcast) reports [`Violation::MissingBcast`] rather
+//!   than a post-termination violation — either way it is rejected;
+//! * a `rcv` recorded *after* its instance's termination does not count
+//!   toward progress coverage (the post-hoc validator, seeing the whole
+//!   trace at once, lets it cover windows before the termination);
+//! * progress windows are judged against the stream's own clock: a
+//!   hand-built trace whose entries simply stop while a window is open is
+//!   judged by the fault events that follow, where the post-hoc validator
+//!   caps every span at the last *entry*.
+
+use crate::config::MacConfig;
+use crate::fault::FaultKind;
+use crate::instance::InstanceId;
+use crate::observer::Observer;
+use crate::trace::{Trace, TraceEntry, TraceKind};
+use crate::validator::{ValidationReport, Violation};
+use amac_graph::{DualGraph, NodeId};
+use amac_sim::{Duration, Time};
+use amac_sim::{FastHashMap, FastHashSet};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Peak-memory statistics of one finished [`OnlineValidator`] run, used to
+/// assert the streaming-memory contract in tests and to report "peak
+/// in-flight state" in the `scale` experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Maximum number of live (broadcast, not yet terminated) instances
+    /// tracked at once.
+    pub peak_live: usize,
+    /// Maximum number of instance records held at once: live plus
+    /// recently-retired (retained for `F_ack` past termination).
+    pub peak_tracked: usize,
+    /// Total MAC-level events processed.
+    pub events: u64,
+}
+
+struct LiveInstance {
+    sender: NodeId,
+    start: Time,
+    /// Receivers delivered so far (sorted).
+    delivered: Vec<NodeId>,
+}
+
+struct RetiredInstance {
+    sender: NodeId,
+    /// `true` for an `ack`/`abort` termination, `false` for a
+    /// crash-silenced instance (which post-hoc has no terminating event).
+    by_event: bool,
+    delivered: Vec<NodeId>,
+}
+
+/// Per-receiver progress-bound state, mirroring the runtime's own
+/// enforcement bookkeeping (`live_protectors` / `protected_until` /
+/// `connected`) but with the post-hoc validator's exact window boundaries.
+#[derive(Default)]
+struct RxState {
+    /// Live instances of reliable neighbors that could span a window for
+    /// this receiver, sorted by (start, id); an instance is removed at
+    /// termination — or when a progress violation has been reported for
+    /// this (instance, receiver) pair, so each pair reports at most once
+    /// (matching the post-hoc validator).
+    connected: Vec<(Time, InstanceId)>,
+    /// Live instances that have delivered to this receiver. While any
+    /// exists, no window can close uncovered.
+    protectors: usize,
+    /// Earliest admissible uncovered-window start: one past the latest
+    /// past-protector termination, or the latest recovery, whichever is
+    /// later.
+    floor: Time,
+    /// Invalidates stale deadline-heap entries.
+    epoch: u64,
+    /// The deadline currently armed in the heap (with the current epoch),
+    /// if any. Invariant: `armed == Some(d)` iff the heap holds a live
+    /// `(d, receiver, epoch)` entry.
+    armed: Option<Time>,
+}
+
+#[derive(Default)]
+struct NodeFaults {
+    /// Crash intervals `[crash, recover)` in time order; an open interval
+    /// ends at `Time::MAX`. Boundary instants are permissive, exactly as
+    /// in the post-hoc validator.
+    intervals: Vec<(Time, Time)>,
+}
+
+impl NodeFaults {
+    fn crashed_strictly_at(&self, t: Time) -> bool {
+        // Only the last interval can contain the (non-decreasing) current
+        // time.
+        self.intervals.last().is_some_and(|&(c, r)| c < t && t < r)
+    }
+
+    fn overlaps(&self, lo: Time, hi: Time) -> bool {
+        self.intervals.iter().any(|&(c, r)| c <= hi && r > lo)
+    }
+}
+
+/// Streaming validator of the five MAC-layer guarantees (see the
+/// [module docs](self) for the memory model and the equivalence contract
+/// with the post-hoc [`validate`](crate::validate)).
+///
+/// Attach to a [`Runtime`](crate::Runtime) like any observer; when the run
+/// is over, [`detach`](crate::Runtime::detach) it and call
+/// [`into_report`](OnlineValidator::into_report).
+///
+/// # Examples
+///
+/// ```
+/// use amac_mac::{MacConfig, OnlineValidator, Runtime, policies::LazyPolicy};
+/// # use amac_mac::{Automaton, Ctx, MacMessage, MessageKey};
+/// # use amac_graph::{generators, DualGraph, NodeId};
+/// # #[derive(Clone, Debug)]
+/// # struct T;
+/// # impl MacMessage for T { fn key(&self) -> MessageKey { MessageKey(0) } }
+/// # struct Hop { seen: bool }
+/// # impl Automaton for Hop {
+/// #     type Msg = T; type Env = (); type Out = ();
+/// #     fn on_start(&mut self, ctx: &mut Ctx<'_, T, ()>) {
+/// #         if ctx.id() == NodeId::new(0) { self.seen = true; ctx.bcast(T); }
+/// #     }
+/// #     fn on_receive(&mut self, _: &T, ctx: &mut Ctx<'_, T, ()>) {
+/// #         if !self.seen { self.seen = true; ctx.bcast(T); }
+/// #     }
+/// #     fn on_ack(&mut self, _: &T, _: &mut Ctx<'_, T, ()>) {}
+/// # }
+/// let dual = DualGraph::reliable(generators::line(6)?);
+/// let cfg = MacConfig::from_ticks(2, 30);
+/// let nodes = (0..6).map(|_| Hop { seen: false }).collect();
+/// let mut rt = Runtime::new(dual.clone(), cfg, nodes, LazyPolicy::new());
+/// let validator = rt.attach(OnlineValidator::new(dual, cfg));
+/// rt.run();
+/// let report = rt.detach(validator).into_report(true);
+/// assert!(report.is_ok(), "{report}");
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub struct OnlineValidator {
+    dual: DualGraph,
+    config: MacConfig,
+    /// Clock of the merged event+fault stream.
+    now: Time,
+    /// Time of the last MAC-level *event* (the post-hoc horizon).
+    horizon: Time,
+    /// Live instances by id. Hashed: per-event lookups are hot, and the
+    /// only iteration (leftover instances at finish) sorts its keys.
+    live: FastHashMap<InstanceId, LiveInstance>,
+    in_flight_of: Vec<Option<InstanceId>>,
+    retired: FastHashMap<InstanceId, RetiredInstance>,
+    /// Retired ids with their prune deadlines (`term + F_ack`), in
+    /// non-decreasing deadline order.
+    retire_queue: VecDeque<(Time, InstanceId)>,
+    rx: Vec<RxState>,
+    /// Lazy min-heap of `(deadline, receiver, epoch)` progress deadlines.
+    deadlines: BinaryHeap<Reverse<(Time, usize, u64)>>,
+    faults: Vec<NodeFaults>,
+    crashed: Vec<bool>,
+    violations: Vec<Violation>,
+    /// Instances silenced by a sender crash *after* the ack window closed:
+    /// a live sender would have terminated them, so they are reported as
+    /// missing terminations if the execution is flagged quiescent.
+    late_crash_unterminated: Vec<InstanceId>,
+    orphans: FastHashSet<InstanceId>,
+    events: u64,
+    peak_live: usize,
+    peak_tracked: usize,
+}
+
+impl OnlineValidator {
+    /// Creates a validator for executions over `dual` under `config`.
+    pub fn new(dual: DualGraph, config: MacConfig) -> OnlineValidator {
+        let n = dual.len();
+        OnlineValidator {
+            dual,
+            config,
+            now: Time::ZERO,
+            horizon: Time::ZERO,
+            live: FastHashMap::default(),
+            in_flight_of: vec![None; n],
+            retired: FastHashMap::default(),
+            retire_queue: VecDeque::new(),
+            rx: (0..n).map(|_| RxState::default()).collect(),
+            deadlines: BinaryHeap::new(),
+            faults: (0..n).map(|_| NodeFaults::default()).collect(),
+            crashed: vec![false; n],
+            violations: Vec::new(),
+            late_crash_unterminated: Vec::new(),
+            orphans: FastHashSet::default(),
+            events: 0,
+            peak_live: 0,
+            peak_tracked: 0,
+        }
+    }
+
+    /// Feeds a recorded trace through a fresh validator and returns its
+    /// report — the replay entry point used by the equivalence tests (and
+    /// by anyone holding a trace rather than a live runtime). Entries and
+    /// fault records are merged by time; at equal times faults go first,
+    /// matching the runtime's scheduling order (fault events are enqueued
+    /// at plan time, before the execution's own events).
+    pub fn replay(
+        trace: &Trace,
+        dual: &DualGraph,
+        config: &MacConfig,
+        quiescent: bool,
+    ) -> ValidationReport {
+        let mut validator = OnlineValidator::new(dual.clone(), *config);
+        let entries = trace.entries();
+        let faults = trace.faults();
+        let (mut e, mut f) = (0, 0);
+        while e < entries.len() || f < faults.len() {
+            let fault_first =
+                f < faults.len() && (e >= entries.len() || faults[f].time <= entries[e].time);
+            if fault_first {
+                let rec = faults[f];
+                validator.on_fault(rec.time, rec.node, rec.kind);
+                f += 1;
+            } else {
+                validator.on_event(&entries[e]);
+                e += 1;
+            }
+        }
+        validator.into_report(quiescent)
+    }
+
+    /// Violations found so far (more may follow until
+    /// [`into_report`](Self::into_report) runs the end-of-execution
+    /// checks).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Peak-memory statistics observed so far.
+    pub fn stats(&self) -> OnlineStats {
+        OnlineStats {
+            peak_live: self.peak_live,
+            peak_tracked: self.peak_tracked,
+            events: self.events,
+        }
+    }
+
+    /// Finishes the validation and returns the report. Set `quiescent`
+    /// when the execution ran to idleness, enabling the termination check
+    /// (guarantee 3); truncated executions skip it, exactly as in the
+    /// post-hoc [`validate`](crate::validate).
+    pub fn into_report(mut self, quiescent: bool) -> ValidationReport {
+        // Progress windows that closed strictly before the horizon are
+        // due; windows still open at the horizon are not judged.
+        self.fire_deadlines(self.horizon);
+        if quiescent {
+            let mut unterminated: Vec<InstanceId> = self.live.keys().copied().collect();
+            unterminated.extend(self.late_crash_unterminated.iter().copied());
+            unterminated.sort_unstable();
+            for instance in unterminated {
+                self.violations
+                    .push(Violation::MissingTermination { instance });
+            }
+        }
+        ValidationReport::from_violations(self.violations)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// The progress window length: a silent span strictly longer than
+    /// `F_prog` (i.e. of `F_prog + 1` ticks) is a violation.
+    fn window(&self) -> Duration {
+        self.config.f_prog() + Duration::TICK
+    }
+
+    /// Advances the stream clock to `t`: fires progress deadlines that
+    /// closed strictly before `t` and prunes retired instances whose
+    /// straggler window has passed.
+    fn advance(&mut self, t: Time) {
+        self.fire_deadlines(t);
+        while let Some(&(deadline, id)) = self.retire_queue.front() {
+            if deadline >= t {
+                break;
+            }
+            self.retire_queue.pop_front();
+            self.retired.remove(&id);
+        }
+        self.now = t;
+    }
+
+    /// Pops and judges every armed deadline strictly before `t`. An armed
+    /// deadline whose epoch is still current means the receiver has been
+    /// continuously unprotected while a connected instance spanned the
+    /// window — the window closed uncovered.
+    fn fire_deadlines(&mut self, t: Time) {
+        while let Some(&Reverse((deadline, j, epoch))) = self.deadlines.peek() {
+            if deadline >= t {
+                break;
+            }
+            self.deadlines.pop();
+            if self.rx[j].epoch != epoch {
+                continue; // stale: state changed since this was armed
+            }
+            debug_assert_eq!(self.rx[j].armed, Some(deadline));
+            let (start, instance) = self.rx[j].connected[0];
+            let window_start = start.max(self.rx[j].floor);
+            self.violations.push(Violation::ProgressViolation {
+                receiver: NodeId::new(j),
+                instance,
+                window_start,
+            });
+            // One report per (instance, receiver) pair, like the post-hoc
+            // validator: this pair stops participating.
+            self.rx[j].connected.remove(0);
+            self.rx[j].armed = None;
+            self.rearm(j);
+        }
+    }
+
+    fn deadline(&self, j: usize) -> Option<Time> {
+        if self.crashed[j] || self.rx[j].protectors > 0 {
+            return None;
+        }
+        let &(start, _) = self.rx[j].connected.first()?;
+        Some(start.max(self.rx[j].floor) + self.window())
+    }
+
+    /// Recomputes receiver `j`'s deadline and re-arms the heap if it
+    /// changed. A no-op when the armed deadline is already correct, so
+    /// state churn that leaves the deadline alone costs nothing.
+    fn rearm(&mut self, j: usize) {
+        let deadline = self.deadline(j);
+        if deadline == self.rx[j].armed {
+            return;
+        }
+        self.rx[j].epoch += 1;
+        self.rx[j].armed = deadline;
+        if let Some(d) = deadline {
+            self.deadlines.push(Reverse((d, j, self.rx[j].epoch)));
+        }
+    }
+
+    fn track_peaks(&mut self) {
+        self.peak_live = self.peak_live.max(self.live.len());
+        self.peak_tracked = self.peak_tracked.max(self.live.len() + self.retired.len());
+    }
+
+    fn orphan(&mut self, instance: InstanceId) {
+        if self.orphans.insert(instance) {
+            self.violations.push(Violation::MissingBcast { instance });
+        }
+    }
+
+    fn handle_bcast(&mut self, e: &TraceEntry) {
+        let id = e.instance;
+        if self.live.contains_key(&id) || self.retired.contains_key(&id) {
+            self.violations
+                .push(Violation::DuplicateBcast { instance: id });
+            return;
+        }
+        if let Some(first) = self.in_flight_of[e.node.index()] {
+            self.violations.push(Violation::OverlappingBcasts {
+                sender: e.node,
+                first,
+                second: id,
+            });
+        }
+        self.in_flight_of[e.node.index()] = Some(id);
+        self.live.insert(
+            id,
+            LiveInstance {
+                sender: e.node,
+                start: e.time,
+                delivered: Vec::new(),
+            },
+        );
+        for i in 0..self.dual.reliable_neighbors(e.node).len() {
+            let j = self.dual.reliable_neighbors(e.node)[i];
+            let connected = &mut self.rx[j.index()].connected;
+            let at = connected.partition_point(|&entry| entry < (e.time, id));
+            connected.insert(at, (e.time, id));
+            self.rearm(j.index());
+        }
+        // A broadcast in the same tick as its sender's crash (the runtime
+        // processes time-0 wake-ups before same-tick faults; a replayed
+        // stream merges faults first) is silenced on the spot: the crash
+        // caps the instance at its own start, exempting it from
+        // termination — exactly the post-hoc `first_crash_at_or_after`
+        // boundary semantics.
+        if self.crashed[e.node.index()]
+            && self.faults[e.node.index()]
+                .intervals
+                .last()
+                .is_some_and(|&(c, _)| c == e.time)
+        {
+            self.retire(id, e.time, false);
+        }
+    }
+
+    fn handle_rcv(&mut self, e: &TraceEntry) {
+        let id = e.instance;
+        let receiver = e.node;
+        if let Some(inst) = self.live.get_mut(&id) {
+            if !self.dual.g_prime().has_edge(inst.sender, receiver) {
+                self.violations.push(Violation::RcvToNonNeighbor {
+                    instance: id,
+                    receiver,
+                });
+            }
+            match inst.delivered.binary_search(&receiver) {
+                Ok(_) => {
+                    self.violations.push(Violation::DuplicateRcv {
+                        instance: id,
+                        receiver,
+                    });
+                }
+                Err(at) => {
+                    inst.delivered.insert(at, receiver);
+                    self.rx[receiver.index()].protectors += 1;
+                    self.rearm(receiver.index());
+                }
+            }
+        } else if let Some(inst) = self.retired.get(&id) {
+            if !self.dual.g_prime().has_edge(inst.sender, receiver) {
+                self.violations.push(Violation::RcvToNonNeighbor {
+                    instance: id,
+                    receiver,
+                });
+            }
+            if inst.delivered.binary_search(&receiver).is_ok() {
+                self.violations.push(Violation::DuplicateRcv {
+                    instance: id,
+                    receiver,
+                });
+            }
+            if inst.by_event {
+                self.violations.push(Violation::RcvAfterTermination {
+                    instance: id,
+                    receiver,
+                });
+            }
+        } else {
+            self.orphan(id);
+        }
+    }
+
+    fn handle_termination(&mut self, e: &TraceEntry) {
+        let id = e.instance;
+        let Some(inst) = self.live.get(&id) else {
+            if self.retired.contains_key(&id) {
+                self.violations
+                    .push(Violation::MultipleTerminations { instance: id });
+            } else {
+                self.orphan(id);
+            }
+            return;
+        };
+        if e.node != inst.sender {
+            self.violations.push(Violation::TerminationByNonSender {
+                instance: id,
+                node: e.node,
+            });
+        }
+        if e.kind == TraceKind::Ack {
+            let (sender, start) = (inst.sender, inst.start);
+            let mut missing: Vec<NodeId> = Vec::new();
+            for &g_neighbor in self.dual.reliable_neighbors(sender) {
+                let delivered = self.live[&id].delivered.binary_search(&g_neighbor).is_ok();
+                // A receiver crashed at any point of the instance's
+                // lifetime is exempt: its delivery may have been silenced.
+                if !delivered && !self.faults[g_neighbor.index()].overlaps(start, e.time) {
+                    missing.push(g_neighbor);
+                }
+            }
+            for receiver in missing {
+                self.violations.push(Violation::MissingReliableDelivery {
+                    instance: id,
+                    receiver,
+                });
+            }
+            let delay = e.time.saturating_since(start).ticks();
+            if delay > self.config.f_ack().ticks() {
+                self.violations.push(Violation::AckBoundExceeded {
+                    instance: id,
+                    delay,
+                });
+            }
+        }
+        self.retire(id, e.time, true);
+    }
+
+    /// Retires a live instance at `term`: releases its progress state
+    /// (connected spans end, protected receivers convert to floor
+    /// updates) and parks a straggler record for `F_ack`.
+    fn retire(&mut self, id: InstanceId, term: Time, by_event: bool) {
+        let inst = self.live.remove(&id).expect("retire of a live instance");
+        if self.in_flight_of[inst.sender.index()] == Some(id) {
+            self.in_flight_of[inst.sender.index()] = None;
+        }
+        for i in 0..self.dual.reliable_neighbors(inst.sender).len() {
+            let j = self.dual.reliable_neighbors(inst.sender)[i];
+            let connected = &mut self.rx[j.index()].connected;
+            // May be absent if a progress violation already reported this
+            // pair.
+            if let Ok(at) = connected.binary_search(&(inst.start, id)) {
+                connected.remove(at);
+            }
+            self.rearm(j.index());
+        }
+        let next_floor = term + Duration::TICK;
+        for &receiver in &inst.delivered {
+            let rx = &mut self.rx[receiver.index()];
+            rx.protectors -= 1;
+            rx.floor = rx.floor.max(next_floor);
+        }
+        for &receiver in &inst.delivered {
+            self.rearm(receiver.index());
+        }
+        self.retired.insert(
+            id,
+            RetiredInstance {
+                sender: inst.sender,
+                by_event,
+                delivered: inst.delivered,
+            },
+        );
+        self.retire_queue
+            .push_back((term + self.config.f_ack(), id));
+    }
+}
+
+impl Observer for OnlineValidator {
+    fn on_event(&mut self, e: &TraceEntry) {
+        self.events += 1;
+        self.advance(e.time);
+        self.horizon = e.time;
+        if self.faults[e.node.index()].crashed_strictly_at(e.time) {
+            self.violations.push(Violation::ActionWhileCrashed {
+                instance: e.instance,
+                node: e.node,
+                kind: e.kind,
+            });
+        }
+        match e.kind {
+            TraceKind::Bcast => self.handle_bcast(e),
+            TraceKind::Rcv => self.handle_rcv(e),
+            TraceKind::Ack | TraceKind::Abort => self.handle_termination(e),
+        }
+        self.track_peaks();
+    }
+
+    fn on_fault(&mut self, time: Time, node: NodeId, kind: FaultKind) {
+        self.advance(time);
+        let v = node.index();
+        match kind {
+            FaultKind::Crash => {
+                if self.crashed[v] {
+                    return;
+                }
+                self.crashed[v] = true;
+                self.faults[v].intervals.push((time, Time::MAX));
+                if let Some(id) = self.in_flight_of[v] {
+                    // The sender's in-flight instance is silenced here. A
+                    // crash after the ack window closed excuses nothing: a
+                    // live sender would already have terminated.
+                    let start = self.live[&id].start;
+                    if time > start + self.config.f_ack() {
+                        self.late_crash_unterminated.push(id);
+                    }
+                    self.retire(id, time, false);
+                }
+                self.rearm(v);
+            }
+            FaultKind::Recover => {
+                if !self.crashed[v] {
+                    return;
+                }
+                self.crashed[v] = false;
+                if let Some(last) = self.faults[v].intervals.last_mut() {
+                    last.1 = time;
+                }
+                // Starvation spent crashed is not starvation: the first
+                // judged window after an outage starts at the recovery.
+                self.rx[v].floor = self.rx[v].floor.max(time);
+                self.rearm(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKey;
+
+    fn line_dual(n: usize) -> DualGraph {
+        DualGraph::reliable(amac_graph::generators::line(n).unwrap())
+    }
+
+    fn t(ticks: u64) -> Time {
+        Time::from_ticks(ticks)
+    }
+
+    fn key() -> MessageKey {
+        MessageKey(1)
+    }
+
+    /// Sorted debug strings, for order-insensitive set comparison with the
+    /// post-hoc validator.
+    fn violation_set(report: &ValidationReport) -> Vec<String> {
+        let mut v: Vec<String> = report
+            .violations()
+            .iter()
+            .map(|x| format!("{x:?}"))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn assert_matches_posthoc(
+        trace: &Trace,
+        dual: &DualGraph,
+        config: &MacConfig,
+        quiescent: bool,
+    ) {
+        let posthoc = crate::validate(trace, dual, config, quiescent);
+        let online = OnlineValidator::replay(trace, dual, config, quiescent);
+        assert_eq!(
+            violation_set(&online),
+            violation_set(&posthoc),
+            "online and post-hoc disagree\nonline: {online}\npost-hoc: {posthoc}"
+        );
+    }
+
+    fn push(tr: &mut Trace, ticks: u64, inst: u64, node: usize, kind: TraceKind, k: MessageKey) {
+        tr.push(t(ticks), InstanceId::new(inst), NodeId::new(node), kind, k);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let report = OnlineValidator::replay(
+            &Trace::new(),
+            &line_dual(2),
+            &MacConfig::from_ticks(2, 8),
+            true,
+        );
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn matches_posthoc_on_valid_and_invalid_hand_built_traces() {
+        let dual2 = line_dual(2);
+        let dual3 = line_dual(3);
+        let cfg = MacConfig::from_ticks(2, 8);
+
+        // Valid bcast/rcv/ack triple.
+        let mut valid = Trace::new();
+        push(&mut valid, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut valid, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut valid, 2, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&valid, &dual2, &cfg, true);
+
+        // Missing reliable delivery.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 2, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &dual2, &cfg, true);
+
+        // Ack past the bound.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 100, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &dual2, &MacConfig::from_ticks(4, 64), true);
+
+        // Rcv to a non-neighbor.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 1, 0, 2, TraceKind::Rcv, key());
+        push(&mut tr, 2, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &dual3, &cfg, true);
+
+        // Duplicate + late rcv after the ack.
+        let mut tr = valid.clone();
+        push(&mut tr, 3, 0, 1, TraceKind::Rcv, key());
+        assert_matches_posthoc(&tr, &dual2, &cfg, true);
+
+        // Termination by a non-sender.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 2, 0, 1, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &dual2, &cfg, true);
+
+        // Orphaned event.
+        let mut tr = Trace::new();
+        push(&mut tr, 1, 9, 1, TraceKind::Rcv, key());
+        assert_matches_posthoc(&tr, &dual2, &cfg, false);
+
+        // Overlapping broadcasts.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 1, 0, TraceKind::Bcast, MessageKey(2));
+        assert_matches_posthoc(&tr, &dual2, &cfg, false);
+
+        // Abort exempts the ack checks.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 3, 0, 0, TraceKind::Abort, key());
+        assert_matches_posthoc(&tr, &dual2, &cfg, true);
+    }
+
+    #[test]
+    fn matches_posthoc_on_progress_traces() {
+        let cfg = MacConfig::from_ticks(4, 64);
+
+        // Starvation: single instance delivering only at t=50.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 50, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 50, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &line_dual(2), &cfg, true);
+
+        // A single early receive from a live instance covers everything.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 3, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 60, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &line_dual(2), &cfg, true);
+
+        // Protection ends at the protector's termination.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 0, 1, 2, TraceKind::Bcast, MessageKey(2));
+        push(&mut tr, 2, 1, 1, TraceKind::Rcv, MessageKey(2));
+        push(&mut tr, 4, 1, 2, TraceKind::Ack, MessageKey(2));
+        push(&mut tr, 40, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 40, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &line_dual(3), &cfg, true);
+
+        // Steady receives from a third node keep progress satisfied.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        let mut inst = 1;
+        let mut time = 0;
+        while time < 60 {
+            time += 4;
+            push(&mut tr, time, inst, 2, TraceKind::Bcast, MessageKey(inst));
+            push(&mut tr, time, inst, 1, TraceKind::Rcv, MessageKey(inst));
+            push(&mut tr, time, inst, 2, TraceKind::Ack, MessageKey(inst));
+            inst += 1;
+        }
+        push(&mut tr, 60, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 60, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &line_dual(3), &cfg, true);
+    }
+
+    #[test]
+    fn matches_posthoc_on_crash_conditioned_traces() {
+        let cfg = MacConfig::from_ticks(2, 8);
+        let dual = line_dual(2);
+
+        // A crashed node acting is rejected.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 2, 0, 0, TraceKind::Ack, key());
+        tr.push_fault(t(0), NodeId::new(1), FaultKind::Crash);
+        assert_matches_posthoc(&tr, &dual, &cfg, true);
+
+        // A crashed receiver exempts reliable delivery.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 2, 0, 0, TraceKind::Ack, key());
+        tr.push_fault(t(1), NodeId::new(1), FaultKind::Crash);
+        assert_matches_posthoc(&tr, &dual, &cfg, true);
+
+        // Recovered receivers can starve again (window from the recovery).
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 100, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 100, 0, 0, TraceKind::Ack, key());
+        tr.push_fault(t(2), NodeId::new(1), FaultKind::Crash);
+        tr.push_fault(t(10), NodeId::new(1), FaultKind::Recover);
+        assert_matches_posthoc(&tr, &dual, &MacConfig::from_ticks(4, 200), true);
+
+        // Crashed sender exempts termination and progress; a later
+        // instance extends the horizon.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 10, 1, 1, TraceKind::Bcast, MessageKey(2));
+        push(&mut tr, 12, 1, 0, TraceKind::Rcv, MessageKey(2));
+        push(&mut tr, 13, 1, 1, TraceKind::Ack, MessageKey(2));
+        tr.push_fault(t(2), NodeId::new(0), FaultKind::Crash);
+        tr.push_fault(t(11), NodeId::new(0), FaultKind::Recover);
+        assert_matches_posthoc(&tr, &dual, &MacConfig::from_ticks(4, 64), true);
+
+        // Post-recovery rebroadcast is well-formed.
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 3, 1, 0, TraceKind::Bcast, MessageKey(2));
+        push(&mut tr, 4, 1, 1, TraceKind::Rcv, MessageKey(2));
+        push(&mut tr, 5, 1, 0, TraceKind::Ack, MessageKey(2));
+        tr.push_fault(t(1), NodeId::new(0), FaultKind::Crash);
+        tr.push_fault(t(2), NodeId::new(0), FaultKind::Recover);
+        assert_matches_posthoc(&tr, &dual, &cfg, true);
+    }
+
+    #[test]
+    fn missing_termination_is_gated_on_quiescence() {
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(2, 8);
+        assert_matches_posthoc(&tr, &dual, &cfg, true);
+        assert_matches_posthoc(&tr, &dual, &cfg, false);
+        let report = OnlineValidator::replay(&tr, &dual, &cfg, true);
+        assert!(matches!(
+            report.violations()[0],
+            Violation::MissingTermination { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_track_peak_and_retire_after_the_straggler_window() {
+        // A long sequence of short-lived instances: live state stays at 1,
+        // tracked state is bounded by the F_ack straggler window rather
+        // than the execution length.
+        let dual = line_dual(2);
+        let cfg = MacConfig::from_ticks(2, 8);
+        let mut validator = OnlineValidator::new(dual.clone(), cfg);
+        let total = 200u64;
+        for i in 0..total {
+            let base = i * 10;
+            validator.on_event(&TraceEntry {
+                time: t(base),
+                instance: InstanceId::new(i),
+                node: NodeId::new(0),
+                kind: TraceKind::Bcast,
+                key: key(),
+            });
+            validator.on_event(&TraceEntry {
+                time: t(base + 1),
+                instance: InstanceId::new(i),
+                node: NodeId::new(1),
+                kind: TraceKind::Rcv,
+                key: key(),
+            });
+            validator.on_event(&TraceEntry {
+                time: t(base + 2),
+                instance: InstanceId::new(i),
+                node: NodeId::new(0),
+                kind: TraceKind::Ack,
+                key: key(),
+            });
+        }
+        let stats = validator.stats();
+        assert_eq!(stats.events, 3 * total);
+        assert_eq!(stats.peak_live, 1, "one instance in flight at a time");
+        assert!(
+            stats.peak_tracked <= 3,
+            "tracked state ({}) must be bounded by the F_ack window, not the {} instances",
+            stats.peak_tracked,
+            total
+        );
+        let report = validator.into_report(true);
+        assert!(report.is_ok(), "{report}");
+    }
+
+    #[test]
+    fn duplicate_bcast_is_rejected() {
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 0, TraceKind::Bcast, key());
+        let report =
+            OnlineValidator::replay(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), false);
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateBcast { .. })));
+    }
+
+    #[test]
+    fn multiple_terminations_are_rejected() {
+        let mut tr = Trace::new();
+        push(&mut tr, 0, 0, 0, TraceKind::Bcast, key());
+        push(&mut tr, 1, 0, 1, TraceKind::Rcv, key());
+        push(&mut tr, 2, 0, 0, TraceKind::Ack, key());
+        push(&mut tr, 3, 0, 0, TraceKind::Ack, key());
+        assert_matches_posthoc(&tr, &line_dual(2), &MacConfig::from_ticks(2, 8), true);
+    }
+}

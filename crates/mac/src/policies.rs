@@ -72,12 +72,10 @@ impl Policy for EagerPolicy {
     fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan {
         let d = self.delivery_delay;
         let ack = d + Duration::TICK;
-        let reliable = ctx
-            .dual
-            .reliable_neighbors(info.sender)
-            .iter()
-            .map(|&j| (j, d))
-            .collect();
+        if self.unreliable_probability == 0.0 {
+            // The common case builds no per-broadcast lists at all.
+            return BcastPlan::uniform_with_delivery(ack, d);
+        }
         let unreliable = ctx
             .dual
             .unreliable_neighbors(info.sender)
@@ -87,7 +85,8 @@ impl Policy for EagerPolicy {
             .collect();
         BcastPlan {
             ack_delay: ack,
-            reliable,
+            reliable_default: Some(d),
+            reliable: Vec::new(),
             unreliable,
         }
     }
@@ -188,6 +187,7 @@ impl Policy for RandomPolicy {
         }
         BcastPlan {
             ack_delay: ack,
+            reliable_default: None,
             reliable,
             unreliable,
         }
@@ -238,9 +238,11 @@ mod tests {
         let plan = EagerPolicy::new().plan_bcast(&ctx, &info());
         assert_eq!(plan.ack_delay, Duration::from_ticks(2));
         assert_eq!(
-            plan.reliable.len(),
-            dual.reliable_neighbors(NodeId::new(1)).len()
+            plan.reliable_default,
+            Some(Duration::TICK),
+            "uniform delivery, no per-neighbor list"
         );
+        assert!(plan.reliable.is_empty());
         assert!(plan.unreliable.is_empty());
     }
 

@@ -52,8 +52,9 @@ pub struct BcastInfo {
 /// * `ack_delay` into `[1, F_ack]`;
 /// * every delivery delay into `[0, ack_delay]` (receive correctness:
 ///   all `rcv`s precede the `ack`);
-/// * reliable neighbors missing from `reliable` receive at `ack_delay`
-///   (ack correctness: every `G`-neighbor receives before the ack).
+/// * reliable neighbors missing from `reliable` receive at
+///   `reliable_default` (or `ack_delay` when unset — ack correctness:
+///   every `G`-neighbor receives before the ack).
 ///
 /// Unreliable neighbors not listed in `unreliable` simply never receive the
 /// instance — the model permits this for `G′ \ G` links.
@@ -61,7 +62,13 @@ pub struct BcastInfo {
 pub struct BcastPlan {
     /// Delay from broadcast to acknowledgment.
     pub ack_delay: Duration,
-    /// Planned delivery delays for reliable (`G`) neighbors.
+    /// Delivery delay for reliable neighbors not listed in `reliable`
+    /// (defaults to `ack_delay` when `None`). Policies that deliver to
+    /// every reliable neighbor at one uniform delay set this instead of
+    /// materializing a per-neighbor list — the hot path then builds no
+    /// `Vec` per broadcast.
+    pub reliable_default: Option<Duration>,
+    /// Planned delivery delays for individual reliable (`G`) neighbors.
     pub reliable: Vec<(NodeId, Duration)>,
     /// Planned delivery delays for unreliable (`G′ \ G`) neighbors; omitted
     /// neighbors never receive.
@@ -69,11 +76,23 @@ pub struct BcastPlan {
 }
 
 impl BcastPlan {
-    /// A plan that delivers to every reliable neighbor and acks at the
-    /// given delay, with no unreliable deliveries.
+    /// A plan that delivers to every reliable neighbor at the ack deadline
+    /// and acks at the given delay, with no unreliable deliveries.
     pub fn uniform(ack_delay: Duration) -> BcastPlan {
         BcastPlan {
             ack_delay,
+            reliable_default: None,
+            reliable: Vec::new(),
+            unreliable: Vec::new(),
+        }
+    }
+
+    /// A plan that delivers to every reliable neighbor at one uniform
+    /// `delivery` delay and acks at `ack_delay`, allocation-free.
+    pub fn uniform_with_delivery(ack_delay: Duration, delivery: Duration) -> BcastPlan {
+        BcastPlan {
+            ack_delay,
+            reliable_default: Some(delivery),
             reliable: Vec::new(),
             unreliable: Vec::new(),
         }

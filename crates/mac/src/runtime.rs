@@ -30,19 +30,30 @@
 //!   to `j` (this is where an adversary feeds duplicates). Such a candidate
 //!   always exists when unprotected, since the spanning instance itself
 //!   qualifies.
+//!
+//! ## Observation
+//!
+//! The runtime does not retain any view of its own execution. Every
+//! MAC-level event is emitted to the attached [`Observer`]s (see
+//! [`observer`](crate::observer)): attach a [`TraceObserver`] for the full
+//! [`Trace`], an [`OnlineValidator`](crate::OnlineValidator) for streaming
+//! conformance checking, or any custom observer. With no observers
+//! attached, the hot path records nothing.
 
 use crate::config::MacConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::instance::InstanceId;
 use crate::message::{MacMessage, MessageKey};
 use crate::node::{Automaton, Command, Ctx};
+use crate::observer::{Observer, ObserverHandle, ObserverSet, TraceObserver};
 use crate::policy::{BcastInfo, ForcedCandidate, Policy, PolicyCtx};
-use crate::trace::{Trace, TraceKind};
+use crate::small_set::SortedSet;
+use crate::trace::{Trace, TraceEntry, TraceKind};
 use amac_graph::{DualGraph, NodeId};
 use amac_sim::stats::Counters;
-use amac_sim::{Duration, EventId, EventQueue, Time};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use amac_sim::{Duration, EventId, EventQueue, FastHashMap, FastHashSet, Time};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a [`Runtime::run`] call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,20 +95,67 @@ enum Terminated {
     Acked,
     Aborted,
     /// The sender crashed mid-instance: deliveries already made stand, the
-    /// rest (and the ack) are silenced. No trace entry marks this — the
-    /// crash itself is in the trace's fault log.
+    /// rest (and the ack) are silenced. No event marks this — the crash
+    /// itself is emitted to the observers' fault channel.
     Crashed,
 }
 
+/// Per-instance state. The payload is interned behind an [`Arc`] at
+/// broadcast time — deliveries clone the pointer, not the payload — and
+/// dropped at termination along with the delivery bookkeeping, so retired
+/// instances cost a few words each.
 struct InstanceState<M> {
     sender: NodeId,
-    msg: M,
+    msg: Option<Arc<M>>,
     key: MessageKey,
     start: Time,
     delivered: Vec<NodeId>,
     pending: Vec<(NodeId, EventId)>,
     ack_event: Option<EventId>,
     terminated: Option<(Time, Terminated)>,
+}
+
+/// Hot-path event counters kept as plain fields — the string-keyed
+/// [`Counters`] map costs a comparison walk per increment, which is
+/// measurable at millions of events per second. Materialized into a
+/// [`Counters`] on demand.
+#[derive(Clone, Copy, Default)]
+struct HotCounters {
+    events: u64,
+    env: u64,
+    timer: u64,
+    bcast: u64,
+    rcv: u64,
+    ack: u64,
+    abort: u64,
+    forced_rcv: u64,
+    forced_ack: u64,
+    crash: u64,
+    recover: u64,
+}
+
+impl HotCounters {
+    fn materialize(&self) -> Counters {
+        let mut counters = Counters::new();
+        for (key, value) in [
+            ("events", self.events),
+            ("env", self.env),
+            ("timer", self.timer),
+            ("bcast", self.bcast),
+            ("rcv", self.rcv),
+            ("ack", self.ack),
+            ("abort", self.abort),
+            ("forced_rcv", self.forced_rcv),
+            ("forced_ack", self.forced_ack),
+            ("crash", self.crash),
+            ("recover", self.recover),
+        ] {
+            if value > 0 {
+                counters.add(key, value);
+            }
+        }
+        counters
+    }
 }
 
 /// The abstract MAC layer execution engine.
@@ -118,33 +176,46 @@ pub struct Runtime<A: Automaton, P: Policy> {
     instances: Vec<InstanceState<A::Msg>>,
     in_flight_of: Vec<Option<InstanceId>>,
     /// Per receiver: in-flight instances that already delivered to it.
-    live_protectors: Vec<BTreeSet<InstanceId>>,
+    live_protectors: Vec<SortedSet<InstanceId>>,
     /// Per receiver: latest termination time among past protectors.
     protected_until: Vec<Option<Time>>,
-    connected: Vec<BTreeSet<InstanceId>>,
-    contending: Vec<BTreeSet<InstanceId>>,
+    connected: Vec<SortedSet<InstanceId>>,
+    contending: Vec<SortedSet<InstanceId>>,
     check_scheduled: Vec<bool>,
     // Determinism policy: every collection whose *iteration order* can
     // reach execution (in particular `connected`/`contending`, which
     // build the forced-delivery candidate list handed to
-    // `Policy::pick_forced`) must be ordered — `BTreeSet` or indexed
-    // `Vec` — so executions are bit-reproducible from the seed alone,
-    // across processes and thread counts. `seen_keys` and `timers` are
-    // membership/keyed access only (never iterated), so hashed
+    // `Policy::pick_forced`) must be ordered — a sorted-vec `SortedSet`
+    // or indexed `Vec` — so executions are bit-reproducible from the seed
+    // alone, across processes and thread counts. `seen_keys` and `timers`
+    // are membership/keyed access only (never iterated), so hashed
     // collections are safe and keep those hot-path lookups O(1).
-    seen_keys: Vec<HashSet<MessageKey>>,
+    seen_keys: Vec<FastHashSet<MessageKey>>,
     crashed: Vec<bool>,
-    timers: HashMap<u64, EventId>,
+    timers: FastHashMap<u64, EventId>,
     next_timer: u64,
     outputs: Vec<OutputRecord<A::Out>>,
-    trace: Option<Trace>,
-    counters: Counters,
+    observers: ObserverSet,
+    counters: HotCounters,
     event_limit: u64,
-    started: bool,
+    // Scratch buffers, recycled across events so the hot path does not
+    // allocate per event. `cmd_pool` is a stack because callbacks nest
+    // (apply → deliver → callback → apply).
+    cmd_pool: Vec<Vec<Command<A::Msg, A::Out>>>,
+    forced_scratch: Vec<ForcedCandidate>,
+    delay_scratch: Vec<(NodeId, Duration)>,
+    pending_pool: Vec<Vec<(NodeId, EventId)>>,
+    receiver_pool: Vec<Vec<NodeId>>,
 }
 
 impl<A: Automaton, P: Policy> Runtime<A, P> {
     /// Creates a runtime over `dual` with one automaton per node.
+    ///
+    /// No observers are attached: the execution records nothing about
+    /// itself. Attach a [`TraceObserver`] (or call
+    /// [`tracing`](Runtime::tracing)) for a full trace, or an
+    /// [`OnlineValidator`](crate::OnlineValidator) for streaming
+    /// conformance checking.
     ///
     /// # Panics
     ///
@@ -168,27 +239,58 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             queue,
             instances: Vec::new(),
             in_flight_of: vec![None; n],
-            live_protectors: vec![BTreeSet::new(); n],
+            live_protectors: vec![SortedSet::new(); n],
             protected_until: vec![None; n],
-            connected: vec![BTreeSet::new(); n],
-            contending: vec![BTreeSet::new(); n],
+            connected: vec![SortedSet::new(); n],
+            contending: vec![SortedSet::new(); n],
             check_scheduled: vec![false; n],
-            seen_keys: vec![HashSet::new(); n],
+            seen_keys: vec![FastHashSet::default(); n],
             crashed: vec![false; n],
-            timers: HashMap::new(),
+            timers: FastHashMap::default(),
             next_timer: 0,
             outputs: Vec::new(),
-            trace: Some(Trace::new()),
-            counters: Counters::new(),
+            observers: ObserverSet::default(),
+            counters: HotCounters::default(),
             event_limit: 200_000_000,
-            started: false,
+            cmd_pool: Vec::new(),
+            forced_scratch: Vec::new(),
+            delay_scratch: Vec::new(),
+            pending_pool: Vec::new(),
+            receiver_pool: Vec::new(),
         }
     }
 
-    /// Disables trace recording (saves memory on very long executions; the
-    /// validator then cannot be run on this execution).
-    pub fn without_trace(mut self) -> Self {
-        self.trace = None;
+    /// Attaches an observer; every subsequent MAC-level event (and applied
+    /// fault) is streamed to it. Returns a typed handle for
+    /// [`observer`](Runtime::observer) / [`detach`](Runtime::detach).
+    pub fn attach<O: Observer>(&mut self, observer: O) -> ObserverHandle<O> {
+        self.observers.attach(observer)
+    }
+
+    /// Borrows an attached observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer was already detached.
+    pub fn observer<O: Observer>(&self, handle: &ObserverHandle<O>) -> &O {
+        self.observers.get(handle)
+    }
+
+    /// Detaches an observer, returning it by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer was already detached.
+    pub fn detach<O: Observer>(&mut self, handle: ObserverHandle<O>) -> O {
+        self.observers.detach(handle)
+    }
+
+    /// Convenience builder: attaches a [`TraceObserver`] so the execution
+    /// records a full [`Trace`], retrievable via [`trace`](Runtime::trace)
+    /// or [`into_trace`](Runtime::into_trace) — the historical default
+    /// behaviour, now opt-in.
+    pub fn tracing(mut self) -> Self {
+        self.attach(TraceObserver::new());
         self
     }
 
@@ -199,10 +301,11 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     }
 
     /// Arms a [`FaultPlan`]: each scheduled crash/recovery is applied at
-    /// its time, recorded in the trace's fault log, and enforced by the
-    /// runtime (a crashed node neither broadcasts, acknowledges, receives,
-    /// nor gets callbacks until it recovers; its in-flight broadcast is
-    /// silenced at the crash, leaving prior deliveries standing).
+    /// its time, emitted to the observers' fault channel, and enforced by
+    /// the runtime (a crashed node neither broadcasts, acknowledges,
+    /// receives, nor gets callbacks until it recovers; its in-flight
+    /// broadcast is silenced at the crash, leaving prior deliveries
+    /// standing).
     ///
     /// # Panics
     ///
@@ -247,14 +350,18 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     }
 
     /// Event counters (`bcast`, `rcv`, `ack`, `abort`, `forced_rcv`,
-    /// `forced_ack`, …).
-    pub fn counters(&self) -> &Counters {
-        &self.counters
+    /// `forced_ack`, …), materialized from the runtime's plain-field hot
+    /// counters (a per-event string-keyed map lookup was measurable).
+    pub fn counters(&self) -> Counters {
+        self.counters.materialize()
     }
 
-    /// The recorded MAC-level trace, unless disabled.
+    /// The trace recorded by an attached [`TraceObserver`], if any (see
+    /// [`tracing`](Runtime::tracing)).
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.observers
+            .find::<TraceObserver>()
+            .map(TraceObserver::trace)
     }
 
     /// `true` while `node` is crashed (between an applied crash and any
@@ -263,14 +370,15 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         self.crashed[node.index()]
     }
 
-    /// All outputs emitted so far.
+    /// All outputs emitted since the last [`drain_outputs`](Runtime::drain_outputs).
     pub fn outputs(&self) -> &[OutputRecord<A::Out>] {
         &self.outputs
     }
 
-    /// Drains and returns outputs emitted since the last call.
-    pub fn take_outputs(&mut self) -> Vec<OutputRecord<A::Out>> {
-        std::mem::take(&mut self.outputs)
+    /// Drains outputs emitted since the last call, keeping the buffer's
+    /// capacity (harness loops call this per event step — no allocation).
+    pub fn drain_outputs(&mut self) -> std::vec::Drain<'_, OutputRecord<A::Out>> {
+        self.outputs.drain(..)
     }
 
     /// Schedules an environment input for `node` at the current time (use
@@ -291,11 +399,10 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
 
     /// Processes a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        self.started = true;
         let Some((_, ev)) = self.queue.pop() else {
             return false;
         };
-        self.counters.incr("events");
+        self.counters.events += 1;
         match ev {
             Ev::Start(node) => {
                 if self.crashed[node.index()] {
@@ -308,7 +415,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 if self.crashed[node.index()] {
                     return true; // inputs to a crashed node are lost
                 }
-                self.counters.incr("env");
+                self.counters.env += 1;
                 let cmds = self.callback(node, |n, ctx| n.on_env(input, ctx));
                 self.apply(node, cmds);
             }
@@ -330,7 +437,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                     if self.crashed[node.index()] {
                         return true; // timer firings during an outage are lost
                     }
-                    self.counters.incr("timer");
+                    self.counters.timer += 1;
                     let cmds = self.callback(node, |n, ctx| n.on_timer(tag, ctx));
                     self.apply(node, cmds);
                 }
@@ -346,7 +453,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     /// stop. Lets harnesses interleave stepping with their own checks
     /// (completion detection, output draining).
     pub fn run_until_next(&mut self, horizon: Time) -> Option<RunOutcome> {
-        if self.counters.get("events") >= self.event_limit {
+        if self.counters.events >= self.event_limit {
             return Some(RunOutcome::EventLimit);
         }
         match self.queue.peek_time() {
@@ -374,9 +481,12 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         self.run_until(Time::MAX)
     }
 
-    /// Consumes the runtime, returning the recorded trace (if any).
-    pub fn into_trace(self) -> Option<Trace> {
-        self.trace
+    /// Consumes the runtime, returning the trace recorded by an attached
+    /// [`TraceObserver`] (if any).
+    pub fn into_trace(mut self) -> Option<Trace> {
+        self.observers
+            .take_first::<TraceObserver>()
+            .map(TraceObserver::into_trace)
     }
 
     // ------------------------------------------------------------------
@@ -388,21 +498,23 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         F: FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Out>),
     {
         let now = self.queue.now();
+        let commands = self.cmd_pool.pop().unwrap_or_default();
+        debug_assert!(commands.is_empty());
         let mut ctx = Ctx {
             node,
             now,
             config: &self.config,
             dual: &self.dual,
             in_flight: self.in_flight_of[node.index()].is_some(),
-            commands: Vec::new(),
+            commands,
             next_timer: &mut self.next_timer,
         };
         f(&mut self.nodes[node.index()], &mut ctx);
         ctx.commands
     }
 
-    fn apply(&mut self, node: NodeId, commands: Vec<Command<A::Msg, A::Out>>) {
-        for cmd in commands {
+    fn apply(&mut self, node: NodeId, mut commands: Vec<Command<A::Msg, A::Out>>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Bcast(msg) => self.start_instance(node, msg),
                 Command::Abort => self.abort_in_flight(node),
@@ -424,12 +536,18 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 }
             }
         }
+        self.cmd_pool.push(commands);
     }
 
-    fn record(&mut self, inst: InstanceId, node: NodeId, kind: TraceKind, key: MessageKey) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(self.queue.now(), inst, node, kind, key);
-        }
+    #[inline]
+    fn emit(&mut self, inst: InstanceId, node: NodeId, kind: TraceKind, key: MessageKey) {
+        self.observers.emit(&TraceEntry {
+            time: self.queue.now(),
+            instance: inst,
+            node,
+            kind,
+            key,
+        });
     }
 
     fn start_instance(&mut self, sender: NodeId, msg: A::Msg) {
@@ -445,7 +563,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         let id = InstanceId::new(self.instances.len() as u64);
         let key = msg.key();
         self.seen_keys[sender.index()].insert(key);
-        self.counters.incr("bcast");
+        self.counters.bcast += 1;
 
         let plan = {
             let ctx = PolicyCtx {
@@ -466,14 +584,19 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         let f_ack = self.config.f_ack();
         let ack_delay = plan.ack_delay.max(Duration::TICK).min(f_ack);
 
-        // Delivery delays: reliable neighbors default to the ack deadline;
-        // policy overrides are clamped into [0, ack_delay].
-        let mut delays: Vec<(NodeId, Duration)> = self
-            .dual
-            .reliable_neighbors(sender)
-            .iter()
-            .map(|&j| (j, ack_delay))
-            .collect();
+        // Delivery delays: reliable neighbors default to the plan's
+        // uniform delivery delay (the ack deadline when unset); individual
+        // policy overrides are clamped into [0, ack_delay]. `delays` is a
+        // recycled scratch buffer.
+        let default_delay = plan.reliable_default.unwrap_or(ack_delay).min(ack_delay);
+        let mut delays = std::mem::take(&mut self.delay_scratch);
+        debug_assert!(delays.is_empty());
+        delays.extend(
+            self.dual
+                .reliable_neighbors(sender)
+                .iter()
+                .map(|&j| (j, default_delay)),
+        );
         for (j, d) in &plan.reliable {
             if let Some(slot) = delays.iter_mut().find(|(n, _)| n == j) {
                 slot.1 = (*d).min(ack_delay);
@@ -485,24 +608,26 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             }
         }
 
-        self.record(id, sender, TraceKind::Bcast, key);
+        self.emit(id, sender, TraceKind::Bcast, key);
 
-        let mut pending = Vec::with_capacity(delays.len());
-        for (j, d) in delays {
+        let mut pending = self.pending_pool.pop().unwrap_or_default();
+        debug_assert!(pending.is_empty());
+        for (j, d) in delays.drain(..) {
             if self.crashed[j.index()] {
                 continue; // a crashed receiver gets nothing
             }
             let ev = self.queue.schedule(now + d, Ev::Deliver(id, j));
             pending.push((j, ev));
         }
+        self.delay_scratch = delays;
         let ack_event = self.queue.schedule(now + ack_delay, Ev::AckDue(id));
 
         self.instances.push(InstanceState {
             sender,
-            msg,
+            msg: Some(Arc::new(msg)),
             key,
             start: now,
-            delivered: Vec::new(),
+            delivered: self.receiver_pool.pop().unwrap_or_default(),
             pending,
             ack_event: Some(ack_event),
             terminated: None,
@@ -529,7 +654,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             // The progress bound is conditioned on the receiver's liveness.
             return None;
         }
-        let oldest = *self.connected[j.index()].iter().next()?;
+        let oldest = *self.connected[j.index()].first()?;
         if !self.live_protectors[j.index()].is_empty() {
             // Some in-flight instance already delivered to j: every window
             // starting before its termination is covered.
@@ -567,29 +692,30 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         // The progress bound is due: force a delivery. A candidate always
         // exists here — j is unprotected, so no in-flight contender has
         // delivered to it, and the spanning connected instance qualifies.
-        let candidates: Vec<ForcedCandidate> = self.contending[j.index()]
-            .iter()
-            .filter_map(|&id| {
-                let st = &self.instances[id.index()];
-                if st.terminated.is_some() || st.delivered.contains(&j) {
-                    return None;
-                }
-                Some(ForcedCandidate {
-                    instance: id,
-                    sender: st.sender,
-                    key: st.key,
-                    start: st.start,
-                    duplicate_for_receiver: self.seen_keys[j.index()].contains(&st.key),
-                    reliable_link: self.connected[j.index()].contains(&id),
-                })
+        // `candidates` is a recycled scratch buffer.
+        let mut candidates = std::mem::take(&mut self.forced_scratch);
+        debug_assert!(candidates.is_empty());
+        candidates.extend(self.contending[j.index()].iter().filter_map(|&id| {
+            let st = &self.instances[id.index()];
+            if st.terminated.is_some() || st.delivered.contains(&j) {
+                return None;
+            }
+            Some(ForcedCandidate {
+                instance: id,
+                sender: st.sender,
+                key: st.key,
+                start: st.start,
+                duplicate_for_receiver: self.seen_keys[j.index()].contains(&st.key),
+                reliable_link: self.connected[j.index()].contains(&id),
             })
-            .collect();
+        }));
         if candidates.is_empty() {
             // Defensive fallback (unreachable by the invariant above):
             // terminate the oldest connected instance to restore validity.
             debug_assert!(false, "unprotected receiver with no forced candidates");
-            if let Some(&oldest) = self.connected[j.index()].iter().next() {
-                self.counters.incr("forced_ack");
+            self.forced_scratch = candidates;
+            if let Some(&oldest) = self.connected[j.index()].first() {
+                self.counters.forced_ack += 1;
                 self.ack_instance(oldest, true);
             }
             self.ensure_check(j);
@@ -609,7 +735,9 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             }
         };
         let chosen = candidates[idx].instance;
-        self.counters.incr("forced_rcv");
+        candidates.clear();
+        self.forced_scratch = candidates;
+        self.counters.forced_rcv += 1;
         // Cancel the planned delivery (if any) and deliver now.
         let st = &mut self.instances[chosen.index()];
         if let Some(pos) = st.pending.iter().position(|(n, _)| *n == j) {
@@ -630,15 +758,17 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         }
         st.delivered.push(to);
         let key = st.key;
-        let msg = st.msg.clone();
+        // Payloads are interned: a delivery clones the Arc, not the
+        // payload; the automaton borrows it for the callback.
+        let msg = Arc::clone(st.msg.as_ref().expect("live instance holds its payload"));
         let _ = forced;
-        self.counters.incr("rcv");
-        self.record(inst, to, TraceKind::Rcv, key);
+        self.counters.rcv += 1;
+        self.emit(inst, to, TraceKind::Rcv, key);
         self.seen_keys[to.index()].insert(key);
         // The delivering instance is in flight, so it now protects `to`
         // from progress violations until it terminates.
         self.live_protectors[to.index()].insert(inst);
-        let cmds = self.callback(to, |n, ctx| n.on_receive(msg, ctx));
+        let cmds = self.callback(to, |n, ctx| n.on_receive(&msg, ctx));
         self.apply(to, cmds);
     }
 
@@ -646,11 +776,12 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         debug_assert!(self.instances[inst.index()].terminated.is_none());
         let _ = forced;
         // Flush pending deliveries: every rcv precedes the ack.
-        let pend = std::mem::take(&mut self.instances[inst.index()].pending);
-        for (to, ev) in pend {
+        let mut pend = std::mem::take(&mut self.instances[inst.index()].pending);
+        for (to, ev) in pend.drain(..) {
             self.queue.cancel(ev);
             self.deliver_core(inst, to, false);
         }
+        self.pending_pool.push(pend);
         let now = self.queue.now();
         let (sender, key, msg) = {
             let st = &mut self.instances[inst.index()];
@@ -658,12 +789,13 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 self.queue.cancel(ev);
             }
             st.terminated = Some((now, Terminated::Acked));
-            (st.sender, st.key, st.msg.clone())
+            let msg = st.msg.take().expect("live instance holds its payload");
+            (st.sender, st.key, msg)
         };
-        self.counters.incr("ack");
-        self.record(inst, sender, TraceKind::Ack, key);
+        self.counters.ack += 1;
+        self.emit(inst, sender, TraceKind::Ack, key);
         self.cleanup_instance(inst, sender);
-        let cmds = self.callback(sender, |n, ctx| n.on_ack(msg, ctx));
+        let cmds = self.callback(sender, |n, ctx| n.on_ack(&msg, ctx));
         self.apply(sender, cmds);
     }
 
@@ -674,17 +806,21 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         let (sender, key) = {
             let st = &mut self.instances[inst.index()];
             debug_assert!(st.terminated.is_none());
-            for (_, ev) in st.pending.drain(..) {
+            let mut pend = std::mem::take(&mut st.pending);
+            for (_, ev) in pend.drain(..) {
                 self.queue.cancel(ev);
             }
             if let Some(ev) = st.ack_event.take() {
                 self.queue.cancel(ev);
             }
             st.terminated = Some((now, Terminated::Aborted));
-            (st.sender, st.key)
+            st.msg = None;
+            let out = (st.sender, st.key);
+            self.pending_pool.push(pend);
+            out
         };
-        self.counters.incr("abort");
-        self.record(inst, sender, TraceKind::Abort, key);
+        self.counters.abort += 1;
+        self.emit(inst, sender, TraceKind::Abort, key);
         self.cleanup_instance(inst, sender);
     }
 
@@ -698,16 +834,20 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         }
         // Receivers protected by this instance lose that protection at its
         // termination time; their next possible violation window starts
-        // here, so (re)arm their progress checks.
+        // here, so (re)arm their progress checks. The delivered list is
+        // retired into the buffer pool: terminated instances keep no
+        // per-delivery state.
         let now = self.queue.now();
-        let receivers = self.instances[inst.index()].delivered.clone();
-        for j in receivers {
+        let mut receivers = std::mem::take(&mut self.instances[inst.index()].delivered);
+        for &j in &receivers {
             if self.live_protectors[j.index()].remove(&inst) {
                 let pf = &mut self.protected_until[j.index()];
                 *pf = Some(pf.map_or(now, |t| t.max(now)));
                 self.ensure_check(j);
             }
         }
+        receivers.clear();
+        self.receiver_pool.push(receivers);
     }
 
     /// Applies a crash: silences the node's in-flight broadcast (pending
@@ -719,23 +859,24 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             return;
         }
         self.crashed[v.index()] = true;
-        self.counters.incr("crash");
+        self.counters.crash += 1;
         let now = self.queue.now();
-        if let Some(trace) = &mut self.trace {
-            trace.push_fault(now, v, FaultKind::Crash);
-        }
+        self.observers.emit_fault(now, v, FaultKind::Crash);
         // Silence the node's own broadcast in flight.
         if let Some(inst) = self.in_flight_of[v.index()] {
             {
                 let st = &mut self.instances[inst.index()];
                 debug_assert!(st.terminated.is_none());
-                for (_, ev) in st.pending.drain(..) {
+                let mut pend = std::mem::take(&mut st.pending);
+                for (_, ev) in pend.drain(..) {
                     self.queue.cancel(ev);
                 }
                 if let Some(ev) = st.ack_event.take() {
                     self.queue.cancel(ev);
                 }
                 st.terminated = Some((now, Terminated::Crashed));
+                st.msg = None;
+                self.pending_pool.push(pend);
             }
             self.cleanup_instance(inst, v);
         }
@@ -762,16 +903,14 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             return;
         }
         self.crashed[v.index()] = false;
-        self.counters.incr("recover");
+        self.counters.recover += 1;
         let now = self.queue.now();
-        if let Some(trace) = &mut self.trace {
-            trace.push_fault(now, v, FaultKind::Recover);
-        }
+        self.observers.emit_fault(now, v, FaultKind::Recover);
         // A window uncovered while crashed does not count against the
         // model: the next possible violation starts at the recovery.
         if !self.live_protectors[v.index()].is_empty() {
             // Still protected by an in-flight instance received pre-crash.
-        } else if self.connected[v.index()].iter().next().is_some() {
+        } else if self.connected[v.index()].first().is_some() {
             let pf = &mut self.protected_until[v.index()];
             *pf = Some(pf.map_or(now, |t| t.max(now)));
         }
@@ -795,6 +934,7 @@ impl<A: Automaton, P: Policy> fmt::Debug for Runtime<A, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::CounterObserver;
     use crate::policies::EagerPolicy;
 
     #[derive(Clone, Debug)]
@@ -825,17 +965,17 @@ mod tests {
             }
         }
 
-        fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, u64>) {
+        fn on_receive(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, u64>) {
             if self.got.is_none() {
                 self.got = Some(msg.0);
                 ctx.output(msg.0);
                 if !ctx.has_broadcast_in_flight() {
-                    ctx.bcast(msg);
+                    ctx.bcast(msg.clone());
                 }
             }
         }
 
-        fn on_ack(&mut self, _msg: Token, _ctx: &mut Ctx<'_, Token, u64>) {}
+        fn on_ack(&mut self, _msg: &Token, _ctx: &mut Ctx<'_, Token, u64>) {}
     }
 
     fn line_dual(n: usize) -> DualGraph {
@@ -867,7 +1007,7 @@ mod tests {
     fn trace_is_recorded_and_consistent() {
         let dual = line_dual(5);
         let cfg = MacConfig::from_ticks(2, 16);
-        let mut rt = Runtime::new(dual, cfg, flooders(5), EagerPolicy::new());
+        let mut rt = Runtime::new(dual, cfg, flooders(5), EagerPolicy::new()).tracing();
         rt.run();
         let trace = rt.trace().unwrap();
         assert_eq!(trace.count(TraceKind::Bcast), 5);
@@ -884,6 +1024,27 @@ mod tests {
         assert_eq!(rt.counters().get("bcast"), 4);
         assert_eq!(rt.counters().get("ack"), 4);
         assert!(rt.counters().get("events") > 0);
+    }
+
+    #[test]
+    fn observers_attach_detach_and_stream_events() {
+        let dual = line_dual(4);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(4), EagerPolicy::new());
+        let counters = rt.attach(CounterObserver::new());
+        let tracer = rt.attach(TraceObserver::new());
+        rt.run();
+        assert_eq!(rt.observer(&counters).count(TraceKind::Bcast), 4);
+        assert_eq!(
+            rt.observer(&counters).total(),
+            rt.observer(&tracer).trace().len() as u64,
+            "both observers saw the same stream"
+        );
+        let trace = rt.detach(tracer).into_trace();
+        assert_eq!(trace.count(TraceKind::Ack), 4);
+        // Runtime-level counters agree with the observer.
+        assert_eq!(rt.counters().get("bcast"), 4);
+        assert_eq!(rt.detach(counters).count(TraceKind::Ack), 4);
     }
 
     #[test]
@@ -907,12 +1068,31 @@ mod tests {
     }
 
     #[test]
-    fn without_trace_disables_recording() {
+    fn default_runtime_records_no_trace() {
         let dual = line_dual(3);
         let cfg = MacConfig::from_ticks(2, 16);
-        let mut rt = Runtime::new(dual, cfg, flooders(3), EagerPolicy::new()).without_trace();
+        let mut rt = Runtime::new(dual, cfg, flooders(3), EagerPolicy::new());
         rt.run();
-        assert!(rt.trace().is_none());
+        assert!(rt.trace().is_none(), "tracing is opt-in");
+        assert!(rt.into_trace().is_none());
+    }
+
+    #[test]
+    fn drain_outputs_keeps_capacity_and_order() {
+        let dual = line_dual(6);
+        let cfg = MacConfig::from_ticks(2, 16);
+        let mut rt = Runtime::new(dual, cfg, flooders(6), EagerPolicy::new());
+        let mut drained = Vec::new();
+        loop {
+            match rt.run_until_next(Time::MAX) {
+                Some(_) => break,
+                None => drained.extend(rt.drain_outputs()),
+            }
+        }
+        drained.extend(rt.drain_outputs());
+        assert_eq!(drained.len(), 6);
+        assert!(rt.outputs().is_empty());
+        assert!(drained.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]
@@ -927,8 +1107,8 @@ mod tests {
             fn on_env(&mut self, input: u32, _ctx: &mut Ctx<'_, Token, ()>) {
                 self.seen.push(input);
             }
-            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
-            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_receive(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
         }
         let dual = line_dual(2);
         let cfg = MacConfig::from_ticks(1, 4);
@@ -953,8 +1133,8 @@ mod tests {
                 ctx.bcast(Token(1));
                 ctx.bcast(Token(2));
             }
-            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
-            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_receive(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
         }
         let dual = line_dual(2);
         let cfg = MacConfig::from_ticks(1, 4);
@@ -973,8 +1153,8 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Token, ()>) {
                 ctx.set_timer(Duration::from_ticks(1), 0);
             }
-            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
-            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_receive(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
         }
         let dual = line_dual(2);
         let cfg = MacConfig::from_ticks(1, 4); // standard variant
@@ -1006,8 +1186,8 @@ mod tests {
                     self.aborted = true;
                 }
             }
-            fn on_receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
-            fn on_ack(&mut self, _m: Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_receive(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
+            fn on_ack(&mut self, _m: &Token, _c: &mut Ctx<'_, Token, ()>) {}
         }
         let dual = line_dual(2);
         // Lazy ack: use a policy with a long ack so the abort lands first.
@@ -1022,7 +1202,7 @@ mod tests {
                 aborted: false,
             },
         ];
-        let mut rt = Runtime::new(dual, cfg, nodes, crate::policies::LazyPolicy::new());
+        let mut rt = Runtime::new(dual, cfg, nodes, crate::policies::LazyPolicy::new()).tracing();
         rt.run();
         assert!(rt.node(NodeId::new(0)).fired);
         assert!(rt.node(NodeId::new(0)).aborted);
@@ -1045,6 +1225,7 @@ mod tests {
             flooders(5),
             crate::policies::LazyPolicy::new(),
         )
+        .tracing()
         .with_faults(plan);
         assert_eq!(rt.run(), RunOutcome::Idle);
         assert_eq!(rt.outputs().len(), 1, "only the source itself delivered");
@@ -1074,6 +1255,7 @@ mod tests {
             nodes,
             EagerPolicy::new().with_delivery_delay(Duration::from_ticks(1)),
         )
+        .tracing()
         .with_faults(plan);
         rt.run();
         // Same-tick ordering: deliveries at t=1 were scheduled before the
@@ -1109,11 +1291,11 @@ mod tests {
                     ctx.bcast(Token(9));
                 }
             }
-            fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, u64>) {
+            fn on_receive(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, u64>) {
                 self.got = Some(msg.0);
                 ctx.output(msg.0);
             }
-            fn on_ack(&mut self, _m: Token, ctx: &mut Ctx<'_, Token, u64>) {
+            fn on_ack(&mut self, _m: &Token, ctx: &mut Ctx<'_, Token, u64>) {
                 // Keep rebroadcasting so the recovered neighbor can catch
                 // up via the progress bound.
                 if self.is_source {
@@ -1142,6 +1324,7 @@ mod tests {
             .crash_at(NodeId::new(1), Time::ZERO)
             .recover_at(NodeId::new(1), Time::from_ticks(20));
         let mut rt = Runtime::new(dual.clone(), cfg, nodes, EagerPolicy::new())
+            .tracing()
             .with_faults(plan)
             .with_event_limit(5_000);
         rt.run_until(Time::from_ticks(40));

@@ -1,0 +1,104 @@
+//! A sorted-`Vec` set for the runtime's hot per-receiver collections.
+//!
+//! The runtime keeps, per receiver, small ordered sets of in-flight
+//! instance ids (`connected`, `contending`, `live_protectors`). These sets
+//! are mutated and iterated on every broadcast/termination — a `BTreeSet`
+//! pays a node allocation per insert and pointer-chases on iteration,
+//! while the populations are tiny (bounded by the in-flight instances in a
+//! neighborhood). A sorted `Vec` with binary-search insert/remove keeps the
+//! *same documented iteration order* (ascending, i.e. broadcast order for
+//! [`InstanceId`](crate::InstanceId)s) with contiguous memory and no
+//! per-element allocation, so the runtime's determinism policy — every
+//! collection whose iteration order reaches execution must be ordered — is
+//! preserved verbatim.
+
+use std::fmt;
+
+/// An ordered set backed by a sorted `Vec`.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct SortedSet<T> {
+    items: Vec<T>,
+}
+
+impl<T: Ord + Copy> SortedSet<T> {
+    pub(crate) fn new() -> SortedSet<T> {
+        SortedSet { items: Vec::new() }
+    }
+
+    /// Inserts `value`; returns `false` if it was already present.
+    pub(crate) fn insert(&mut self, value: T) -> bool {
+        match self.items.binary_search(&value) {
+            Ok(_) => false,
+            Err(at) => {
+                self.items.insert(at, value);
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns `false` if it was absent.
+    pub(crate) fn remove(&mut self, value: &T) -> bool {
+        match self.items.binary_search(value) {
+            Ok(at) => {
+                self.items.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub(crate) fn contains(&self, value: &T) -> bool {
+        self.items.binary_search(value).is_ok()
+    }
+
+    /// The smallest element, if any.
+    pub(crate) fn first(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Ascending iteration (the documented, deterministic order).
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+}
+
+impl<T: Ord + Copy> Default for SortedSet<T> {
+    fn default() -> Self {
+        SortedSet::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SortedSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(&self.items).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_keep_sorted_order() {
+        let mut s = SortedSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "duplicate insert is rejected");
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(s.first(), Some(&1));
+        assert!(s.contains(&3));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert_eq!(s.first(), Some(&3));
+        assert!(!s.is_empty());
+        assert!(s.remove(&3));
+        assert!(s.remove(&5));
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+    }
+}

@@ -29,7 +29,10 @@ pub enum TraceKind {
 }
 
 /// One MAC-level event.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Also the event type the runtime feeds to every attached
+/// [`Observer`](crate::Observer) — the trace is simply the log of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Simulated time of the event.
     pub time: Time,

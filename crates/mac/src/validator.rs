@@ -211,6 +211,12 @@ pub struct ValidationReport {
 }
 
 impl ValidationReport {
+    /// Builds a report from an already-collected violation list (used by
+    /// the streaming [`OnlineValidator`](crate::OnlineValidator)).
+    pub(crate) fn from_violations(violations: Vec<Violation>) -> ValidationReport {
+        ValidationReport { violations }
+    }
+
     /// `true` when no violations were found.
     pub fn is_ok(&self) -> bool {
         self.violations.is_empty()

@@ -1,15 +1,16 @@
 //! Model conformance under fault injection: every execution the [`Runtime`]
 //! produces under a random [`FaultPlan`] must be accepted by the
-//! crash-conditioned [`validate`] function, and the fault semantics
-//! themselves must hold (a crashed node goes silent the instant it
-//! crashes).
+//! crash-conditioned [`validate`] function — and by the streaming
+//! [`OnlineValidator`], which must report the *identical violation set* —
+//! and the fault semantics themselves must hold (a crashed node goes
+//! silent the instant it crashes).
 
 use amac_graph::{generators, DualGraph, NodeId};
 use amac_mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
 use amac_mac::trace::{Trace, TraceKind};
 use amac_mac::{
-    validate, Automaton, Ctx, FaultKind, FaultPlan, MacConfig, MacMessage, MessageKey, Policy,
-    Runtime,
+    validate, Automaton, Ctx, FaultKind, FaultPlan, MacConfig, MacMessage, MessageKey,
+    OnlineValidator, Policy, Runtime, ValidationReport,
 };
 use amac_sim::{SimRng, Time};
 use proptest::prelude::*;
@@ -41,19 +42,19 @@ impl Automaton for Chatter {
         }
     }
 
-    fn on_receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, ()>) {
+    fn on_receive(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, ()>) {
         if self.token.is_none() {
             self.token = Some(msg.0);
             if !ctx.has_broadcast_in_flight() {
-                ctx.bcast(msg);
+                ctx.bcast(msg.clone());
             }
         }
     }
 
-    fn on_ack(&mut self, msg: Token, ctx: &mut Ctx<'_, Token, ()>) {
+    fn on_ack(&mut self, msg: &Token, ctx: &mut Ctx<'_, Token, ()>) {
         if self.rebroadcasts > 0 {
             self.rebroadcasts -= 1;
-            ctx.bcast(msg);
+            ctx.bcast(msg.clone());
         }
     }
 }
@@ -77,6 +78,25 @@ fn chatters(n: usize, sources: usize) -> Vec<Chatter> {
         .collect()
 }
 
+/// Runs a faulted execution with both a trace observer and a streaming
+/// validator attached; returns the recorded trace and the live report.
+fn run_with_plan_validated(
+    dual: &DualGraph,
+    cfg: MacConfig,
+    nodes: Vec<Chatter>,
+    policy: impl Policy,
+    plan: FaultPlan,
+) -> (Trace, ValidationReport) {
+    let mut rt = Runtime::new(dual.clone(), cfg, nodes, policy)
+        .tracing()
+        .with_faults(plan)
+        .with_event_limit(2_000_000);
+    let validator = rt.attach(OnlineValidator::new(dual.clone(), cfg));
+    rt.run();
+    let online = rt.detach(validator).into_report(true);
+    (rt.into_trace().expect("trace observer attached"), online)
+}
+
 fn run_with_plan(
     dual: &DualGraph,
     cfg: MacConfig,
@@ -84,11 +104,18 @@ fn run_with_plan(
     policy: impl Policy,
     plan: FaultPlan,
 ) -> Trace {
-    let mut rt = Runtime::new(dual.clone(), cfg, nodes, policy)
-        .with_faults(plan)
-        .with_event_limit(2_000_000);
-    rt.run();
-    rt.into_trace().expect("trace recording is on by default")
+    run_with_plan_validated(dual, cfg, nodes, policy, plan).0
+}
+
+/// Order-insensitive view of a report, for set comparison.
+fn violation_set(report: &ValidationReport) -> Vec<String> {
+    let mut v: Vec<String> = report
+        .violations()
+        .iter()
+        .map(|x| format!("{x:?}"))
+        .collect();
+    v.sort();
+    v
 }
 
 /// The regression check the fault model hangs on: once a node's crash time
@@ -160,9 +187,11 @@ proptest! {
     /// The acceptance property of the fault subsystem: for any topology,
     /// scheduler, and random crash schedule, the runtime's execution
     /// passes the crash-conditioned validator — crashes never manufacture
-    /// spurious guarantee violations.
+    /// spurious guarantee violations. The streaming [`OnlineValidator`]
+    /// (both attached live and replayed over the recorded trace) must
+    /// report the *identical* violation set as the post-hoc [`validate`].
     #[test]
-    fn validator_accepts_every_faulted_runtime_trace(
+    fn online_and_posthoc_validators_agree_on_faulted_runtime_traces(
         seed in 0u64..1_000_000,
         topo in 0u8..4,
         n in 3usize..10,
@@ -184,9 +213,23 @@ proptest! {
             1 => Box::new(LazyPolicy::new().prefer_duplicates()),
             _ => Box::new(RandomPolicy::new(seed ^ 0xFA57)),
         };
-        let trace = run_with_plan(&dual, cfg, chatters(n, sources), policy, plan);
+        let (trace, online) =
+            run_with_plan_validated(&dual, cfg, chatters(n, sources), policy, plan);
         assert_silent_after_crash(&trace);
-        let report = validate(&trace, &dual, &cfg, true);
-        prop_assert!(report.is_ok(), "seed {}: {}", seed, report);
+        let posthoc = validate(&trace, &dual, &cfg, true);
+        prop_assert!(posthoc.is_ok(), "seed {}: {}", seed, posthoc);
+        prop_assert_eq!(
+            violation_set(&online),
+            violation_set(&posthoc),
+            "seed {}: live online validator disagrees with post-hoc\nonline: {}\npost-hoc: {}",
+            seed, online, posthoc
+        );
+        let replayed = OnlineValidator::replay(&trace, &dual, &cfg, true);
+        prop_assert_eq!(
+            violation_set(&replayed),
+            violation_set(&posthoc),
+            "seed {}: replayed online validator disagrees with post-hoc",
+            seed
+        );
     }
 }

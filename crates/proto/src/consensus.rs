@@ -42,8 +42,8 @@ use amac_core::RunOptions;
 use amac_graph::{DualGraph, NodeId};
 use amac_mac::trace::Trace;
 use amac_mac::{
-    validate, Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, Policy, RunOutcome,
-    Runtime, ValidationReport,
+    Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, OnlineValidator, Policy,
+    RunOutcome, Runtime, TraceObserver, ValidationReport,
 };
 use amac_sim::stats::Counters;
 use amac_sim::{Duration, Time};
@@ -155,14 +155,14 @@ impl Automaton for ConsensusNode {
         ctx.set_timer(self.params.phase_len, 0);
     }
 
-    fn on_receive(&mut self, msg: ConsensusMsg, _ctx: &mut Ctx<'_, ConsensusMsg, Decision>) {
+    fn on_receive(&mut self, msg: &ConsensusMsg, _ctx: &mut Ctx<'_, ConsensusMsg, Decision>) {
         if self.decided.is_none() {
             // Binary min-fold: `false` is contagious.
             self.value &= msg.value;
         }
     }
 
-    fn on_ack(&mut self, _msg: ConsensusMsg, ctx: &mut Ctx<'_, ConsensusMsg, Decision>) {
+    fn on_ack(&mut self, _msg: &ConsensusMsg, ctx: &mut Ctx<'_, ConsensusMsg, Decision>) {
         if self.rebroadcast_on_ack && self.decided.is_none() {
             self.rebroadcast_on_ack = false;
             self.broadcast_estimate(ctx);
@@ -445,9 +445,10 @@ pub fn run_consensus<P: Policy>(
         .map(|&v| ConsensusNode::new(v, *params))
         .collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy).with_faults(faults);
-    if !options.records_trace() {
-        rt = rt.without_trace();
-    }
+    let validator = options
+        .validate
+        .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
+    let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
 
     let mut decisions: Vec<Option<(Time, bool)>> = vec![None; n];
     let mut duplicates: Vec<NodeId> = Vec::new();
@@ -455,7 +456,7 @@ pub fn run_consensus<P: Policy>(
     let horizon = options.horizon.min(params.horizon());
     let outcome = loop {
         let step_outcome = rt.run_until_next(horizon);
-        for rec in rt.take_outputs() {
+        for rec in rt.drain_outputs() {
             let slot = &mut decisions[rec.node.index()];
             if slot.is_some() {
                 duplicates.push(rec.node);
@@ -481,17 +482,9 @@ pub fn run_consensus<P: Policy>(
 
     let live: Vec<bool> = (0..n).map(|i| !rt.is_crashed(NodeId::new(i))).collect();
     let check = validate_consensus(initial, &decisions, &duplicates, &live);
-    let validation = if options.validate {
-        rt.trace()
-            .map(|t| validate(t, dual, rt.config(), outcome == RunOutcome::Idle))
-    } else {
-        None
-    };
-    let trace = if options.keep_trace {
-        rt.trace().cloned()
-    } else {
-        None
-    };
+    let validation =
+        validator.map(|handle| rt.detach(handle).into_report(outcome == RunOutcome::Idle));
+    let trace = tracer.map(|handle| rt.detach(handle).into_trace());
 
     ConsensusReport {
         decisions,
@@ -500,7 +493,7 @@ pub fn run_consensus<P: Policy>(
         completion,
         end_time: rt.now(),
         outcome,
-        counters: rt.counters().clone(),
+        counters: rt.counters(),
         check,
         validation,
         trace,

@@ -39,8 +39,8 @@ use amac_core::RunOptions;
 use amac_graph::{DualGraph, NodeId};
 use amac_mac::trace::Trace;
 use amac_mac::{
-    validate, Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, Policy, RunOutcome,
-    Runtime, ValidationReport,
+    Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, OnlineValidator, Policy,
+    RunOutcome, Runtime, TraceObserver, ValidationReport,
 };
 use amac_sim::stats::Counters;
 use amac_sim::{Duration, SimRng, Time};
@@ -121,7 +121,7 @@ impl Automaton for ElectionNode {
         }
     }
 
-    fn on_receive(&mut self, msg: ClaimMsg, ctx: &mut Ctx<'_, ClaimMsg, NodeId>) {
+    fn on_receive(&mut self, msg: &ClaimMsg, ctx: &mut Ctx<'_, ClaimMsg, NodeId>) {
         match self.best {
             Some(b) if msg.candidate > b => {
                 // Challenge-response: the sender believes in a strictly
@@ -139,7 +139,7 @@ impl Automaton for ElectionNode {
         }
     }
 
-    fn on_ack(&mut self, msg: ClaimMsg, ctx: &mut Ctx<'_, ClaimMsg, NodeId>) {
+    fn on_ack(&mut self, msg: &ClaimMsg, ctx: &mut Ctx<'_, ClaimMsg, NodeId>) {
         let challenged = std::mem::take(&mut self.challenge);
         if let Some(best) = self.best {
             if best < msg.candidate || challenged {
@@ -410,14 +410,15 @@ pub fn run_election<P: Policy>(
         })
         .collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy).with_faults(faults);
-    if !options.records_trace() {
-        rt = rt.without_trace();
-    }
+    let validator = options
+        .validate
+        .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
+    let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
 
     let mut convergence: Option<Time> = None;
     let outcome = loop {
         let step_outcome = rt.run_until_next(options.horizon);
-        for rec in rt.take_outputs() {
+        for rec in rt.drain_outputs() {
             // Adoptions only improve, so the last one is the convergence
             // instant.
             convergence = Some(rec.time);
@@ -434,17 +435,9 @@ pub fn run_election<P: Policy>(
         .collect();
     let live: Vec<bool> = (0..n).map(|i| !rt.is_crashed(NodeId::new(i))).collect();
     let check = validate_election(&leaders, &claimants, &live);
-    let validation = if options.validate {
-        rt.trace()
-            .map(|t| validate(t, dual, rt.config(), outcome == RunOutcome::Idle))
-    } else {
-        None
-    };
-    let trace = if options.keep_trace {
-        rt.trace().cloned()
-    } else {
-        None
-    };
+    let validation =
+        validator.map(|handle| rt.detach(handle).into_report(outcome == RunOutcome::Idle));
+    let trace = tracer.map(|handle| rt.detach(handle).into_trace());
 
     ElectionReport {
         leaders,
@@ -453,7 +446,7 @@ pub fn run_election<P: Policy>(
         convergence,
         end_time: rt.now(),
         outcome,
-        counters: rt.counters().clone(),
+        counters: rt.counters(),
         check,
         validation,
         trace,

@@ -40,11 +40,13 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod hash;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 
+pub use hash::{FastHashMap, FastHashSet, FastHasher};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -4,19 +4,42 @@
 //! monotone sequence number), which makes every simulation reproducible and
 //! lets us model the paper's zero-delay automaton steps: a chain of events
 //! scheduled "now" executes in a well-defined order without time passing.
+//!
+//! ## Cancellation: slot-generation ids
+//!
+//! Cancellation is O(1) and allocation-free: every scheduled event occupies
+//! a *slot* (an index into a dense `Vec`) stamped with a *generation*
+//! counter, and its [`EventId`] is the `(slot, generation)` pair. Cancelling
+//! or delivering an event bumps the slot's generation, which atomically
+//! invalidates the id and recycles the slot for the next `schedule` — no
+//! hash-set tombstones, no per-event hashing on the hot path. Heap entries
+//! whose generation no longer matches their slot are skipped (and
+//! reclaimed) when they surface; when cancelled entries ever outnumber live
+//! ones the heap is compacted in place, so queue memory stays proportional
+//! to the number of *live* events even across millions of
+//! schedule/cancel cycles.
 
 use crate::time::{Duration, Time};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Handle to a scheduled event, usable with [`EventQueue::cancel`].
+///
+/// Internally a `(slot, generation)` pair: the slot is recycled after the
+/// event is delivered or cancelled, and the generation stamp keeps stale
+/// handles from ever matching a recycled slot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    generation: u32,
+}
 
 struct Entry<E> {
     at: Time,
     seq: u64,
+    slot: u32,
+    generation: u32,
     event: E,
 }
 
@@ -41,8 +64,12 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Minimum heap size before compaction is considered (avoids churn on tiny
+/// queues where the stale entries are cheaper than a rebuild).
+const COMPACT_MIN: usize = 64;
+
 /// A time-ordered queue of simulation events with stable FIFO tie-breaking
-/// and lazy cancellation.
+/// and O(1) slot-generation cancellation (see the crate docs).
 ///
 /// # Examples
 ///
@@ -58,10 +85,13 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers scheduled but neither delivered nor cancelled.
-    /// Membership (never iteration order) is observed, so a `HashSet` is
-    /// safe for determinism.
-    pending: HashSet<u64>,
+    /// Current generation per slot. A heap entry is live iff its stamped
+    /// generation equals its slot's current generation.
+    generations: Vec<u32>,
+    /// Recycled slot indices available for the next `schedule`.
+    free: Vec<u32>,
+    /// Heap entries that are cancelled but not yet reclaimed.
+    stale: usize,
     next_seq: u64,
     now: Time,
     popped: u64,
@@ -72,7 +102,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            stale: 0,
             next_seq: 0,
             now: Time::ZERO,
             popped: 0,
@@ -104,9 +136,24 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.insert(seq);
-        self.heap.push(Entry { at, seq, event });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.generations.len())
+                    .expect("more than u32::MAX concurrently scheduled events");
+                self.generations.push(0);
+                slot
+            }
+        };
+        let generation = self.generations[slot as usize];
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            generation,
+            event,
+        });
+        EventId { slot, generation }
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -117,19 +164,56 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event. Returns `true` if the event had
     /// not yet been delivered or cancelled; cancelling an already-delivered
     /// (or unknown, or already-cancelled) id is a no-op returning `false`.
-    /// `O(1)`; the cancelled entry's heap slot is reclaimed when it reaches
-    /// the front.
+    /// `O(1)` amortized; the cancelled entry's heap slot is reclaimed when
+    /// it reaches the front, or by compaction when stale entries ever
+    /// outnumber live ones.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id.0)
+        if self
+            .generations
+            .get(id.slot as usize)
+            .is_some_and(|&g| g == id.generation)
+        {
+            self.retire(id.slot);
+            self.stale += 1;
+            self.maybe_compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bumps a slot's generation (invalidating every outstanding id and
+    /// heap entry stamped with it) and recycles it.
+    fn retire(&mut self, slot: u32) {
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Rebuilds the heap without its stale entries once they outnumber the
+    /// live ones. Amortized O(1) per cancel: a rebuild costing O(heap) only
+    /// runs after at least heap/2 cancellations.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < COMPACT_MIN || self.stale * 2 < self.heap.len() {
+            return;
+        }
+        let generations = &self.generations;
+        let entries: Vec<Entry<E>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|e| generations[e.slot as usize] == e.generation)
+            .collect();
+        self.heap = BinaryHeap::from(entries);
+        self.stale = 0;
     }
 
     /// Removes and returns the earliest pending event, advancing the clock
     /// to its timestamp. Ties are broken by scheduling order.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         while let Some(entry) = self.heap.pop() {
-            if !self.pending.remove(&entry.seq) {
+            if self.generations[entry.slot as usize] != entry.generation {
+                self.stale -= 1;
                 continue; // cancelled: skip and reclaim
             }
+            self.retire(entry.slot);
             self.now = entry.at;
             self.popped += 1;
             return Some((entry.at, entry.event));
@@ -140,8 +224,9 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next pending event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
         while let Some(entry) = self.heap.peek() {
-            if !self.pending.contains(&entry.seq) {
+            if self.generations[entry.slot as usize] != entry.generation {
                 self.heap.pop();
+                self.stale -= 1;
                 continue;
             }
             return Some(entry.at);
@@ -255,7 +340,10 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(99)));
+        assert!(!q.cancel(EventId {
+            slot: 99,
+            generation: 0
+        }));
     }
 
     #[test]
@@ -302,5 +390,76 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn recycled_slot_does_not_resurrect_old_ids() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Time::from_ticks(5), 'a');
+        assert!(q.cancel(a));
+        // The slot is recycled with a bumped generation: the new event is
+        // distinct and the old id stays dead.
+        let b = q.schedule(Time::from_ticks(6), 'b');
+        assert!(!q.cancel(a), "stale id must not cancel the recycled slot");
+        assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+        assert!(!q.cancel(b));
+    }
+
+    /// The regression the slot-generation rewrite exists for: a workload
+    /// that schedules and cancels far-future events millions of times must
+    /// not accumulate memory — neither id-tracking state nor heap entries
+    /// for long-cancelled events.
+    #[test]
+    fn memory_stays_bounded_across_a_million_schedule_cancel_cycles() {
+        let mut q = EventQueue::new();
+        // A long-lived anchor so the queue is never empty.
+        q.schedule(Time::from_ticks(1 << 40), 0u64);
+        for i in 0..1_000_000u64 {
+            // Far-future event, cancelled before ever becoming due — under
+            // the old lazy-tombstone scheme each left a heap entry behind
+            // until its (distant) timestamp surfaced.
+            let id = q.schedule(Time::from_ticks((1 << 30) + i), i);
+            assert!(q.cancel(id));
+            assert!(
+                q.pending_upper_bound() <= COMPACT_MIN.max(4),
+                "heap grew to {} entries after {} cycles",
+                q.pending_upper_bound(),
+                i + 1
+            );
+        }
+        // Slot bookkeeping is recycled, not grown per cycle.
+        assert!(q.generations.len() <= COMPACT_MIN.max(4));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_liveness() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        let mut drop_ids = Vec::new();
+        for i in 0..200u64 {
+            let id = q.schedule(Time::from_ticks(1000 - i), i);
+            if i % 2 == 0 {
+                keep.push(i);
+            } else {
+                drop_ids.push(id);
+            }
+        }
+        for id in drop_ids {
+            assert!(q.cancel(id));
+        }
+        assert!(
+            q.pending_upper_bound() < 200,
+            "compaction must have reclaimed cancelled entries"
+        );
+        let mut order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let mut expected = keep;
+        expected.sort_by_key(|&i| 1000 - i);
+        assert_eq!(order.len(), expected.len());
+        order.sort_by_key(|&i| 1000 - i);
+        order.reverse();
+        expected.reverse();
+        assert_eq!(order, expected);
     }
 }

@@ -177,7 +177,7 @@ fn online_arrivals_are_also_solved() {
 
     let dual = DualGraph::reliable(generators::line(10).unwrap());
     let nodes = (0..10).map(|_| Bmmb::new()).collect();
-    let mut rt = Runtime::new(dual.clone(), cfg(), nodes, LazyPolicy::new());
+    let mut rt = Runtime::new(dual.clone(), cfg(), nodes, LazyPolicy::new()).tracing();
     let m0 = MmbMessage {
         id: MessageId(0),
         origin: NodeId::new(0),

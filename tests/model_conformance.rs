@@ -6,13 +6,14 @@ use amac::core::{Bmmb, MessageId, MmbMessage};
 use amac::graph::{generators, DualGraph, NodeId};
 use amac::mac::policies::{EagerPolicy, LazyPolicy, RandomPolicy};
 use amac::mac::trace::{Trace, TraceKind};
-use amac::mac::{validate, InstanceId, MacConfig, MessageKey, Runtime, Violation};
+use amac::mac::{validate, InstanceId, MacConfig, MessageKey, OnlineValidator, Runtime, Violation};
 use amac::sim::{SimRng, Time};
 
 fn run_and_validate(dual: DualGraph, cfg: MacConfig, policy: impl amac::mac::Policy, k: usize) {
     let n = dual.len();
     let nodes = (0..n).map(|_| Bmmb::new()).collect();
-    let mut rt = Runtime::new(dual.clone(), cfg, nodes, policy);
+    let mut rt = Runtime::new(dual.clone(), cfg, nodes, policy).tracing();
+    let online = rt.attach(OnlineValidator::new(dual.clone(), cfg));
     for i in 0..k {
         rt.inject(
             NodeId::new(i % n),
@@ -25,6 +26,9 @@ fn run_and_validate(dual: DualGraph, cfg: MacConfig, policy: impl amac::mac::Pol
     rt.run();
     let report = validate(rt.trace().unwrap(), &dual, rt.config(), true);
     assert!(report.is_ok(), "{report}");
+    // The streaming validator, fed the same execution live, agrees.
+    let online = rt.detach(online).into_report(true);
+    assert!(online.is_ok(), "online: {online}");
 }
 
 #[test]
@@ -68,7 +72,7 @@ fn grey_zone_adversary_runs_are_valid() {
     let cfg = MacConfig::from_ticks(3, 30);
     let nodes = (0..net.dual.len()).map(|_| Bmmb::new()).collect();
     let adversary = amac::lower::GreyZoneAdversary::new(12, MessageKey(0), MessageKey(1));
-    let mut rt = Runtime::new(net.dual.clone(), cfg, nodes, adversary);
+    let mut rt = Runtime::new(net.dual.clone(), cfg, nodes, adversary).tracing();
     rt.inject(
         net.a(1),
         MmbMessage {
@@ -307,7 +311,7 @@ fn mutated_valid_trace_becomes_invalid() {
     let dual = line3();
     let cfg = base_cfg();
     let nodes = (0..3).map(|_| Bmmb::new()).collect::<Vec<_>>();
-    let mut rt = Runtime::new(dual.clone(), cfg, nodes, EagerPolicy::new());
+    let mut rt = Runtime::new(dual.clone(), cfg, nodes, EagerPolicy::new()).tracing();
     rt.inject(
         NodeId::new(0),
         MmbMessage {
