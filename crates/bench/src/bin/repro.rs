@@ -33,6 +33,16 @@
 //! both are exempt from the byte-identity contract — every other cell of
 //! every table is covered.)
 //!
+//! `--record DIR` switches from sweeps to **trace recording**: each
+//! selected experiment runs its canonical fixed-seed execution once with a
+//! streaming store observer attached, writing `DIR/<id>.amactrace` (format:
+//! `docs/TRACE_FORMAT.md`) and printing the live validator's summary. The
+//! `replay` subcommand re-reads such files — `repro replay FILE` re-runs a
+//! fresh `OnlineValidator` over the stored stream and prints the same
+//! summary block (byte-identical to the recording run's, for a faithful
+//! file); `--observer counter|trace` feeds the stream to a
+//! [`CounterObserver`] or a [`TraceObserver`] instead.
+//!
 //! Usage:
 //!
 //! ```text
@@ -42,17 +52,26 @@
 //! cargo run --release -p amac-bench --bin repro -- --trials 32 --jobs 8 --plots
 //! cargo run --release -p amac-bench --bin repro -- --trials 8 --target-ci 0.05 --max-trials 128
 //! cargo run --release -p amac-bench --bin repro -- consensus_crash --trials 8 --json out/
+//! cargo run --release -p amac-bench --bin repro -- consensus_crash --record traces/
+//! cargo run --release -p amac-bench --bin repro -- replay traces/consensus_crash.amactrace
 //! ```
 
 use amac_bench::engine::{default_jobs, TrialRunner};
 use amac_bench::experiments::{self, ExperimentSpec, LabeledOutlier};
+use amac_mac::trace::TraceKind;
+use amac_mac::{CounterObserver, TraceObserver};
+use amac_store::{replay_into, replay_validate, TraceReader};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--list] [--markdown] [--smoke] [--trials N] [--jobs J] \
-         [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR]"
+         [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR] \
+         [--record DIR]"
+    );
+    eprintln!(
+        "       repro replay FILE [FILE ...] [--observer validator|counter|trace] [--json DIR]"
     );
     eprintln!("experiment ids:");
     for spec in experiments::registry() {
@@ -98,6 +117,10 @@ fn main() {
     let mut dump_traces: Option<PathBuf> = None;
     let mut plots = false;
     let mut json_dir: Option<PathBuf> = None;
+    let mut record_dir: Option<PathBuf> = None;
+    let mut replay_mode = false;
+    let mut replay_files: Vec<PathBuf> = Vec::new();
+    let mut observer = "validator".to_string();
     let mut selected: Vec<&'static ExperimentSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +134,17 @@ fn main() {
             "--dump-traces" => dump_traces = Some(dir_arg(&mut args, "--dump-traces")),
             "--plots" => plots = true,
             "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
+            "--record" => record_dir = Some(dir_arg(&mut args, "--record")),
+            "--observer" => {
+                observer = args.next().unwrap_or_else(|| {
+                    eprintln!("--observer needs one of: validator, counter, trace");
+                    usage_exit()
+                });
+                if !matches!(observer.as_str(), "validator" | "counter" | "trace") {
+                    eprintln!("unknown observer: {observer}");
+                    usage_exit()
+                }
+            }
             "--list" => {
                 for spec in experiments::registry() {
                     let mode = if spec.deterministic {
@@ -126,30 +160,52 @@ fn main() {
                 }
                 return;
             }
-            other if !other.starts_with('-') => match experiments::find(other) {
-                // Dedup: a repeated id would run twice and overwrite its
-                // own --json/--dump-traces outputs.
-                Some(spec) => {
-                    if !selected.iter().any(|s| s.id == spec.id) {
-                        selected.push(spec);
+            other if !other.starts_with('-') => {
+                if replay_mode {
+                    replay_files.push(PathBuf::from(other));
+                } else if other == "replay" && selected.is_empty() {
+                    replay_mode = true;
+                } else {
+                    match experiments::find(other) {
+                        // Dedup: a repeated id would run twice and overwrite
+                        // its own --json/--dump-traces outputs.
+                        Some(spec) => {
+                            if !selected.iter().any(|s| s.id == spec.id) {
+                                selected.push(spec);
+                            }
+                        }
+                        None => {
+                            eprintln!("unknown experiment: {other}");
+                            usage_exit()
+                        }
                     }
                 }
-                None => {
-                    eprintln!("unknown experiment: {other}");
-                    usage_exit()
-                }
-            },
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_exit()
             }
         }
     }
+    if replay_mode {
+        if replay_files.is_empty() {
+            eprintln!("replay needs at least one trace FILE");
+            usage_exit()
+        }
+        run_replay(&replay_files, &observer, json_dir.as_deref());
+        return;
+    }
+
     let specs: Vec<&'static ExperimentSpec> = if selected.is_empty() {
         experiments::registry().iter().collect()
     } else {
         selected
     };
+
+    if let Some(dir) = &record_dir {
+        record_canonical(dir, &specs, smoke, json_dir.as_deref());
+        return;
+    }
 
     let mut runner = TrialRunner::new(trials, jobs)
         .with_trace_capture(dump_traces.is_some())
@@ -253,12 +309,21 @@ fn sanitize(label: &str) -> String {
 
 /// Writes one `BENCH_<id>.json` per experiment under `dir`.
 fn write_json_results(dir: &Path, docs: &[(&'static str, String)]) {
+    let named: Vec<(String, String)> = docs
+        .iter()
+        .map(|(id, doc)| (format!("BENCH_{}.json", sanitize(id)), doc.clone()))
+        .collect();
+    write_named_json(dir, &named);
+}
+
+/// Writes pre-named JSON documents under `dir`.
+fn write_named_json(dir: &Path, docs: &[(String, String)]) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("cannot create {}: {e}", dir.display());
         std::process::exit(1);
     }
-    for (id, doc) in docs {
-        let path = dir.join(format!("BENCH_{}.json", sanitize(id)));
+    for (name, doc) in docs {
+        let path = dir.join(name);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
@@ -268,6 +333,142 @@ fn write_json_results(dir: &Path, docs: &[(&'static str, String)]) {
         "wrote {} machine-readable result file(s) to {}",
         docs.len(),
         dir.display()
+    );
+}
+
+/// `--record DIR`: runs each selected experiment's canonical fixed-seed
+/// execution once with a streaming store observer attached
+/// (`amac_bench::record`) and prints the live run's summary — the exact
+/// block a later `repro replay` must reproduce.
+fn record_canonical(
+    dir: &Path,
+    specs: &[&'static ExperimentSpec],
+    smoke: bool,
+    json_dir: Option<&Path>,
+) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let mut json_docs: Vec<(String, String)> = Vec::new();
+    for spec in specs {
+        let started = Instant::now();
+        let recorded = spec.record(dir, smoke);
+        println!("recorded {}", recorded.path.display());
+        println!("{}", recorded.summary);
+        if json_dir.is_some() {
+            json_docs.push((
+                format!("TRACE_{}.json", sanitize(spec.id)),
+                amac_bench::json::trace_json(
+                    "record",
+                    &recorded.path.display().to_string(),
+                    &recorded.summary,
+                    started.elapsed().as_secs_f64(),
+                ),
+            ));
+        }
+    }
+    if let Some(out) = json_dir {
+        write_named_json(out, &json_docs);
+    }
+    eprintln!(
+        "recorded {} canonical trace(s) to {}",
+        specs.len(),
+        dir.display()
+    );
+}
+
+fn replay_fail(path: &Path, e: amac_store::StoreError) -> ! {
+    eprintln!("cannot replay {}: {e}", path.display());
+    std::process::exit(1);
+}
+
+/// `replay FILE...`: re-reads stored traces and feeds them to the chosen
+/// observer. Corrupt or truncated files abort with exit code 1; recorded
+/// *violations* do not (inspecting them is what replay is for — the count
+/// is reported on stderr instead).
+fn run_replay(files: &[PathBuf], observer: &str, json_dir: Option<&Path>) {
+    let mut json_docs: Vec<(String, String)> = Vec::new();
+    let mut invalid = 0usize;
+    for path in files {
+        let started = Instant::now();
+        let mut reader = match TraceReader::open(path) {
+            Ok(r) => r,
+            Err(e) => replay_fail(path, e),
+        };
+        println!("replayed {}", path.display());
+        match observer {
+            "validator" => match replay_validate(reader) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    if !summary.validation.is_ok() {
+                        invalid += 1;
+                    }
+                    if json_dir.is_some() {
+                        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+                        json_docs.push((
+                            format!("REPLAY_{}.json", sanitize(stem)),
+                            amac_bench::json::trace_json(
+                                "replay",
+                                &path.display().to_string(),
+                                &summary,
+                                started.elapsed().as_secs_f64(),
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => replay_fail(path, e),
+            },
+            "counter" => {
+                let header = *reader.header();
+                let mut counter = CounterObserver::new();
+                match replay_into(&mut reader, &mut counter) {
+                    Ok(trailer) => {
+                        println!("  header: {header}");
+                        println!(
+                            "  counts: bcast={} rcv={} ack={} abort={} faults={}",
+                            counter.count(TraceKind::Bcast),
+                            counter.count(TraceKind::Rcv),
+                            counter.count(TraceKind::Ack),
+                            counter.count(TraceKind::Abort),
+                            counter.faults()
+                        );
+                        println!("  quiescent: {}", trailer.quiescent);
+                    }
+                    Err(e) => replay_fail(path, e),
+                }
+            }
+            "trace" => {
+                let header = *reader.header();
+                let mut tracer = TraceObserver::new();
+                match replay_into(&mut reader, &mut tracer) {
+                    Ok(trailer) => {
+                        println!("  header: {header}");
+                        println!("  quiescent: {}", trailer.quiescent);
+                        println!("{}", tracer.into_trace());
+                    }
+                    Err(e) => replay_fail(path, e),
+                }
+            }
+            other => {
+                eprintln!("unknown observer: {other}");
+                usage_exit()
+            }
+        }
+    }
+    if let Some(out) = json_dir {
+        write_named_json(out, &json_docs);
+    }
+    eprintln!(
+        "replayed {} trace(s) ({})",
+        files.len(),
+        if observer != "validator" {
+            format!("observer: {observer}")
+        } else if invalid == 0 {
+            "all validated ok".to_string()
+        } else {
+            format!("{invalid} with violations")
+        }
     );
 }
 

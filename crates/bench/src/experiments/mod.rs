@@ -216,6 +216,7 @@ pub struct ExperimentSpec {
     /// clamped to a single trial).
     pub deterministic: bool,
     run: fn(bool, &TrialRunner) -> ExperimentOutput,
+    record: fn(&std::path::Path, bool) -> crate::record::RecordedTrace,
 }
 
 impl ExperimentSpec {
@@ -223,6 +224,13 @@ impl ExperimentSpec {
     /// parameterisation) on the given engine.
     pub fn run(&self, smoke: bool, runner: &TrialRunner) -> ExperimentOutput {
         (self.run)(smoke, runner)
+    }
+
+    /// Records the experiment's canonical execution (`smoke` picks the
+    /// small parameterisation) to `dir/<id>.amactrace` — see
+    /// [`crate::record`].
+    pub fn record(&self, dir: &std::path::Path, smoke: bool) -> crate::record::RecordedTrace {
+        (self.record)(dir, smoke)
     }
 }
 
@@ -264,6 +272,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB on reliable lines: completion tracks O(D*F_prog + k*F_ack) (Fig. 1, KLN11 row)",
             deterministic: fig1_gg::DETERMINISTIC,
             run: run_fig1_gg,
+            record: crate::record::fig1_gg,
         },
         ExperimentSpec {
             id: "fig1_r_restricted",
@@ -272,6 +281,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB under r-restricted unreliable augmentation: Thm 3.2/3.16 bound, exact t1 deadline",
             deterministic: false,
             run: run_fig1_r_restricted,
+            record: crate::record::fig1_r_restricted,
         },
         ExperimentSpec {
             id: "fig1_arbitrary",
@@ -280,6 +290,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB with arbitrary unreliable links: the O((D+k)*F_ack) slowdown of Thm 3.1",
             deterministic: fig1_arbitrary::DETERMINISTIC,
             run: run_fig1_arbitrary,
+            record: crate::record::fig1_arbitrary,
         },
         ExperimentSpec {
             id: "lower_bounds",
@@ -288,6 +299,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "choke-star Omega(k*F_ack) and grey-zone Omega(D*F_ack) adversary constructions",
             deterministic: lower_bounds::DETERMINISTIC,
             run: run_lower_bounds,
+            record: crate::record::lower_bounds,
         },
         ExperimentSpec {
             id: "fig1_fmmb",
@@ -296,6 +308,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "FMMB (MIS + gather + spread) beats BMMB on grey-zone duals: Thm 4.1 regime",
             deterministic: false,
             run: run_fig1_fmmb,
+            record: crate::record::fig1_fmmb,
         },
         ExperimentSpec {
             id: "subroutines",
@@ -304,6 +317,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "MIS O(log^3 n) rounds, gather O(k+log n) periods, spread O((D+k) log n) rounds",
             deterministic: false,
             run: run_subroutines,
+            record: crate::record::subroutines,
         },
         ExperimentSpec {
             id: "ablation_abort",
@@ -312,6 +326,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "FMMB with the enhanced-layer abort disabled: what the interface buys (and costs)",
             deterministic: false,
             run: run_ablation_abort,
+            record: crate::record::ablation_abort,
         },
         ExperimentSpec {
             id: "consensus_crash",
@@ -320,6 +335,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "timed flooding consensus under node crashes: agreement/validity, (f+1)-phase deadline",
             deterministic: false,
             run: run_consensus_crash,
+            record: crate::record::consensus_crash,
         },
         ExperimentSpec {
             id: "election",
@@ -328,6 +344,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "randomized wake-up/election: convergence vs W + 2(D+1)(F_prog+1), claimant suppression",
             deterministic: false,
             run: run_election,
+            record: crate::record::election,
         },
         ExperimentSpec {
             id: "scale",
@@ -336,6 +353,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB floods on 1k..10k-node duals with the online validator: events/s and peak in-flight state",
             deterministic: scale::DETERMINISTIC,
             run: run_scale,
+            record: crate::record::scale,
         },
     ]
 }

@@ -85,6 +85,67 @@ pub fn experiment_json(
     out
 }
 
+/// Serializes a trace summary — written as `TRACE_<id>.json` by
+/// `repro <experiment> --record DIR --json OUT` (the live run's summary)
+/// and as `REPLAY_<stem>.json` by `repro replay FILE --json OUT` (the
+/// summary rebuilt from the file alone). For the same trace the two
+/// documents differ only in `role` and `wall_clock_seconds`.
+pub fn trace_json(
+    role: &str,
+    path: &str,
+    summary: &amac_store::TraceSummary,
+    wall_clock_seconds: f64,
+) -> String {
+    let h = &summary.header;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"role\": \"{}\",", escape(role));
+    let _ = writeln!(out, "  \"file\": \"{}\",", escape(path));
+    out.push_str("  \"header\": {\n");
+    let _ = writeln!(out, "    \"version\": {},", h.version);
+    let _ = writeln!(out, "    \"variant\": \"{}\",", h.variant);
+    let _ = writeln!(out, "    \"seed\": {},", h.seed);
+    let _ = writeln!(out, "    \"f_prog\": {},", h.f_prog);
+    let _ = writeln!(out, "    \"f_ack\": {},", h.f_ack);
+    let _ = writeln!(out, "    \"nodes\": {},", h.nodes);
+    let _ = writeln!(
+        out,
+        "    \"topology_digest\": \"0x{:016x}\",",
+        h.topology_digest
+    );
+    let _ = writeln!(
+        out,
+        "    \"fault_plan_digest\": \"0x{:016x}\"",
+        h.fault_plan_digest
+    );
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"events\": {},", summary.events);
+    let _ = writeln!(out, "  \"faults\": {},", summary.faults);
+    let _ = writeln!(out, "  \"quiescent\": {},", summary.quiescent);
+    out.push_str("  \"stats\": {\n");
+    let _ = writeln!(out, "    \"peak_live\": {},", summary.stats.peak_live);
+    let _ = writeln!(out, "    \"peak_tracked\": {},", summary.stats.peak_tracked);
+    let _ = writeln!(out, "    \"events\": {}", summary.stats.events);
+    out.push_str("  },\n");
+    out.push_str("  \"validation\": {\n");
+    let _ = writeln!(out, "    \"ok\": {},", summary.validation.is_ok());
+    let _ = writeln!(
+        out,
+        "    \"violations\": {}",
+        string_array(
+            summary
+                .validation
+                .violations()
+                .iter()
+                .map(|v| v.to_string())
+        )
+    );
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"wall_clock_seconds\": {wall_clock_seconds:.6}");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +189,32 @@ mod tests {
         assert!(doc.contains("\"target_ci\": null"));
         assert!(doc.contains("\"mode\": \"full\""));
         assert!(doc.contains("\"rows\": [\n  ],"));
+    }
+
+    #[test]
+    fn trace_document_shape_is_valid_enough() {
+        let dir = std::env::temp_dir().join("amac-bench-json-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let recorded = crate::record::consensus_crash(&dir, true);
+        let doc = trace_json("recorded", "traces/x.amactrace", &recorded.summary, 0.5);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"role\": \"recorded\","));
+        assert!(doc.contains("\"file\": \"traces/x.amactrace\","));
+        assert!(doc.contains("\"version\": 1,"));
+        assert!(doc.contains("\"variant\": \"enhanced\","));
+        // Digests render as fixed-width hex strings, not JSON numbers
+        // (u64 values overflow a double's integer range).
+        let h = &recorded.summary.header;
+        assert!(doc.contains(&format!(
+            "\"topology_digest\": \"0x{:016x}\",",
+            h.topology_digest
+        )));
+        assert!(doc.contains("\"ok\": true,"));
+        assert!(doc.contains("\"violations\": []"));
+        assert!(doc.contains("\"wall_clock_seconds\": 0.500000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        std::fs::remove_file(&recorded.path).ok();
     }
 }

@@ -28,7 +28,9 @@ pub mod experiments;
 pub mod fit;
 pub mod json;
 pub mod plot;
+pub mod record;
 pub mod table;
 
 pub use engine::{TrialRunner, TrialStats};
 pub use experiments::SweepPoint;
+pub use record::RecordedTrace;

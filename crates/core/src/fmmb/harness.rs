@@ -157,6 +157,8 @@ pub fn run_fmmb<P: Policy>(
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
+    let recorder =
+        crate::harness::attach_recorder(options, dual, config, None).map(|store| rt.attach(store));
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -191,6 +193,9 @@ pub fn run_fmmb<P: Policy>(
         validator.into_report(outcome == RunOutcome::Idle)
     });
     let trace = tracer.map(|handle| rt.detach(handle).into_trace());
+    if let Some(handle) = recorder {
+        crate::harness::finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
+    }
 
     FmmbReport {
         completion: tracker.completed_at(),

@@ -13,6 +13,7 @@ use amac_mac::{
 use amac_sim::stats::Counters;
 use amac_sim::Time;
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Options controlling a harness run.
 #[derive(Clone, Debug)]
@@ -31,6 +32,15 @@ pub struct RunOptions {
     /// Hard time horizon; the run stops when the next event would exceed
     /// it.
     pub horizon: Time,
+    /// Record the execution to this trace file by attaching a streaming
+    /// [`amac_store::StoreObserver`] — O(1) memory, every MAC event and
+    /// fault goes to disk in emission order, replayable with
+    /// `repro replay` (see `docs/TRACE_FORMAT.md`).
+    pub record: Option<PathBuf>,
+    /// Seed stamped into a recorded trace's header (purely metadata: it
+    /// identifies which seeded execution the file holds). Ignored without
+    /// [`record`](RunOptions::record).
+    pub record_seed: u64,
 }
 
 impl Default for RunOptions {
@@ -40,6 +50,8 @@ impl Default for RunOptions {
             keep_trace: false,
             stop_on_completion: false,
             horizon: Time::MAX,
+            record: None,
+            record_seed: 0,
         }
     }
 }
@@ -73,6 +85,50 @@ impl RunOptions {
     pub fn with_horizon(mut self, horizon: Time) -> RunOptions {
         self.horizon = horizon;
         self
+    }
+
+    /// Records the execution to the trace file at `path`, stamping `seed`
+    /// into its header (see [`RunOptions::record`]).
+    pub fn recording(mut self, path: impl AsRef<Path>, seed: u64) -> RunOptions {
+        self.record = Some(path.as_ref().to_path_buf());
+        self.record_seed = seed;
+        self
+    }
+}
+
+/// Attaches a [`StoreObserver`](amac_store::StoreObserver) per
+/// `options.record` to a freshly built runtime; shared by every harness
+/// (MMB here, FMMB, and the `amac-proto` services).
+///
+/// # Panics
+///
+/// Panics when the trace file cannot be created — recording was
+/// explicitly requested, so a silently-skipped recording would be worse
+/// than stopping.
+#[doc(hidden)]
+pub fn attach_recorder(
+    options: &RunOptions,
+    dual: &amac_graph::DualGraph,
+    config: MacConfig,
+    faults: Option<&amac_mac::FaultPlan>,
+) -> Option<amac_store::StoreObserver> {
+    options.record.as_deref().map(|path| {
+        amac_store::StoreObserver::create(path, dual, config, options.record_seed, faults)
+            .unwrap_or_else(|e| panic!("cannot record trace to {}: {e}", path.display()))
+    })
+}
+
+/// Finalizes a recording detached from the runtime (writes the End
+/// record, flushes).
+///
+/// # Panics
+///
+/// Panics when the file cannot be sealed — an unfinished recording is an
+/// unreadable file.
+#[doc(hidden)]
+pub fn finish_recorder(store: amac_store::StoreObserver, quiescent: bool) {
+    if let Err(e) = store.finish(quiescent) {
+        panic!("cannot finalize trace recording: {e}");
     }
 }
 
@@ -157,6 +213,7 @@ where
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
+    let recorder = attach_recorder(options, dual, config, None).map(|store| rt.attach(store));
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -185,6 +242,9 @@ where
         validator.into_report(outcome == RunOutcome::Idle)
     });
     let trace = tracer.map(|handle| rt.detach(handle).into_trace());
+    if let Some(handle) = recorder {
+        finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
+    }
 
     MmbReport {
         completion: tracker.completed_at(),
@@ -334,6 +394,33 @@ mod tests {
         // Keeping the trace must not disturb the execution itself.
         assert_eq!(captured.completion, fast.completion);
         assert_eq!(captured.deliveries, fast.deliveries);
+    }
+
+    #[test]
+    fn recording_round_trips_through_replay() {
+        let dir = std::env::temp_dir().join("amac-core-harness-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bmmb_line.amactrace");
+        let dual = line_dual(10);
+        let cfg = MacConfig::from_ticks(2, 30);
+        let a = Assignment::all_at(NodeId::new(0), 2);
+        let report = run_bmmb(
+            &dual,
+            cfg,
+            &a,
+            LazyPolicy::new(),
+            &RunOptions::default().recording(&path, 5),
+        );
+        let summary =
+            amac_store::replay_validate(amac_store::TraceReader::open(&path).unwrap()).unwrap();
+        assert_eq!(summary.header.seed, 5);
+        assert_eq!(summary.quiescent, report.outcome == RunOutcome::Idle);
+        assert_eq!(Some(summary.validation), report.validation);
+        assert_eq!(Some(summary.stats), report.validator_stats);
+        // Recording must not disturb the execution.
+        let bare = run_bmmb(&dual, cfg, &a, LazyPolicy::new(), &RunOptions::default());
+        assert_eq!(bare.completion, report.completion);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -51,5 +51,5 @@ mod mmb;
 
 pub use bmmb::Bmmb;
 pub use fmmb::{run_fmmb, Fmmb, FmmbPacket, FmmbParams, FmmbReport, MisStatus, Schedule, Segment};
-pub use harness::{run_bmmb, run_mmb, MmbReport, RunOptions};
+pub use harness::{attach_recorder, finish_recorder, run_bmmb, run_mmb, MmbReport, RunOptions};
 pub use mmb::{Assignment, CompletionTracker, Delivered, MessageId, MmbMessage};

@@ -60,6 +60,29 @@ pub enum FaultKind {
     Recover,
 }
 
+impl FaultKind {
+    /// Stable single-byte wire code of this kind, used as the record tag of
+    /// the `amac-store` on-disk trace format (`docs/TRACE_FORMAT.md`).
+    /// Codes 0–3 belong to [`TraceKind`](crate::trace::TraceKind); fault
+    /// kinds continue the sequence. Part of the persisted format: never
+    /// renumber.
+    pub const fn code(self) -> u8 {
+        match self {
+            FaultKind::Crash => 4,
+            FaultKind::Recover => 5,
+        }
+    }
+
+    /// Inverse of [`code`](FaultKind::code); `None` for an unassigned code.
+    pub const fn from_code(code: u8) -> Option<FaultKind> {
+        match code {
+            4 => Some(FaultKind::Crash),
+            5 => Some(FaultKind::Recover),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -197,6 +220,18 @@ mod tests {
         let s = plan.to_string();
         assert!(s.contains("crash n1 at t=5"));
         assert!(s.contains("recover n1 at t=9"));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_stay_stable() {
+        for kind in [FaultKind::Crash, FaultKind::Recover] {
+            assert_eq!(FaultKind::from_code(kind.code()), Some(kind));
+        }
+        // Persisted-format pins: renumbering breaks stored traces.
+        assert_eq!(FaultKind::Crash.code(), 4);
+        assert_eq!(FaultKind::Recover.code(), 5);
+        assert_eq!(FaultKind::from_code(0), None);
+        assert_eq!(FaultKind::from_code(6), None);
     }
 
     #[test]

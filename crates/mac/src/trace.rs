@@ -28,6 +28,32 @@ pub enum TraceKind {
     Abort,
 }
 
+impl TraceKind {
+    /// Stable single-byte wire code of this kind, used as the record tag of
+    /// the `amac-store` on-disk trace format (`docs/TRACE_FORMAT.md`).
+    /// These values are part of the persisted format: never renumber them —
+    /// new kinds get new codes.
+    pub const fn code(self) -> u8 {
+        match self {
+            TraceKind::Bcast => 0,
+            TraceKind::Rcv => 1,
+            TraceKind::Ack => 2,
+            TraceKind::Abort => 3,
+        }
+    }
+
+    /// Inverse of [`code`](TraceKind::code); `None` for an unassigned code.
+    pub const fn from_code(code: u8) -> Option<TraceKind> {
+        match code {
+            0 => Some(TraceKind::Bcast),
+            1 => Some(TraceKind::Rcv),
+            2 => Some(TraceKind::Ack),
+            3 => Some(TraceKind::Abort),
+            _ => None,
+        }
+    }
+}
+
 /// One MAC-level event.
 ///
 /// Also the event type the runtime feeds to every attached
@@ -243,6 +269,25 @@ mod tests {
         assert_eq!(t.count(TraceKind::Abort), 0);
         assert_eq!(t.of_kind(TraceKind::Rcv).count(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn wire_codes_round_trip_and_stay_stable() {
+        let kinds = [
+            TraceKind::Bcast,
+            TraceKind::Rcv,
+            TraceKind::Ack,
+            TraceKind::Abort,
+        ];
+        for kind in kinds {
+            assert_eq!(TraceKind::from_code(kind.code()), Some(kind));
+        }
+        // Persisted-format pins: renumbering breaks stored traces.
+        assert_eq!(TraceKind::Bcast.code(), 0);
+        assert_eq!(TraceKind::Rcv.code(), 1);
+        assert_eq!(TraceKind::Ack.code(), 2);
+        assert_eq!(TraceKind::Abort.code(), 3);
+        assert_eq!(TraceKind::from_code(4), None);
     }
 
     #[test]

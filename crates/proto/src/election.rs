@@ -39,8 +39,8 @@ use amac_core::RunOptions;
 use amac_graph::{DualGraph, NodeId};
 use amac_mac::trace::Trace;
 use amac_mac::{
-    Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, OnlineValidator, Policy,
-    RunOutcome, Runtime, TraceObserver, ValidationReport,
+    Automaton, Ctx, FaultPlan, MacConfig, MacMessage, MessageKey, OnlineStats, OnlineValidator,
+    Policy, RunOutcome, Runtime, TraceObserver, ValidationReport,
 };
 use amac_sim::stats::Counters;
 use amac_sim::{Duration, SimRng, Time};
@@ -320,6 +320,9 @@ pub struct ElectionReport {
     pub check: ElectionCheck,
     /// MAC-model trace validation, when requested.
     pub validation: Option<ValidationReport>,
+    /// Peak-memory statistics of the streaming validator, when validation
+    /// ran.
+    pub validator_stats: Option<OnlineStats>,
     /// The recorded MAC trace, when requested.
     pub trace: Option<Trace>,
 }
@@ -409,11 +412,13 @@ pub fn run_election<P: Policy>(
             ElectionNode::new(Duration::from_ticks(rng.below(window.ticks())))
         })
         .collect();
+    let recorder_store = amac_core::attach_recorder(options, dual, config, Some(&faults));
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy).with_faults(faults);
     let validator = options
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
+    let recorder = recorder_store.map(|store| rt.attach(store));
 
     let mut convergence: Option<Time> = None;
     let outcome = loop {
@@ -435,9 +440,16 @@ pub fn run_election<P: Policy>(
         .collect();
     let live: Vec<bool> = (0..n).map(|i| !rt.is_crashed(NodeId::new(i))).collect();
     let check = validate_election(&leaders, &claimants, &live);
-    let validation =
-        validator.map(|handle| rt.detach(handle).into_report(outcome == RunOutcome::Idle));
+    let mut validator_stats = None;
+    let validation = validator.map(|handle| {
+        let validator = rt.detach(handle);
+        validator_stats = Some(validator.stats());
+        validator.into_report(outcome == RunOutcome::Idle)
+    });
     let trace = tracer.map(|handle| rt.detach(handle).into_trace());
+    if let Some(handle) = recorder {
+        amac_core::finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
+    }
 
     ElectionReport {
         leaders,
@@ -449,6 +461,7 @@ pub fn run_election<P: Policy>(
         counters: rt.counters(),
         check,
         validation,
+        validator_stats,
         trace,
     }
 }

@@ -1,0 +1,97 @@
+//! Error type of the trace store: IO failures and every way a stored
+//! trace can be malformed.
+
+use std::fmt;
+use std::io;
+
+/// Why reading or writing a stored trace failed.
+///
+/// Readers must treat arbitrary bytes as hostile: every decoding failure
+/// maps to a [`StoreError::Corrupt`] with the file offset where decoding
+/// stopped, never a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying IO operation failed.
+    Io(io::Error),
+    /// The file does not start with the format magic — not a trace file.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this reader supports.
+        supported: u16,
+    },
+    /// The byte stream violates the format: a bad tag, an overlong varint,
+    /// a digest mismatch, a truncation, a time running backwards.
+    Corrupt {
+        /// Byte offset (from the start of the file) where decoding stopped.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Builds a [`StoreError::Corrupt`] at `offset`.
+    pub(crate) fn corrupt(offset: u64, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            offset,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store IO error: {e}"),
+            StoreError::BadMagic => {
+                write!(f, "not an amac trace file (bad magic)")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "trace format version {found} is newer than the supported {supported}"
+            ),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "corrupt trace at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        let v = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9'));
+        let c = StoreError::corrupt(17, "bad tag");
+        assert!(c.to_string().contains("byte 17"));
+        let io_err = StoreError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Record, then replay, a faulty execution: the crash-star consensus
+//! scenario (`amac::lower::run_crash_star`) runs once with a streaming
+//! trace recorder attached, and the resulting `.amactrace` file is read
+//! back through a fresh `OnlineValidator` — on nothing but the file's own
+//! bytes. The two summaries printed at the end must match line for line;
+//! the stored crash fault and the agreement violation survive the round
+//! trip.
+//!
+//! Run with: `cargo run --example record_crash_star`
+//!
+//! The same flow is scriptable as
+//! `repro consensus_crash --record DIR` + `repro replay DIR/...` — see
+//! docs/EXPERIMENTS.md (REPLAY) and docs/TRACE_FORMAT.md for the format.
+
+use amac::core::RunOptions;
+use amac::lower::run_crash_star;
+use amac::store::{replay_validate, TraceReader, TraceSummary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("amac-record-crash-star");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("crash_star.amactrace");
+
+    // Live run: 8 leaves around a hub that crashes mid-broadcast. The
+    // recorder streams every MAC event and the crash fault to disk while
+    // the online validator watches the same pipeline.
+    let report = run_crash_star(8, 1, &RunOptions::default().recording(&path, 0));
+    println!("{}", report);
+    println!();
+
+    let live = TraceSummary::for_live(
+        &path,
+        report.run.validation.clone().expect("validation on"),
+        report.run.validator_stats.expect("validation on"),
+    )?;
+    println!("recorded {}", path.display());
+    println!("{live}");
+    println!();
+
+    // Replay: rebuild a validator from the file alone and feed it the
+    // stored stream. Same violations, same stats, same summary block.
+    let replayed = replay_validate(TraceReader::open(&path)?)?;
+    println!("replayed {}", path.display());
+    println!("{replayed}");
+    assert_eq!(
+        live.to_string(),
+        replayed.to_string(),
+        "replay must reproduce the live summary byte-for-byte"
+    );
+    println!();
+    println!(
+        "summaries match byte-for-byte; the trace is {} bytes on disk",
+        std::fs::metadata(&path)?.len()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -15,6 +15,8 @@
 //! * [`sim`] — deterministic discrete-event substrate ([`amac_sim`]);
 //! * [`mac`] — the abstract MAC layer runtime, scheduler policies, and the
 //!   model-conformance validator ([`amac_mac`]);
+//! * [`store`] — durable trace store: versioned on-disk event format and
+//!   deterministic replay ([`amac_store`]);
 //! * [`core`] — the MMB problem, BMMB, FMMB, and bound formulas
 //!   ([`amac_core`]);
 //! * [`lower`] — executable lower bounds ([`amac_lower`]);
@@ -58,6 +60,10 @@ pub use amac_sim as sim;
 /// The abstract MAC layer: runtime, policies, validator (re-export of
 /// [`amac_mac`]).
 pub use amac_mac as mac;
+
+/// Durable trace store: on-disk event format, recording observer, and
+/// deterministic replay (re-export of [`amac_store`]).
+pub use amac_store as store;
 
 /// MMB problem and algorithms: BMMB, FMMB, bounds (re-export of
 /// [`amac_core`]).

@@ -1,0 +1,184 @@
+//! Property tests for the durable trace store (`amac-store`): recording an
+//! execution and replaying the file through a fresh `OnlineValidator` must
+//! reproduce the live validator's verdict and stats exactly — over random
+//! topologies, random schedulers, and random crash plans — and any damaged
+//! file must be rejected, never misparsed.
+
+use amac::core::{run_bmmb, Assignment, RunOptions};
+use amac::graph::{generators, DualGraph, NodeId};
+use amac::mac::policies::{LazyPolicy, RandomPolicy};
+use amac::mac::{FaultPlan, MacConfig};
+use amac::proto::consensus::{run_consensus, ConsensusParams};
+use amac::sim::{SimRng, Time};
+use amac::store::{replay_validate, StoreError, TraceReader};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A scratch file in the target-adjacent temp dir, unique per (test, case).
+fn scratch(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join("amac-store-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{case}.amactrace"))
+}
+
+/// Strategy: a connected dual graph with a seeded unreliable augmentation.
+fn arb_dual() -> impl Strategy<Value = (DualGraph, u64)> {
+    (3usize..16, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = SimRng::seed(seed);
+        let g = generators::line(n).unwrap();
+        let dual = generators::arbitrary_augment(g, (n / 2).max(1), &mut rng).unwrap();
+        (dual, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Record → replay equivalence on random BMMB executions: the replayed
+    /// validator (rebuilt from nothing but the file) must report the same
+    /// violation set and the same streaming stats as the live one.
+    #[test]
+    fn bmmb_replay_matches_live_validator(
+        dual_seed in arb_dual(),
+        k in 1usize..5,
+        policy_seed in 0u64..1_000,
+    ) {
+        let (dual, seed) = dual_seed;
+        let path = scratch("bmmb", seed ^ ((k as u64) << 32) ^ (policy_seed << 40));
+        let mut rng = SimRng::seed(policy_seed);
+        let assignment = Assignment::random(dual.len(), k, &mut rng);
+        let report = run_bmmb(
+            &dual,
+            MacConfig::from_ticks(2, 16),
+            &assignment,
+            RandomPolicy::new(policy_seed),
+            &RunOptions::default().recording(&path, policy_seed),
+        );
+        let live = report.validation.clone().expect("validation on");
+
+        let replayed = replay_validate(TraceReader::open(&path).unwrap()).unwrap();
+        prop_assert_eq!(replayed.header.seed, policy_seed);
+        prop_assert_eq!(replayed.header.nodes as usize, dual.len());
+        prop_assert_eq!(replayed.validation.violations(), live.violations());
+        prop_assert_eq!(Some(replayed.stats), report.validator_stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The same equivalence under fault injection: consensus runs with a
+    /// random crash plan, whose faults interleave with events in the
+    /// stored stream.
+    #[test]
+    fn crashed_consensus_replay_matches_live_validator(
+        n in 3usize..10,
+        crash_fraction in 0.0f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let path = scratch("cons", seed ^ ((n as u64) << 32));
+        let config = MacConfig::from_ticks(2, 12).enhanced();
+        let crashes = (crash_fraction * n as f64).floor() as usize;
+        let params = ConsensusParams::for_crashes(crashes, &config);
+        let mut rng = SimRng::seed(seed);
+        let initial: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let window = Time::ZERO + params.phase_len.times(params.phases);
+        let faults = FaultPlan::random_crashes(n, crashes, window, &mut rng);
+        let dual = DualGraph::reliable(generators::complete(n).unwrap());
+        let report = run_consensus(
+            &dual,
+            config,
+            &initial,
+            &params,
+            faults,
+            LazyPolicy::new().prefer_duplicates(),
+            &RunOptions::default().recording(&path, seed),
+        );
+        let live = report.validation.clone().expect("validation on");
+
+        let replayed = replay_validate(TraceReader::open(&path).unwrap()).unwrap();
+        // Crashes scheduled after the run goes idle are never applied, so
+        // the recorded fault count is bounded by the plan, not equal to it.
+        prop_assert!(replayed.faults as usize <= crashes);
+        prop_assert_eq!(replayed.validation.violations(), live.violations());
+        prop_assert_eq!(Some(replayed.stats), report.validator_stats);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The determinism contract (docs/TRACE_FORMAT.md): the same seeded
+    /// workload records byte-identical files on every run.
+    #[test]
+    fn same_seed_records_byte_identical_files(
+        dual_seed in arb_dual(),
+        policy_seed in 0u64..1_000,
+    ) {
+        let (dual, seed) = dual_seed;
+        let assignment = Assignment::all_at(NodeId::new(0), 2);
+        let record = |tag: &str| {
+            let path = scratch(tag, seed ^ policy_seed << 20);
+            run_bmmb(
+                &dual,
+                MacConfig::from_ticks(2, 16),
+                &assignment,
+                RandomPolicy::new(policy_seed),
+                &RunOptions::default().recording(&path, policy_seed),
+            );
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            bytes
+        };
+        prop_assert_eq!(record("det-a"), record("det-b"));
+    }
+}
+
+/// Damaged files are rejected with a `StoreError`, never misparsed into a
+/// plausible-looking execution: every truncation of a real trace fails,
+/// and so does every single-byte corruption of its record stream.
+#[test]
+fn truncated_and_corrupted_files_are_rejected() {
+    let path = scratch("damage", 0);
+    let dual = DualGraph::reliable(generators::line(5).unwrap());
+    run_bmmb(
+        &dual,
+        MacConfig::from_ticks(2, 16),
+        &Assignment::all_at(NodeId::new(0), 2),
+        LazyPolicy::new().prefer_duplicates(),
+        &RunOptions::default().recording(&path, 0),
+    );
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let parse = |bytes: &[u8]| -> Result<(), StoreError> {
+        let mut r = TraceReader::new(bytes)?;
+        while r.next_record()?.is_some() {}
+        Ok(())
+    };
+    assert!(parse(&bytes).is_ok(), "the pristine file must parse");
+    for len in 0..bytes.len() {
+        assert!(
+            parse(&bytes[..len]).is_err(),
+            "a {len}-byte truncation must be rejected"
+        );
+    }
+    // Header bytes carry run metadata (seed, digests of *other* sections)
+    // and are cross-checked rather than self-checksummed; the integrity
+    // guarantee covers the topology section and the record stream.
+    for at in amac::store::format::HEADER_LEN..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x01;
+        assert!(
+            parse(&bad).is_err(),
+            "flipping a bit at offset {at} must be rejected"
+        );
+    }
+}
+
+/// The operator-facing contract behind `repro <exp> --record` followed by
+/// `repro replay`: the recorded run's summary block and the replayed one
+/// render byte-identically.
+#[test]
+fn recorded_and_replayed_summaries_render_identically() {
+    let dir = std::env::temp_dir().join("amac-store-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let recorded = amac::bench::record::consensus_crash(&dir, true);
+    let replayed = replay_validate(TraceReader::open(&recorded.path).unwrap()).unwrap();
+    assert_eq!(recorded.summary.to_string(), replayed.to_string());
+    std::fs::remove_file(&recorded.path).ok();
+}
