@@ -2,6 +2,9 @@
 //! simulation substrate and the end-to-end algorithms (engineering
 //! throughput, not paper claims).
 
+// `criterion_group!` expands to undocumented public functions.
+#![allow(missing_docs)]
+
 use amac_core::{run_bmmb, Assignment, RunOptions};
 use amac_graph::{generators, DualGraph, NodeId};
 use amac_mac::policies::{EagerPolicy, LazyPolicy};
@@ -31,7 +34,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 black_box(acc)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -56,7 +59,7 @@ fn bench_runtime_hot_path(c: &mut Criterion) {
                 &RunOptions::fast(),
             );
             black_box(report.counters.get("events"))
-        })
+        });
     });
     c.bench_function("flood_line1k_k2_validated", |b| {
         b.iter(|| {
@@ -67,9 +70,12 @@ fn bench_runtime_hot_path(c: &mut Criterion) {
                 EagerPolicy::new(),
                 &RunOptions::default(),
             );
-            assert!(report.validation.as_ref().is_some_and(|v| v.is_ok()));
+            assert!(report
+                .validation
+                .as_ref()
+                .is_some_and(amac_mac::ValidationReport::is_ok));
             black_box(report.counters.get("events"))
-        })
+        });
     });
 }
 
@@ -87,7 +93,7 @@ fn bench_bmmb(c: &mut Criterion) {
                 &RunOptions::fast(),
             );
             black_box(report.completion_ticks())
-        })
+        });
     });
     c.bench_function("bmmb_line64_k4_lazy", |b| {
         b.iter(|| {
@@ -99,7 +105,7 @@ fn bench_bmmb(c: &mut Criterion) {
                 &RunOptions::fast(),
             );
             black_box(report.completion_ticks())
-        })
+        });
     });
 }
 
@@ -111,11 +117,11 @@ fn bench_topology(c: &mut Criterion) {
                 generators::grey_zone_network(&generators::GreyZoneConfig::new(100, 7.0), &mut rng)
                     .unwrap();
             black_box(net.dual.len())
-        })
+        });
     });
     c.bench_function("diameter_grid_20x20", |b| {
         let g = generators::grid(20, 20).unwrap();
-        b.iter(|| black_box(amac_graph::algo::diameter(black_box(&g))))
+        b.iter(|| black_box(amac_graph::algo::diameter(black_box(&g))));
     });
 }
 

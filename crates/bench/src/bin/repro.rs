@@ -33,6 +33,20 @@
 //! both are exempt from the byte-identity contract — every other cell of
 //! every table is covered.)
 //!
+//! `check` switches to **bounded exhaustive model checking** (the
+//! `amac-check` crate): `repro check consensus --nodes 3 --depth full`
+//! enumerates every schedule the MAC model permits for a small consensus
+//! instance and judges each against the shipped safety properties,
+//! printing explored/pruned statistics. `--depth D` bounds the free
+//! decisions per schedule (later ones pinned to their defaults),
+//! `--max-schedules M` caps the walk, `--broken` substitutes the
+//! deliberately under-provisioned consensus so the counterexample
+//! pipeline (delta-debugging shrinker + `.amactrace` fixture via
+//! `--fixture PATH`) can be exercised, and `check --smoke` runs the
+//! blocking CI suite (exhaustive certification at n = 3 scale plus a
+//! shrinker self-test). Exit status 1 signals an unexpected verdict —
+//! a violation in a certified space, or a clean run under `--broken`.
+//!
 //! `--record DIR` switches from sweeps to **trace recording**: each
 //! selected experiment runs its canonical fixed-seed execution once with a
 //! streaming store observer attached, writing `DIR/<id>.amactrace` (format:
@@ -54,6 +68,9 @@
 //! cargo run --release -p amac-bench --bin repro -- consensus_crash --trials 8 --json out/
 //! cargo run --release -p amac-bench --bin repro -- consensus_crash --record traces/
 //! cargo run --release -p amac-bench --bin repro -- replay traces/consensus_crash.amactrace
+//! cargo run --release -p amac-bench --bin repro -- check consensus --nodes 3 --depth full
+//! cargo run --release -p amac-bench --bin repro -- check consensus --broken --fixture cx.amactrace
+//! cargo run --release -p amac-bench --bin repro -- check --smoke  # CI blocking gate
 //! ```
 
 use amac_bench::engine::{default_jobs, TrialRunner};
@@ -71,7 +88,15 @@ fn usage_exit() -> ! {
          [--record DIR]"
     );
     eprintln!(
-        "       repro replay FILE [FILE ...] [--observer validator|counter|trace] [--json DIR]"
+        "       repro replay FILE [FILE ...] [--observer validator|counter|trace|check] [--json DIR]"
+    );
+    eprintln!(
+        "       repro check [SCENARIO ...] [--nodes N] [--crashes C] [--messages K] \
+         [--depth D|full] [--max-schedules M] [--broken] [--fixture PATH] [--smoke] [--json DIR]"
+    );
+    eprintln!(
+        "check scenarios: {} (default: all certified variants)",
+        amac_bench::check::SCENARIOS.join(", ")
     );
     eprintln!("experiment ids:");
     for spec in experiments::registry() {
@@ -107,6 +132,30 @@ fn dir_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> PathBuf {
     }))
 }
 
+fn count_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a non-negative integer");
+        usage_exit()
+    })
+}
+
+fn depth_arg(args: &mut impl Iterator<Item = String>) -> Option<usize> {
+    match args.next().as_deref() {
+        Some("full") => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(d) if d >= 1 => Some(d),
+            _ => {
+                eprintln!("--depth needs a positive integer or `full`");
+                usage_exit()
+            }
+        },
+        None => {
+            eprintln!("--depth needs a positive integer or `full`");
+            usage_exit()
+        }
+    }
+}
+
 fn main() {
     let mut markdown = false;
     let mut smoke = false;
@@ -121,9 +170,34 @@ fn main() {
     let mut replay_mode = false;
     let mut replay_files: Vec<PathBuf> = Vec::new();
     let mut observer = "validator".to_string();
+    let mut check_mode = false;
+    let mut check_scenarios: Vec<String> = Vec::new();
+    let mut check_opts = amac_bench::check::CheckOptions::default();
+    let mut check_fixture: Option<PathBuf> = None;
     let mut selected: Vec<&'static ExperimentSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if check_mode {
+            match arg.as_str() {
+                "--nodes" => check_opts.nodes = positive_arg(&mut args, "--nodes"),
+                "--crashes" => check_opts.crashes = count_arg(&mut args, "--crashes"),
+                "--messages" => check_opts.messages = positive_arg(&mut args, "--messages"),
+                "--depth" => check_opts.depth = depth_arg(&mut args),
+                "--max-schedules" => {
+                    check_opts.max_schedules = positive_arg(&mut args, "--max-schedules") as u64;
+                }
+                "--broken" => check_opts.broken = true,
+                "--fixture" => check_fixture = Some(dir_arg(&mut args, "--fixture")),
+                "--smoke" => smoke = true,
+                "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
+                other if !other.starts_with('-') => check_scenarios.push(other.to_string()),
+                other => {
+                    eprintln!("unknown check argument: {other}");
+                    usage_exit()
+                }
+            }
+            continue;
+        }
         match arg.as_str() {
             "--markdown" => markdown = true,
             "--smoke" => smoke = true,
@@ -137,10 +211,13 @@ fn main() {
             "--record" => record_dir = Some(dir_arg(&mut args, "--record")),
             "--observer" => {
                 observer = args.next().unwrap_or_else(|| {
-                    eprintln!("--observer needs one of: validator, counter, trace");
+                    eprintln!("--observer needs one of: validator, counter, trace, check");
                     usage_exit()
                 });
-                if !matches!(observer.as_str(), "validator" | "counter" | "trace") {
+                if !matches!(
+                    observer.as_str(),
+                    "validator" | "counter" | "trace" | "check"
+                ) {
                     eprintln!("unknown observer: {observer}");
                     usage_exit()
                 }
@@ -165,6 +242,8 @@ fn main() {
                     replay_files.push(PathBuf::from(other));
                 } else if other == "replay" && selected.is_empty() {
                     replay_mode = true;
+                } else if other == "check" && selected.is_empty() {
+                    check_mode = true;
                 } else {
                     match experiments::find(other) {
                         // Dedup: a repeated id would run twice and overwrite
@@ -193,6 +272,16 @@ fn main() {
             usage_exit()
         }
         run_replay(&replay_files, &observer, json_dir.as_deref());
+        return;
+    }
+    if check_mode {
+        run_check(
+            &check_scenarios,
+            &check_opts,
+            smoke,
+            check_fixture.as_deref(),
+            json_dir.as_deref(),
+        );
         return;
     }
 
@@ -378,6 +467,84 @@ fn record_canonical(
     );
 }
 
+/// `check [SCENARIO ...]`: bounded exhaustive exploration via
+/// `amac-check`. Certified scenarios are expected clean and (without a
+/// schedule cap cut-off) exhausted; `--broken` inverts the expectation —
+/// the run must find, shrink, and (with `--fixture`) persist a
+/// counterexample. Any unexpected verdict exits 1 so CI can gate on it.
+fn run_check(
+    scenarios: &[String],
+    opts: &amac_bench::check::CheckOptions,
+    smoke: bool,
+    fixture: Option<&Path>,
+    json_dir: Option<&Path>,
+) {
+    use amac_bench::check;
+    if smoke {
+        let cases = check::smoke_suite();
+        let mut failed = 0usize;
+        for case in &cases {
+            println!("[{}] {}", if case.ok { "ok" } else { "FAIL" }, case.label);
+            print!("{}", check::render(&case.report, &case.opts));
+            if !case.ok {
+                failed += 1;
+            }
+        }
+        eprintln!(
+            "check smoke: {}/{} cases ok",
+            cases.len() - failed,
+            cases.len()
+        );
+        if failed > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let ids: Vec<String> = if scenarios.is_empty() {
+        check::SCENARIOS.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        scenarios.to_vec()
+    };
+    if fixture.is_some() && ids.len() > 1 {
+        eprintln!("--fixture needs exactly one scenario (later runs would overwrite the file)");
+        usage_exit()
+    }
+    let mut json_docs: Vec<(String, String)> = Vec::new();
+    let mut unexpected = 0usize;
+    for id in &ids {
+        let started = Instant::now();
+        let Some(report) = check::run(id, opts, fixture) else {
+            eprintln!(
+                "unknown check scenario `{id}` (or unsupported: --broken applies to consensus only)"
+            );
+            usage_exit()
+        };
+        print!("{}", check::render(&report, opts));
+        let ok = if opts.broken {
+            report.counterexample.is_some()
+        } else {
+            report.is_clean()
+        };
+        if !ok {
+            unexpected += 1;
+        }
+        if json_dir.is_some() {
+            json_docs.push((
+                format!("CHECK_{}.json", sanitize(id)),
+                amac_bench::json::check_json(&report, opts, started.elapsed().as_secs_f64()),
+            ));
+        }
+    }
+    if let Some(out) = json_dir {
+        write_named_json(out, &json_docs);
+    }
+    if unexpected > 0 {
+        eprintln!("{unexpected} scenario(s) ended with an unexpected verdict");
+        std::process::exit(1);
+    }
+}
+
 fn replay_fail(path: &Path, e: amac_store::StoreError) -> ! {
     eprintln!("cannot replay {}: {e}", path.display());
     std::process::exit(1);
@@ -450,6 +617,24 @@ fn run_replay(files: &[PathBuf], observer: &str, json_dir: Option<&Path>) {
                     Err(e) => replay_fail(path, e),
                 }
             }
+            // Counterexample fixtures: MAC conformance plus the consensus
+            // disagreement reconstructed from the stored stream alone.
+            "check" => {
+                drop(reader);
+                match amac_check::check_fixture(path) {
+                    Ok(check) => {
+                        println!("  mac violations: {}", check.mac_violations);
+                        match &check.estimate_verdict {
+                            Some(v) => println!("  reconstructed consensus: VIOLATION — {v}"),
+                            None => println!("  reconstructed consensus: agreement holds"),
+                        }
+                        if !check.is_clean() {
+                            invalid += 1;
+                        }
+                    }
+                    Err(e) => replay_fail(path, e),
+                }
+            }
             other => {
                 eprintln!("unknown observer: {other}");
                 usage_exit()
@@ -462,7 +647,9 @@ fn run_replay(files: &[PathBuf], observer: &str, json_dir: Option<&Path>) {
     eprintln!(
         "replayed {} trace(s) ({})",
         files.len(),
-        if observer != "validator" {
+        if observer == "check" {
+            format!("observer: check, {invalid} with violations")
+        } else if observer != "validator" {
             format!("observer: {observer}")
         } else if invalid == 0 {
             "all validated ok".to_string()

@@ -190,7 +190,7 @@ pub fn run(
         ("f", &f_sweep, format!("(n={fixed_n})")),
         ("n", &n_sweep, format!("(f={fixed_f:.2})")),
     ] {
-        for p in points.iter() {
+        for p in points {
             table.row([
                 format!("{sweep} {fixed}"),
                 if sweep == "f" {

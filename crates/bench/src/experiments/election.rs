@@ -118,7 +118,7 @@ pub fn run(
             let bound = window + 2 * (d + 1) * (f_prog + 1);
             let convergence = report
                 .convergence
-                .map(|t| t.ticks())
+                .map(amac_sim::Time::ticks)
                 .unwrap_or(report.end_time.ticks()) as f64;
             let violations = report.violation_count() as f64;
             let capture = report

@@ -161,7 +161,7 @@ impl SweepPoint {
 }
 
 pub(crate) fn ticks_or_end(completion: Option<Time>, end: Time) -> u64 {
-    completion.map(|t| t.ticks()).unwrap_or(end.ticks())
+    completion.map(amac_sim::Time::ticks).unwrap_or(end.ticks())
 }
 
 /// Appends one distribution-plot footnote per sweep point (primary lane,

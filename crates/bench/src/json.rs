@@ -137,7 +137,7 @@ pub fn trace_json(
                 .validation
                 .violations()
                 .iter()
-                .map(|v| v.to_string())
+                .map(std::string::ToString::to_string)
         )
     );
     out.push_str("  },\n");
@@ -146,9 +146,87 @@ pub fn trace_json(
     out
 }
 
+/// Serializes one `repro check` exploration — written as
+/// `CHECK_<scenario>.json` by `repro check ... --json DIR`. Carries the
+/// full statistics block, the exhaustion flag, and the minimized
+/// counterexample (or `null` for a clean space).
+pub fn check_json(
+    report: &amac_check::CheckReport,
+    opts: &crate::check::CheckOptions,
+    wall_clock_seconds: f64,
+) -> String {
+    let s = &report.stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"scenario\": \"{}\",", escape(&report.scenario));
+    let _ = writeln!(out, "  \"nodes\": {},", opts.nodes);
+    let _ = writeln!(out, "  \"broken\": {},", opts.broken);
+    let _ = writeln!(
+        out,
+        "  \"depth\": {},",
+        opts.depth.map_or("null".to_string(), |d| d.to_string())
+    );
+    let _ = writeln!(out, "  \"max_schedules\": {},", opts.max_schedules);
+    out.push_str("  \"stats\": {\n");
+    let _ = writeln!(out, "    \"schedules\": {},", s.schedules);
+    let _ = writeln!(out, "    \"distinct\": {},", s.distinct);
+    let _ = writeln!(out, "    \"duplicates\": {},", s.duplicates);
+    let _ = writeln!(out, "    \"events\": {},", s.events);
+    let _ = writeln!(out, "    \"max_schedule_len\": {},", s.max_schedule_len);
+    let _ = writeln!(out, "    \"depth_pinned\": {},", s.depth_pinned);
+    let _ = writeln!(out, "    \"violations\": {}", s.violations);
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"exhausted\": {},", report.exhausted);
+    let _ = writeln!(out, "  \"clean\": {},", report.is_clean());
+    match &report.counterexample {
+        None => out.push_str("  \"counterexample\": null,\n"),
+        Some(cx) => {
+            out.push_str("  \"counterexample\": {\n");
+            let _ = writeln!(out, "    \"property\": \"{}\",", escape(cx.property));
+            let _ = writeln!(out, "    \"detail\": \"{}\",", escape(&cx.detail));
+            let schedule: Vec<String> = cx.schedule.iter().map(u64::to_string).collect();
+            let _ = writeln!(out, "    \"schedule\": [{}],", schedule.join(", "));
+            let _ = writeln!(out, "    \"original_len\": {},", cx.original_len);
+            let _ = writeln!(out, "    \"shrink_runs\": {},", cx.shrink_runs);
+            let _ = writeln!(
+                out,
+                "    \"fixture\": {}",
+                cx.fixture.as_ref().map_or("null".to_string(), |p| format!(
+                    "\"{}\"",
+                    escape(&p.display().to_string())
+                ))
+            );
+            out.push_str("  },\n");
+        }
+    }
+    let _ = writeln!(out, "  \"wall_clock_seconds\": {wall_clock_seconds:.6}");
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn check_document_shape_is_valid_enough() {
+        let opts = crate::check::CheckOptions {
+            broken: true,
+            max_schedules: 100_000,
+            ..crate::check::CheckOptions::default()
+        };
+        let report = crate::check::run("consensus", &opts, None).unwrap();
+        let doc = check_json(&report, &opts, 0.75);
+        assert!(doc.starts_with("{\n") && doc.ends_with("}\n"));
+        assert!(doc.contains("\"scenario\": \"consensus\","));
+        assert!(doc.contains("\"broken\": true,"));
+        assert!(doc.contains("\"depth\": null,"));
+        assert!(doc.contains("\"clean\": false,"));
+        assert!(doc.contains("\"property\": \"consensus\","));
+        assert!(doc.contains("\"fixture\": null"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
 
     #[test]
     fn escape_handles_quotes_and_controls() {

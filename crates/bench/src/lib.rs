@@ -20,9 +20,7 @@
 //! assert!(result.bound_fit.max_ratio < 3.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
+pub mod check;
 pub mod engine;
 pub mod experiments;
 pub mod fit;

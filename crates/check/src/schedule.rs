@@ -1,0 +1,110 @@
+//! Schedules: recorded choice sequences and their deterministic replay.
+//!
+//! A *schedule* is the sequence of alternatives an execution took at its
+//! nondeterministic decision points, in draw order. Because the runtime
+//! is deterministic in everything else (see the determinism policy in
+//! `docs/ARCHITECTURE.md`), a schedule pins down the whole execution —
+//! replaying the same prefix reproduces it exactly. The DFS explorer
+//! walks the tree of schedules by re-executing with successively
+//! incremented prefixes.
+
+use amac_mac::{ChoicePoint, ChoiceSource};
+
+/// One resolved decision in an execution's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Draw {
+    /// What was being decided.
+    pub point: ChoicePoint,
+    /// How many alternatives were on offer (≥ 1).
+    pub width: u64,
+    /// The alternative taken, in `[0, width)`.
+    pub chosen: u64,
+}
+
+/// A [`ChoiceSource`] that replays a schedule prefix and takes the first
+/// alternative (index 0) at every decision beyond it, logging every draw.
+///
+/// Prefix entries are clamped into the width actually offered, so a
+/// prefix stays meaningful even when an earlier alternative changed a
+/// later decision's width (the explorer only ever increments a position
+/// within its recorded width, so clamping never fires during DFS — it is
+/// a guard for hand-written prefixes).
+#[derive(Debug)]
+pub struct ReplaySource {
+    prefix: Vec<u64>,
+    log: Vec<Draw>,
+}
+
+impl ReplaySource {
+    /// A source replaying `prefix`, then defaulting to index 0.
+    pub fn new(prefix: Vec<u64>) -> ReplaySource {
+        ReplaySource {
+            prefix,
+            log: Vec::new(),
+        }
+    }
+
+    /// Every draw made so far, in execution order.
+    pub fn log(&self) -> &[Draw] {
+        &self.log
+    }
+
+    /// Consumes the source, returning the full draw log.
+    pub fn into_log(self) -> Vec<Draw> {
+        self.log
+    }
+}
+
+impl ChoiceSource for ReplaySource {
+    fn choose(&mut self, point: ChoicePoint, width: u64) -> u64 {
+        assert!(width >= 1, "a choice needs at least one alternative");
+        let position = self.log.len();
+        let chosen = self
+            .prefix
+            .get(position)
+            .copied()
+            .unwrap_or(0)
+            .min(width - 1);
+        self.log.push(Draw {
+            point,
+            width,
+            chosen,
+        });
+        chosen
+    }
+    // `chance` comes from the trait default: probabilities in (0, 1)
+    // branch via a width-2 choose; the extremes take the forced arm
+    // without consuming a schedule position, so a scenario with
+    // probability-0 unreliable links never branches on them.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_prefix_then_defaults_to_zero() {
+        let mut src = ReplaySource::new(vec![2, 1]);
+        assert_eq!(src.choose(ChoicePoint::AckDelay, 4), 2);
+        assert_eq!(src.choose(ChoicePoint::ReliableDelay, 3), 1);
+        assert_eq!(src.choose(ChoicePoint::ForcedPick, 5), 0);
+        assert_eq!(src.log().len(), 3);
+    }
+
+    #[test]
+    fn prefix_clamps_to_offered_width() {
+        let mut src = ReplaySource::new(vec![9]);
+        assert_eq!(src.choose(ChoicePoint::AckDelay, 3), 2);
+        assert_eq!(src.log()[0].width, 3);
+    }
+
+    #[test]
+    fn chance_extremes_do_not_consume_positions() {
+        let mut src = ReplaySource::new(vec![1]);
+        assert!(!src.chance(ChoicePoint::UnreliableInclude, 0.0));
+        assert!(src.chance(ChoicePoint::UnreliableInclude, 1.0));
+        assert!(src.log().is_empty(), "extremes are forced, not chosen");
+        assert!(src.chance(ChoicePoint::UnreliableInclude, 0.5));
+        assert_eq!(src.log().len(), 1);
+    }
+}

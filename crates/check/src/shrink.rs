@@ -1,0 +1,106 @@
+//! Delta-debugging schedule minimization.
+//!
+//! A violating schedule found by DFS typically carries dozens of
+//! incidental decisions. The shrinker reduces it under the invariant
+//! "still violates the *same* property", using two move families that
+//! are closed over schedule semantics:
+//!
+//! * **tail removal** — a truncated schedule is the same schedule with
+//!   every removed position at its default (the replay source pads with
+//!   alternative 0), so chopping the tail never shifts the meaning of
+//!   surviving positions;
+//! * **pointwise lowering** — setting one position to 0, or decrementing
+//!   it, moves that decision toward its default while leaving positions
+//!   before it untouched (positions after it may re-interpret, which is
+//!   fine: the candidate is accepted only if it still violates).
+//!
+//! Classic list-ddmin (removing interior chunks) is deliberately *not*
+//! used: deleting a draw would shift every later position onto a
+//! different decision point, making candidates incomparable.
+
+use crate::scenario::Scenario;
+use crate::schedule::ReplaySource;
+
+/// Result of one minimization.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized schedule, trailing defaults stripped.
+    pub schedule: Vec<u64>,
+    /// Scenario re-executions spent.
+    pub runs: u64,
+}
+
+fn strip_trailing_defaults(schedule: &mut Vec<u64>) {
+    while schedule.last() == Some(&0) {
+        schedule.pop();
+    }
+}
+
+/// Minimizes `schedule` while `scenario` keeps violating `property`.
+///
+/// `max_runs` bounds the re-executions; the best schedule found within
+/// the budget is returned (minimization is best-effort, correctness of
+/// the result is not: the returned schedule always still violates).
+pub fn shrink(
+    scenario: &dyn Scenario,
+    schedule: Vec<u64>,
+    property: &'static str,
+    max_runs: u64,
+) -> ShrinkOutcome {
+    let mut runs = 0u64;
+    let violates = |candidate: &[u64], runs: &mut u64| -> bool {
+        *runs += 1;
+        let mut source = ReplaySource::new(candidate.to_vec());
+        scenario.run(&mut source, None).property == Some(property)
+    };
+
+    let mut current = schedule;
+    strip_trailing_defaults(&mut current);
+
+    loop {
+        let before = current.clone();
+
+        // Tail removal, largest chunks first.
+        let mut chunk = (current.len() / 2).max(1);
+        while chunk >= 1 && !current.is_empty() && runs < max_runs {
+            let keep = current.len().saturating_sub(chunk);
+            if violates(&current[..keep], &mut runs) {
+                current.truncate(keep);
+                strip_trailing_defaults(&mut current);
+                chunk = (current.len() / 2).max(1);
+            } else if chunk == 1 {
+                break;
+            } else {
+                chunk /= 2;
+            }
+        }
+
+        // Pointwise lowering: zero first, single decrement as fallback.
+        let mut i = 0;
+        while i < current.len() && runs < max_runs {
+            while current[i] > 0 && runs < max_runs {
+                let saved = current[i];
+                current[i] = 0;
+                if violates(&current, &mut runs) {
+                    break;
+                }
+                current[i] = saved - 1;
+                if !violates(&current, &mut runs) {
+                    current[i] = saved;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        strip_trailing_defaults(&mut current);
+
+        if current == before || runs >= max_runs {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        schedule: current,
+        runs,
+    }
+}

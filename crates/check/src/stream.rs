@@ -1,0 +1,175 @@
+//! Stream-level properties: judging a stored `.amactrace` fixture from
+//! its event stream alone.
+//!
+//! A recorded counterexample holds MAC-level events, not protocol
+//! decisions — those are automaton outputs that never cross the MAC
+//! interface. For the crash-stop min-fold consensus, however, the
+//! decisions are *reconstructible*: every `ConsensusMsg` carries its
+//! `(phase, value)` in the semantic [`MessageKey`], so a node's estimate
+//! trajectory can be replayed from its `Bcast`s (its estimate at each
+//! phase start) and `Rcv`s (the values it folded). This is what lets a
+//! committed fixture *replay to the same violation* without re-running
+//! the protocol: `repro replay <fixture> --observer check` feeds the
+//! stored stream through [`EstimateAgreement`] and reports the
+//! disagreement the checker originally found.
+//!
+//! The reconstruction is exact for single-phase runs (every delivery
+//! lands inside the phase, so decisions equal the final folds; this
+//! covers the fixtures the broken consensus scenario emits). For
+//! multi-phase runs it is *fold-forever* semantics — a conservative
+//! over-approximation that can only converge further than the real
+//! protocol, so a disagreement it reports on a single-phase fixture is
+//! always real.
+//!
+//! [`MessageKey`]: amac_mac::MessageKey
+
+use amac_graph::NodeId;
+use amac_mac::trace::{TraceEntry, TraceKind};
+use amac_mac::{FaultKind, Observer};
+use amac_sim::Time;
+use amac_store::{replay_into, replay_validate, StoreError, TraceReader};
+use std::path::Path;
+
+/// Reconstructs per-node folded estimates of the crash-stop min-fold
+/// consensus from a MAC event stream and checks agreement among nodes
+/// that never crashed.
+#[derive(Debug)]
+pub struct EstimateAgreement {
+    estimates: Vec<Option<bool>>,
+    crashed: Vec<bool>,
+}
+
+impl EstimateAgreement {
+    /// A fresh reconstruction over `n` nodes.
+    pub fn new(n: usize) -> EstimateAgreement {
+        EstimateAgreement {
+            estimates: vec![None; n],
+            crashed: vec![false; n],
+        }
+    }
+
+    /// The reconstructed estimate of `node` (`None` if it never spoke or
+    /// heard anything).
+    pub fn estimate(&self, node: NodeId) -> Option<bool> {
+        self.estimates[node.index()]
+    }
+
+    /// A disagreement among live nodes, if the stream contains one:
+    /// `(a false-holder, a true-holder)`.
+    pub fn disagreement(&self) -> Option<(NodeId, NodeId)> {
+        let holder = |want: bool| {
+            (0..self.estimates.len()).find_map(|i| {
+                (!self.crashed[i] && self.estimates[i] == Some(want)).then(|| NodeId::new(i))
+            })
+        };
+        match (holder(false), holder(true)) {
+            (Some(no), Some(yes)) => Some((no, yes)),
+            _ => None,
+        }
+    }
+
+    /// Human-readable verdict matching the live checker's consensus
+    /// detail, or `None` when the stream shows agreement.
+    pub fn verdict(&self) -> Option<String> {
+        self.disagreement()
+            .map(|(no, yes)| format!("{no} decided false but {yes} decided true (agreement)"))
+    }
+}
+
+impl Observer for EstimateAgreement {
+    fn on_event(&mut self, event: &TraceEntry) {
+        let value = event.key.0 & 1 == 1;
+        let slot = &mut self.estimates[event.node.index()];
+        match event.kind {
+            // A node's own broadcast announces its estimate at that
+            // instant (keys encode `(phase << 1) | value`).
+            TraceKind::Bcast => *slot = Some(value),
+            // Receives fold: `false` is contagious.
+            TraceKind::Rcv => *slot = Some(slot.map_or(value, |current| current & value)),
+            TraceKind::Ack | TraceKind::Abort => {}
+        }
+    }
+
+    fn on_fault(&mut self, _time: Time, node: NodeId, kind: FaultKind) {
+        if kind == FaultKind::Crash {
+            self.crashed[node.index()] = true;
+        }
+    }
+}
+
+/// Combined fixture verdict: MAC-model conformance plus reconstructed
+/// consensus agreement.
+#[derive(Clone, Debug)]
+pub struct FixtureCheck {
+    /// Number of MAC-model violations the stored stream exhibits (from
+    /// [`replay_validate`], crash-conditioned).
+    pub mac_violations: usize,
+    /// The reconstructed consensus disagreement, when present.
+    pub estimate_verdict: Option<String>,
+}
+
+impl FixtureCheck {
+    /// `true` when the fixture shows no violation at either level.
+    pub fn is_clean(&self) -> bool {
+        self.mac_violations == 0 && self.estimate_verdict.is_none()
+    }
+}
+
+/// Replays the `.amactrace` file at `path` through both stream checks.
+///
+/// # Errors
+///
+/// Propagates any [`StoreError`] from opening or decoding the file
+/// (truncation, digest mismatch, unknown tags — hostile inputs are
+/// rejected, never misread).
+pub fn check_fixture(path: &Path) -> Result<FixtureCheck, StoreError> {
+    let summary = replay_validate(TraceReader::open(path)?)?;
+    let mut reader = TraceReader::open(path)?;
+    let mut agreement = EstimateAgreement::new(reader.header().nodes as usize);
+    replay_into(&mut reader, &mut agreement)?;
+    Ok(FixtureCheck {
+        mac_violations: summary.validation.violations().len(),
+        estimate_verdict: agreement.verdict(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac_mac::{InstanceId, MessageKey};
+
+    fn entry(ticks: u64, node: usize, kind: TraceKind, key: u64) -> TraceEntry {
+        TraceEntry {
+            time: Time::from_ticks(ticks),
+            instance: InstanceId::new(0),
+            node: NodeId::new(node),
+            kind,
+            key: MessageKey(key),
+        }
+    }
+
+    #[test]
+    fn folds_false_as_contagious() {
+        let mut check = EstimateAgreement::new(3);
+        check.on_event(&entry(0, 0, TraceKind::Bcast, 0)); // node 0 says false
+        check.on_event(&entry(0, 1, TraceKind::Bcast, 1)); // node 1 says true
+        check.on_event(&entry(1, 1, TraceKind::Rcv, 0)); // node 1 hears false
+        assert_eq!(check.estimate(NodeId::new(0)), Some(false));
+        assert_eq!(check.estimate(NodeId::new(1)), Some(false));
+        assert!(check.disagreement().is_none(), "node 2 never spoke");
+    }
+
+    #[test]
+    fn reports_live_disagreement_and_excludes_crashed() {
+        let mut check = EstimateAgreement::new(3);
+        check.on_event(&entry(0, 0, TraceKind::Bcast, 0));
+        check.on_event(&entry(0, 1, TraceKind::Bcast, 1));
+        check.on_event(&entry(0, 2, TraceKind::Bcast, 1));
+        check.on_event(&entry(1, 1, TraceKind::Rcv, 0));
+        assert!(check.verdict().is_some(), "1 folded false, 2 stayed true");
+        // Once the false-holder crashes, the survivors agree.
+        check.on_fault(Time::from_ticks(2), NodeId::new(1), FaultKind::Crash);
+        check.on_fault(Time::from_ticks(2), NodeId::new(0), FaultKind::Crash);
+        assert!(check.verdict().is_none());
+    }
+}

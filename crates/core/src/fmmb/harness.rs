@@ -53,7 +53,10 @@ impl FmmbReport {
     pub fn solved_and_valid(&self) -> bool {
         self.completion.is_some()
             && self.mis_valid
-            && self.validation.as_ref().map_or(true, |v| v.is_ok())
+            && self
+                .validation
+                .as_ref()
+                .map_or(true, amac_mac::ValidationReport::is_ok)
     }
 
     /// Completion time in ticks.

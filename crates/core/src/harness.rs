@@ -164,7 +164,11 @@ impl MmbReport {
     /// `true` when the problem was solved and (if validated) the execution
     /// conformed to the model.
     pub fn solved_and_valid(&self) -> bool {
-        self.completion.is_some() && self.validation.as_ref().map_or(true, |v| v.is_ok())
+        self.completion.is_some()
+            && self
+                .validation
+                .as_ref()
+                .map_or(true, amac_mac::ValidationReport::is_ok)
     }
 
     /// Completion time in ticks.

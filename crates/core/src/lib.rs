@@ -40,9 +40,6 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod bmmb;
 pub mod bounds;
 mod fmmb;

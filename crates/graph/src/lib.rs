@@ -35,9 +35,6 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod algo;
 mod dual;
 mod error;

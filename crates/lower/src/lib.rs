@@ -34,9 +34,6 @@
 //! assert!(report.ratio >= 0.6, "completion took Omega(k * F_ack)");
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 mod adversary;
 pub mod scenarios;
 

@@ -74,7 +74,7 @@ pub fn run_choke_star(k: usize, config: MacConfig, options: &RunOptions) -> Lowe
     );
     let completion_ticks = run
         .completion
-        .map(|t| t.ticks())
+        .map(amac_sim::Time::ticks)
         .unwrap_or(run.end_time.ticks());
     let bound_ticks = bounds::lower_choke(k, &config).ticks();
     LowerBoundReport {
@@ -104,7 +104,7 @@ pub fn run_dual_line(d: usize, config: MacConfig, options: &RunOptions) -> Lower
     let run = run_bmmb(&dual, config, &assignment, adversary, options);
     let completion_ticks = run
         .completion
-        .map(|t| t.ticks())
+        .map(amac_sim::Time::ticks)
         .unwrap_or(run.end_time.ticks());
     let bound_ticks = bounds::lower_grey_zone(d, &config).ticks();
     LowerBoundReport {

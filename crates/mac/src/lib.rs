@@ -86,9 +86,7 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
+pub mod choice;
 mod config;
 mod fault;
 mod instance;
@@ -103,6 +101,7 @@ mod small_set;
 pub mod trace;
 mod validator;
 
+pub use choice::{ChoicePoint, ChoicePolicy, ChoiceSource, RngSource};
 pub use config::{MacConfig, ModelVariant};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use instance::InstanceId;

@@ -13,9 +13,10 @@
 //! the model guarantees); they differ purely in how adversarially they
 //! exercise the scheduler's latitude.
 
+use crate::choice::{ChoicePoint, ChoicePolicy, ChoiceSource, RngSource};
 use crate::policy::{BcastInfo, BcastPlan, ForcedCandidate, Policy, PolicyCtx};
 use amac_graph::NodeId;
-use amac_sim::{Duration, SimRng};
+use amac_sim::Duration;
 
 /// Best-case scheduler: deliveries after one tick, ack right after, and
 /// (optionally) unreliable deliveries with a fixed probability.
@@ -33,7 +34,7 @@ use amac_sim::{Duration, SimRng};
 pub struct EagerPolicy {
     delivery_delay: Duration,
     unreliable_probability: f64,
-    rng: SimRng,
+    source: RngSource,
 }
 
 impl EagerPolicy {
@@ -43,7 +44,7 @@ impl EagerPolicy {
         EagerPolicy {
             delivery_delay: Duration::TICK,
             unreliable_probability: 0.0,
-            rng: SimRng::seed(0),
+            source: RngSource::seed(0),
         }
     }
 
@@ -51,7 +52,7 @@ impl EagerPolicy {
     /// broadcast independently with probability `p` (seeded).
     pub fn with_unreliable(mut self, p: f64, seed: u64) -> EagerPolicy {
         self.unreliable_probability = p;
-        self.rng = SimRng::seed(seed);
+        self.source = RngSource::seed(seed);
         self
     }
 
@@ -76,11 +77,12 @@ impl Policy for EagerPolicy {
             // The common case builds no per-broadcast lists at all.
             return BcastPlan::uniform_with_delivery(ack, d);
         }
+        let p = self.unreliable_probability;
         let unreliable = ctx
             .dual
             .unreliable_neighbors(info.sender)
             .iter()
-            .filter(|_| self.rng.chance(self.unreliable_probability))
+            .filter(|_| self.source.chance(ChoicePoint::UnreliableInclude, p))
             .map(|&j| (j, d))
             .collect();
         BcastPlan {
@@ -147,10 +149,14 @@ impl Policy for LazyPolicy {
 /// reproducibility: ack delays uniform in `[1, F_ack]`, delivery delays
 /// uniform in `[0, ack]`, each unreliable neighbor included with
 /// probability `p`, forced picks uniform.
+///
+/// This is [`ChoicePolicy`] over an [`RngSource`] — the same policy code
+/// the `amac-check` DFS controller enumerates, resolved randomly instead.
+/// The seeded draw stream is unchanged from the pre-`ChoiceSource`
+/// implementation (see `tests/choice_equivalence.rs`).
 #[derive(Debug)]
 pub struct RandomPolicy {
-    rng: SimRng,
-    unreliable_probability: f64,
+    inner: ChoicePolicy<RngSource>,
 }
 
 impl RandomPolicy {
@@ -158,48 +164,29 @@ impl RandomPolicy {
     /// delivery probability of 0.5.
     pub fn new(seed: u64) -> RandomPolicy {
         RandomPolicy {
-            rng: SimRng::seed(seed),
-            unreliable_probability: 0.5,
+            inner: ChoicePolicy::new(RngSource::seed(seed)).with_unreliable_probability(0.5),
         }
     }
 
     /// Sets the per-neighbor unreliable delivery probability.
     pub fn with_unreliable_probability(mut self, p: f64) -> RandomPolicy {
-        self.unreliable_probability = p;
+        self.inner = self.inner.with_unreliable_probability(p);
         self
     }
 }
 
 impl Policy for RandomPolicy {
     fn plan_bcast(&mut self, ctx: &PolicyCtx<'_>, info: &BcastInfo) -> BcastPlan {
-        let f_ack = ctx.config.f_ack().ticks();
-        let ack_ticks = 1 + self.rng.below(f_ack);
-        let ack = Duration::from_ticks(ack_ticks);
-        let mut reliable = Vec::new();
-        for &j in ctx.dual.reliable_neighbors(info.sender) {
-            reliable.push((j, Duration::from_ticks(self.rng.below(ack_ticks + 1))));
-        }
-        let mut unreliable = Vec::new();
-        for &j in ctx.dual.unreliable_neighbors(info.sender) {
-            if self.rng.chance(self.unreliable_probability) {
-                unreliable.push((j, Duration::from_ticks(self.rng.below(ack_ticks + 1))));
-            }
-        }
-        BcastPlan {
-            ack_delay: ack,
-            reliable_default: None,
-            reliable,
-            unreliable,
-        }
+        self.inner.plan_bcast(ctx, info)
     }
 
     fn pick_forced(
         &mut self,
-        _ctx: &PolicyCtx<'_>,
-        _receiver: NodeId,
+        ctx: &PolicyCtx<'_>,
+        receiver: NodeId,
         candidates: &[ForcedCandidate],
     ) -> usize {
-        self.rng.below(candidates.len() as u64) as usize
+        self.inner.pick_forced(ctx, receiver, candidates)
     }
 }
 
@@ -210,7 +197,7 @@ mod tests {
     use crate::instance::InstanceId;
     use crate::message::MessageKey;
     use amac_graph::{generators, DualGraph};
-    use amac_sim::Time;
+    use amac_sim::{SimRng, Time};
 
     fn ctx_fixture() -> (DualGraph, MacConfig) {
         let g = generators::line(4).unwrap();

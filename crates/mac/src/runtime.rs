@@ -408,7 +408,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
                 if self.crashed[node.index()] {
                     return true;
                 }
-                let cmds = self.callback(node, |n, ctx| n.on_start(ctx));
+                let cmds = self.callback(node, super::node::Automaton::on_start);
                 self.apply(node, cmds);
             }
             Ev::Env(node, input) => {
@@ -915,7 +915,7 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
             *pf = Some(pf.map_or(now, |t| t.max(now)));
         }
         self.ensure_check(v);
-        let cmds = self.callback(v, |n, ctx| n.on_recover(ctx));
+        let cmds = self.callback(v, super::node::Automaton::on_recover);
         self.apply(v, cmds);
     }
 }

@@ -581,7 +581,7 @@ pub fn validate(
                 idx > 0 && maxes[idx - 1] >= s
             };
             let mut candidates: Vec<Time> = vec![lo];
-            for &(_, term) in cover.iter() {
+            for &(_, term) in cover {
                 if term >= lo && term < hi {
                     candidates.push(term + amac_sim::Duration::TICK);
                 }

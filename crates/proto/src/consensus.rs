@@ -368,7 +368,10 @@ impl ConsensusReport {
     pub fn ok(&self) -> bool {
         self.completion.is_some()
             && self.check.is_ok()
-            && self.validation.as_ref().map_or(true, |v| v.is_ok())
+            && self
+                .validation
+                .as_ref()
+                .map_or(true, amac_mac::ValidationReport::is_ok)
     }
 
     /// Completion time in ticks.

@@ -341,7 +341,10 @@ impl ElectionReport {
     pub fn ok(&self) -> bool {
         self.check.is_ok()
             && self.convergence.is_some()
-            && self.validation.as_ref().map_or(true, |v| v.is_ok())
+            && self
+                .validation
+                .as_ref()
+                .map_or(true, amac_mac::ValidationReport::is_ok)
     }
 
     /// Convergence time in ticks.
@@ -397,21 +400,43 @@ pub fn run_election<P: Policy>(
     options: &RunOptions,
 ) -> ElectionReport {
     assert!(
-        config.is_enhanced(),
-        "election back-off needs timers: use MacConfig::enhanced()"
-    );
-    assert!(
         window.ticks() >= 1,
         "back-off window must be at least 1 tick"
     );
-    let n = dual.len();
     let root = SimRng::seed(seed);
-    let nodes = (0..n)
+    let backoffs: Vec<Duration> = (0..dual.len())
         .map(|i| {
             let mut rng = root.split(i as u64);
-            ElectionNode::new(Duration::from_ticks(rng.below(window.ticks())))
+            Duration::from_ticks(rng.below(window.ticks()))
         })
         .collect();
+    run_election_with_backoffs(dual, config, &backoffs, faults, policy, options)
+}
+
+/// Runs one election with *explicit* per-node back-offs instead of seeded
+/// draws — the entry point `amac-check` uses to enumerate the protocol's
+/// own nondeterminism (each back-off becomes a checker choice) alongside
+/// the scheduler's.
+///
+/// # Panics
+///
+/// Panics unless `config` is the enhanced variant (back-off needs timers)
+/// and `backoffs` has one entry per node.
+pub fn run_election_with_backoffs<P: Policy>(
+    dual: &DualGraph,
+    config: MacConfig,
+    backoffs: &[Duration],
+    faults: FaultPlan,
+    policy: P,
+    options: &RunOptions,
+) -> ElectionReport {
+    assert!(
+        config.is_enhanced(),
+        "election back-off needs timers: use MacConfig::enhanced()"
+    );
+    let n = dual.len();
+    assert_eq!(backoffs.len(), n, "one back-off per node");
+    let nodes = backoffs.iter().map(|&b| ElectionNode::new(b)).collect();
     let recorder_store = amac_core::attach_recorder(options, dual, config, Some(&faults));
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy).with_faults(faults);
     let validator = options

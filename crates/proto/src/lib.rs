@@ -56,9 +56,6 @@
 //! # Ok::<(), amac_graph::GraphError>(())
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod consensus;
 pub mod election;
 
@@ -67,5 +64,6 @@ pub use consensus::{
     ConsensusViolation, Decision,
 };
 pub use election::{
-    run_election, validate_election, ElectionCheck, ElectionReport, ElectionViolation,
+    run_election, run_election_with_backoffs, validate_election, ElectionCheck, ElectionReport,
+    ElectionViolation,
 };

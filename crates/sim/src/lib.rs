@@ -37,9 +37,6 @@
 //! assert_eq!(q.now(), Time::from_ticks(4));
 //! ```
 
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod hash;
 mod queue;
 mod rng;

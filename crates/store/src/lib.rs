@@ -58,8 +58,6 @@
 //! # std::fs::remove_file(&path).ok();
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![deny(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 pub mod error;
 pub mod format;

@@ -23,7 +23,9 @@
 //! * [`proto`] — protocol services layered on the MAC abstraction:
 //!   crash-tolerant consensus and leader election ([`amac_proto`]);
 //! * [`mod@bench`] — parameter sweeps, fits, and table rendering for the
-//!   Figure 1 reproduction ([`amac_bench`]).
+//!   Figure 1 reproduction ([`amac_bench`]);
+//! * [`check`] — bounded exhaustive model checking of the runtime's
+//!   schedule space with counterexample shrinking ([`amac_check`]).
 //!
 //! ## Quickstart
 //!
@@ -46,9 +48,6 @@
 //!
 //! See the `examples/` directory for runnable scenarios and `amac-bench`
 //! for the paper-table reproduction harness.
-
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
 
 /// Dual-graph network substrate (re-export of [`amac_graph`]).
 pub use amac_graph as graph;
@@ -79,3 +78,7 @@ pub use amac_proto as proto;
 /// Experiment harness for the Figure 1 reproduction (re-export of
 /// [`amac_bench`]).
 pub use amac_bench as bench;
+
+/// Bounded exhaustive model checker over the runtime's nondeterminism
+/// (re-export of [`amac_check`]).
+pub use amac_check as check;

@@ -1,0 +1,45 @@
+//! Committed counterexample fixtures replay forever.
+//!
+//! `tests/fixtures/` holds minimized `.amactrace` counterexamples emitted
+//! by the `amac-check` explorer (regenerate with
+//! `repro check consensus --broken --fixture <path>`; see
+//! `docs/CHECKING.md`). Each must keep replaying to the *same* violation
+//! from the stored bytes alone — the durable proof that the bug the
+//! checker found is real and stays reproducible without re-running the
+//! search.
+
+use amac::check::check_fixture;
+use std::path::Path;
+
+/// The agreement violation of the under-provisioned consensus (one phase
+/// against a 1-crash budget, n = 3): minimized schedule `[0, 1, 0, 0, 1]`
+/// — crash node 0 after it delivered its `false` estimate to node 1 but
+/// not to node 2.
+#[test]
+fn broken_consensus_fixture_reproduces_agreement_violation() {
+    let path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/broken_consensus_n3.amactrace");
+    let check = check_fixture(&path).expect("committed fixture must decode");
+    assert_eq!(
+        check.mac_violations, 0,
+        "the runtime honored the MAC guarantees throughout — the bug is the protocol's"
+    );
+    assert_eq!(
+        check.estimate_verdict.as_deref(),
+        Some("n1 decided false but n2 decided true (agreement)"),
+        "stored stream must reconstruct the original disagreement"
+    );
+    assert!(!check.is_clean());
+}
+
+/// The live explorer still finds and shrinks the same class of violation
+/// the committed fixture memorializes (guards against the fixture and the
+/// checker silently drifting apart).
+#[test]
+fn explorer_still_finds_the_committed_violation() {
+    use amac::check::{explore, Bounds, ConsensusScenario, PROP_CONSENSUS};
+    let report = explore(&ConsensusScenario::broken(3), &Bounds::default(), None);
+    let cx = report.counterexample.expect("broken consensus must fail");
+    assert_eq!(cx.property, PROP_CONSENSUS);
+    assert!(cx.detail.contains("agreement"));
+}

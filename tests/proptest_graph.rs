@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn components_partition_the_nodes(g in arb_graph()) {
         let comps = algo::components(&g);
-        let total: usize = comps.iter().map(|c| c.len()).sum();
+        let total: usize = comps.iter().map(amac::graph::NodeSet::len).sum();
         prop_assert_eq!(total, g.len());
         for (i, a) in comps.iter().enumerate() {
             for b in comps.iter().skip(i + 1) {
