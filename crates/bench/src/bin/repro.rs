@@ -23,7 +23,11 @@
 //! `--plots` appends an ASCII histogram/CDF of each sweep point's trial
 //! distribution to its table. `--json DIR` additionally writes one
 //! machine-readable `BENCH_<id>.json` per experiment (full dataset,
-//! engine parameters, wall clock) for tooling.
+//! engine parameters, wall clock) for tooling. `--shards K` runs every
+//! workload (sweeps and `--record`) on the sharded event queue with `K`
+//! shards; sharded execution is byte-identical to sequential
+//! (`tests/shard_equivalence.rs`), so only wall-clock-exempt cells may
+//! change.
 //!
 //! Stdout is **byte-identical for any `J`** — including adaptive trial
 //! counts and plot lines: trial `i` is seeded by `SimRng::split(i)`,
@@ -85,7 +89,7 @@ fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--list] [--markdown] [--smoke] [--trials N] [--jobs J] \
          [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR] \
-         [--record DIR]"
+         [--record DIR] [--shards K]"
     );
     eprintln!(
         "       repro replay FILE [FILE ...] [--observer validator|counter|trace|check] [--json DIR]"
@@ -167,6 +171,7 @@ fn main() {
     let mut plots = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut record_dir: Option<PathBuf> = None;
+    let mut shards = 0usize;
     let mut replay_mode = false;
     let mut replay_files: Vec<PathBuf> = Vec::new();
     let mut observer = "validator".to_string();
@@ -209,6 +214,7 @@ fn main() {
             "--plots" => plots = true,
             "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
             "--record" => record_dir = Some(dir_arg(&mut args, "--record")),
+            "--shards" => shards = count_arg(&mut args, "--shards"),
             "--observer" => {
                 observer = args.next().unwrap_or_else(|| {
                     eprintln!("--observer needs one of: validator, counter, trace, check");
@@ -292,13 +298,14 @@ fn main() {
     };
 
     if let Some(dir) = &record_dir {
-        record_canonical(dir, &specs, smoke, json_dir.as_deref());
+        record_canonical(dir, &specs, smoke, shards, json_dir.as_deref());
         return;
     }
 
     let mut runner = TrialRunner::new(trials, jobs)
         .with_trace_capture(dump_traces.is_some())
-        .with_plots(plots);
+        .with_plots(plots)
+        .with_shards(shards);
     if let Some(frac) = target_ci {
         // Adaptive mode needs headroom above the floor; default the cap to
         // 8x the floor when --max-trials is not given.
@@ -433,6 +440,7 @@ fn record_canonical(
     dir: &Path,
     specs: &[&'static ExperimentSpec],
     smoke: bool,
+    shards: usize,
     json_dir: Option<&Path>,
 ) {
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -442,7 +450,7 @@ fn record_canonical(
     let mut json_docs: Vec<(String, String)> = Vec::new();
     for spec in specs {
         let started = Instant::now();
-        let recorded = spec.record(dir, smoke);
+        let recorded = spec.record(dir, smoke, shards);
         println!("recorded {}", recorded.path.display());
         println!("{}", recorded.summary);
         if json_dir.is_some() {

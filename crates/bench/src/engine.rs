@@ -324,6 +324,7 @@ pub struct TrialRunner {
     target_ci: Option<f64>,
     capture: bool,
     plots: bool,
+    shards: usize,
 }
 
 impl TrialRunner {
@@ -338,6 +339,7 @@ impl TrialRunner {
             target_ci: None,
             capture: false,
             plots: false,
+            shards: 0,
         }
     }
 
@@ -407,6 +409,7 @@ impl TrialRunner {
             target_ci: None,
             capture: self.capture,
             plots: self.plots,
+            shards: self.shards,
         }
     }
 
@@ -443,6 +446,21 @@ impl TrialRunner {
     /// `true` when distribution plots are enabled.
     pub fn plots(&self) -> bool {
         self.plots
+    }
+
+    /// Sets the event-queue shard count experiments should run their
+    /// workloads with (0 = the sequential runtime). Sharding never changes
+    /// measured completion times or validator verdicts (see
+    /// `tests/shard_equivalence.rs`), so tables stay byte-identical across
+    /// `--shards` except for explicitly exempt wall-clock cells.
+    pub fn with_shards(mut self, shards: usize) -> TrialRunner {
+        self.shards = shards;
+        self
+    }
+
+    /// The event-queue shard count (0 = sequential).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Runs a sweep of `widths.len()` points, each measuring `widths[p]`

@@ -14,7 +14,7 @@
 //! | `ABL-ABORT` | [`ablation_abort`] | ablation: FMMB without the abort interface |
 //! | `CONS` | [`consensus_crash`] | NR18/ZT24 crash-tolerant consensus on the aMAC layer |
 //! | `ELECT` | [`election`] | NR18 wake-up/leader election via broadcast back-off |
-//! | `SCALE` | [`scale`] | runtime throughput + streaming-validation memory at n ≤ 10⁴ |
+//! | `SCALE` | [`scale`] | runtime throughput + streaming-validation memory at n ≤ 10⁶, sharded or sequential |
 
 pub mod ablation_abort;
 pub mod consensus_crash;
@@ -216,7 +216,7 @@ pub struct ExperimentSpec {
     /// clamped to a single trial).
     pub deterministic: bool,
     run: fn(bool, &TrialRunner) -> ExperimentOutput,
-    record: fn(&std::path::Path, bool) -> crate::record::RecordedTrace,
+    record: fn(&std::path::Path, bool, usize) -> crate::record::RecordedTrace,
 }
 
 impl ExperimentSpec {
@@ -228,9 +228,15 @@ impl ExperimentSpec {
 
     /// Records the experiment's canonical execution (`smoke` picks the
     /// small parameterisation) to `dir/<id>.amactrace` — see
-    /// [`crate::record`].
-    pub fn record(&self, dir: &std::path::Path, smoke: bool) -> crate::record::RecordedTrace {
-        (self.record)(dir, smoke)
+    /// [`crate::record`]. A non-zero `shards` records through the sharded
+    /// event queue; the bytes are identical by construction.
+    pub fn record(
+        &self,
+        dir: &std::path::Path,
+        smoke: bool,
+        shards: usize,
+    ) -> crate::record::RecordedTrace {
+        (self.record)(dir, smoke, shards)
     }
 }
 
@@ -349,8 +355,8 @@ pub fn registry() -> &'static [ExperimentSpec] {
         ExperimentSpec {
             id: "scale",
             label: "SCALE",
-            summary: "runtime throughput + streaming validation, n up to 10k",
-            detail: "BMMB floods on 1k..10k-node duals with the online validator: events/s and peak in-flight state",
+            summary: "runtime throughput + streaming validation, n up to 1M",
+            detail: "BMMB floods on 1k..1M-node grid duals (sharded with --shards K): events/s, validator and shard peaks",
             deterministic: scale::DETERMINISTIC,
             run: run_scale,
             record: crate::record::scale,

@@ -1,16 +1,27 @@
 //! `SCALE` — runtime throughput and streaming-validation memory at
-//! `n ∈ {1k, 2.5k, 5k, 10k}`.
+//! `n` up to 10⁶ (10⁵ in smoke mode), optionally on the sharded event
+//! queue.
 //!
 //! This experiment is about the *system*, not the paper: it sweeps BMMB
-//! floods over large `G′ = G` line duals with the streaming
+//! floods over large `G′ = G` jittered-grid duals
+//! ([`generators::grid_grey_zone_network`] with grey probability 0 — the
+//! O(n) generator with an analytic diameter, so topology construction
+//! never dominates the measurement) with the streaming
 //! [`OnlineValidator`](amac_mac::OnlineValidator) attached, and reports
 //!
 //! * **events/s** — wall-clock runtime throughput (the one column exempt
 //!   from the byte-identity contract, like the JSON wall clock);
 //! * **peak live / peak tracked** — the validator's peak in-flight state,
 //!   the evidence that conformance checking no longer retains the
-//!   execution: at `n = 10⁴` the validator tracks a few dozen instance
-//!   records while the execution produces tens of thousands;
+//!   execution: at `n = 10⁵` the validator tracks a few thousand instance
+//!   records while the execution produces millions of events;
+//! * **shards / peak shard q / barrier slack** — the sharded engine's
+//!   diagnostics when the runner carries `--shards K`: the max per-shard
+//!   peak pending-event count and the total simulated-time slack shards
+//!   accumulated at conservative-window barriers. Sharding never changes
+//!   any other column (`tests/shard_equivalence.rs` proves byte-identical
+//!   traces), so these cells are `-` in sequential runs and deterministic
+//!   for a given `K`;
 //! * **violations** — always 0: every sweep point is a fully validated
 //!   execution.
 //!
@@ -23,16 +34,19 @@ use super::LabeledOutlier;
 use crate::engine::{CellResult, TrialRunner};
 use crate::table::Table;
 use amac_core::{run_bmmb, Assignment, MmbReport, RunOptions};
-use amac_graph::{generators, DualGraph, NodeId};
+use amac_graph::{generators, NodeId};
 use amac_mac::policies::EagerPolicy;
 use amac_mac::MacConfig;
+use amac_sim::SimRng;
 use std::time::Instant;
 
 /// One measured scale point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScalePoint {
-    /// Network size (nodes on the line).
+    /// Network size (nodes on the jittered grid).
     pub n: usize,
+    /// Event-queue shard count the point ran with (0 = sequential).
+    pub shards: usize,
     /// Total runtime events processed.
     pub events: u64,
     /// MAC instances broadcast.
@@ -44,6 +58,12 @@ pub struct ScalePoint {
     /// Peak live + recently-retired instance records (the validator's
     /// whole per-instance memory).
     pub peak_tracked: u64,
+    /// Max over shards of the peak per-shard pending-event count
+    /// (0 when sequential).
+    pub peak_shard_pending: u64,
+    /// Total simulated-time ticks of conservative-window slack accumulated
+    /// at shard barriers (0 when sequential).
+    pub barrier_slack: u64,
     /// Validation violations (must be 0).
     pub violations: u64,
     /// Wall-clock events per second (machine-dependent; exempt from the
@@ -56,15 +76,20 @@ pub struct ScalePoint {
 pub struct Scale {
     /// One point per swept `n`.
     pub points: Vec<ScalePoint>,
+    /// Aggregate wall-clock throughput over the whole sweep: total events
+    /// processed divided by total measured seconds (machine-dependent).
+    pub aggregate_events_per_sec: f64,
     /// Captured outlier traces (capture replays re-run with a trace
     /// observer attached; empty otherwise).
     pub outliers: Vec<LabeledOutlier>,
-    /// Rendered table. The `events/s` column is wall clock; every other
-    /// cell is byte-identical across `--jobs` and machines.
+    /// Rendered table. The `events/s` cells (and the aggregate note) are
+    /// wall clock; the shard-diagnostic columns depend on `--shards`;
+    /// every other cell is byte-identical across `--jobs`, `--shards`,
+    /// and machines.
     pub table: Table,
 }
 
-/// The workload is a deterministic BMMB line flood under the eager
+/// The workload is a deterministic BMMB grid flood under the eager
 /// scheduler: extra trials would re-measure identical values.
 pub const DETERMINISTIC: bool = true;
 
@@ -77,22 +102,30 @@ pub const PRE_REFACTOR_PIN_EVENTS_PER_SEC: f64 = 3_200_000.0;
 /// Messages flooded per point (small and fixed: the sweep scales `n`).
 const MESSAGES: usize = 2;
 
-fn measure(n: usize, capture: bool) -> (MmbReport, f64) {
-    let dual = DualGraph::reliable(generators::line(n).expect("n >= 2"));
+/// Topology seed. Only the grid jitter flows from it (grey probability is
+/// 0, so `G′ = G` and the edge set is fixed by the grid arithmetic).
+const TOPOLOGY_SEED: u64 = 0x5CA1E;
+
+fn measure(n: usize, shards: usize, capture: bool) -> (MmbReport, f64) {
+    let mut rng = SimRng::seed(TOPOLOGY_SEED ^ n as u64);
+    let net = generators::grid_grey_zone_network(n, 0.0, &mut rng).expect("n >= 1");
     let assignment = Assignment::all_at(NodeId::new(0), MESSAGES);
     let config = MacConfig::from_ticks(2, 32);
     let options = if capture {
         RunOptions::default().capturing_trace()
     } else {
         RunOptions::default() // streaming validation on, no trace
-    };
+    }
+    .with_shards(shards);
     let started = Instant::now();
-    let report = run_bmmb(&dual, config, &assignment, EagerPolicy::new(), &options);
+    let report = run_bmmb(&net.dual, config, &assignment, EagerPolicy::new(), &options);
     (report, started.elapsed().as_secs_f64())
 }
 
-/// Runs the scale sweep over the given network sizes.
+/// Runs the scale sweep over the given network sizes, on the runner's
+/// shard count (0 = sequential).
 pub fn run(ns: &[usize], runner: &TrialRunner) -> Scale {
+    let shards = runner.shards();
     let runner = runner.deterministic();
     // The engine sweep exists solely to serve `--dump-traces` outlier
     // capture; without capture its results would be discarded, so skip
@@ -105,7 +138,7 @@ pub fn run(ns: &[usize], runner: &TrialRunner) -> Scale {
             &widths,
             |_trial| (),
             |_, cell| {
-                let (report, _) = measure(ns[cell.point], cell.capture_requested());
+                let (report, _) = measure(ns[cell.point], shards, cell.capture_requested());
                 CellResult::scalar(report.completion_ticks() as f64)
                     .with_capture(super::mmb_capture(&report))
             },
@@ -118,11 +151,13 @@ pub fn run(ns: &[usize], runner: &TrialRunner) -> Scale {
     // The wall-clock lane is measured outside the engine, sequentially and
     // after a warm-up, so worker contention never pollutes the throughput
     // numbers (and the engine's aggregates stay fully deterministic).
-    let _warmup = measure(ns[0], false);
+    let _warmup = measure(ns[0], shards, false);
+    let mut total_events = 0u64;
+    let mut total_secs = 0.0f64;
     let points: Vec<ScalePoint> = ns
         .iter()
         .map(|&n| {
-            let (report, secs) = measure(n, false);
+            let (report, secs) = measure(n, shards, false);
             let stats = report
                 .validator_stats
                 .expect("scale runs with streaming validation attached");
@@ -134,47 +169,78 @@ pub fn run(ns: &[usize], runner: &TrialRunner) -> Scale {
                 report.missing, 0,
                 "scale flood must complete at n={n}: {report}"
             );
+            let events = report.counters.get("events");
+            total_events += events;
+            total_secs += secs;
+            let (peak_shard_pending, barrier_slack) =
+                report.shard_stats.as_ref().map_or((0, 0), |s| {
+                    (s.max_peak_pending() as u64, s.total_slack_ticks())
+                });
             ScalePoint {
                 n,
-                events: report.counters.get("events"),
+                shards,
+                events,
                 instances: report.instances as u64,
                 completion: report.completion_ticks(),
                 peak_live: stats.peak_live as u64,
                 peak_tracked: stats.peak_tracked as u64,
+                peak_shard_pending,
+                barrier_slack,
                 violations,
-                events_per_sec: report.counters.get("events") as f64 / secs.max(1e-9),
+                events_per_sec: events as f64 / secs.max(1e-9),
             }
         })
         .collect();
+    let aggregate_events_per_sec = total_events as f64 / total_secs.max(1e-9);
 
     let mut table = Table::new(
-        format!("SCALE  BMMB flood, G'=G line, streaming validation (k={MESSAGES}, eager)"),
+        format!(
+            "SCALE  BMMB flood, G'=G jittered grid, streaming validation (k={MESSAGES}, eager)"
+        ),
         &[
             "n",
+            "shards",
             "events",
             "instances",
             "completion",
             "peak live",
             "peak tracked",
+            "peak shard q",
+            "barrier slack",
             "events/s",
             "violations",
         ],
     );
+    let shard_cell = |v: u64| {
+        if shards == 0 {
+            "-".to_string()
+        } else {
+            v.to_string()
+        }
+    };
     for p in &points {
         table.row([
             p.n.to_string(),
+            shard_cell(p.shards as u64),
             p.events.to_string(),
             p.instances.to_string(),
             p.completion.to_string(),
             p.peak_live.to_string(),
             p.peak_tracked.to_string(),
+            shard_cell(p.peak_shard_pending),
+            shard_cell(p.barrier_slack),
             format!("{:.2e}", p.events_per_sec),
             p.violations.to_string(),
         ]);
     }
+    table.note(format!(
+        "aggregate: {aggregate_events_per_sec:.2e} events/s over the sweep ({total_events} events)",
+    ));
     table.note(
-        "events/s is wall clock (machine-dependent) and exempt from the byte-identity \
-         contract; every other column is deterministic",
+        "events/s and the aggregate are wall clock (machine-dependent) and exempt from the \
+         byte-identity contract; shards/peak shard q/barrier slack describe the event-queue \
+         sharding (deterministic for a given --shards, `-` when sequential); every other \
+         column is invariant across --jobs and --shards",
     );
     table.note(format!(
         "peak live/tracked = streaming validator state: bounded by in-flight instances, \
@@ -184,37 +250,43 @@ pub fn run(ns: &[usize], runner: &TrialRunner) -> Scale {
 
     Scale {
         points,
+        aggregate_events_per_sec,
         outliers,
         table,
     }
 }
 
-/// Default parameterisation: the full 1k → 10k sweep.
+/// Default parameterisation: 10³ → 10⁶ on the jittered grid. The 10⁶
+/// point is tens of seconds wall clock (14M events; see the worked
+/// example in EXPERIMENTS.md) — full mode only, smoke stops at 10⁵.
 pub fn run_default_with(runner: &TrialRunner) -> Scale {
-    run(&[1000, 2500, 5000, 10_000], runner)
+    run(&[1000, 10_000, 100_000, 1_000_000], runner)
 }
 
-/// Smoke parameterisation: seconds-scale, but still driving an n=5,000
-/// execution end-to-end under streaming validation (the acceptance bar
-/// for the observer pipeline).
+/// Smoke parameterisation: seconds-scale in release builds, but still
+/// driving a fully validated n=10⁵ execution end-to-end (the acceptance
+/// bar for the sharded simulator; CI runs it with `--shards 4`).
 pub fn run_smoke_with(runner: &TrialRunner) -> Scale {
-    run(&[1000, 5000], runner)
+    run(&[1000, 100_000], runner)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// The acceptance criterion of the observer refactor: an n=5,000 MMB
-    /// execution completes end-to-end with the streaming validator
-    /// attached, zero violations, and no full-trace retention — the
-    /// validator's peak state is bounded by the in-flight instances (a
-    /// small multiple of the frontier), not by the execution length.
+    /// The acceptance criterion of the observer refactor, re-derived for
+    /// the grid workload: an n=5,000 MMB execution completes end-to-end
+    /// with the streaming validator attached, zero violations, and no
+    /// full-trace retention — on a grid the flood frontier is O(√n) nodes
+    /// wide, and the validator's peak state tracks that frontier, not the
+    /// execution volume. (`run_smoke_with` itself drives n=10⁵, sized for
+    /// release-mode CI — too slow for a debug-build unit test, so this
+    /// drives `run` directly.)
     #[test]
-    fn smoke_runs_n5000_with_bounded_validator_state() {
-        let res = run_smoke_with(&TrialRunner::new(1, 2));
+    fn n5000_grid_flood_has_bounded_validator_state() {
+        let res = run(&[1000, 5000], &TrialRunner::new(1, 2));
         assert_eq!(res.points.len(), 2);
-        let big = res.points.last().unwrap();
+        let (small, big) = (&res.points[0], &res.points[1]);
         assert_eq!(big.n, 5000);
         assert_eq!(big.violations, 0, "streaming validation must pass");
         assert!(big.completion > 0);
@@ -222,22 +294,78 @@ mod tests {
             big.instances >= 2 * 5000 - 1,
             "every node rebroadcasts every message"
         );
-        // No full-trace retention: the execution produced ~10k instances
-        // (and several times as many events), while the validator's whole
-        // per-instance memory stayed at a tiny fraction of that.
+        // Frontier, not volume: peak live instances stay within a small
+        // multiple of the grid diagonal (~√n), and the validator never
+        // retains even half of the instance records the execution
+        // produced.
+        for p in [small, big] {
+            let diag = (p.n as f64).sqrt();
+            assert!(
+                (p.peak_live as f64) <= 8.0 * diag,
+                "n={}: peak live {} exceeds 8·√n = {:.0}",
+                p.n,
+                p.peak_live,
+                8.0 * diag
+            );
+            assert!(
+                p.peak_live <= p.peak_tracked && p.peak_tracked < p.instances,
+                "n={}: peak live {} / tracked {} vs {} instances",
+                p.n,
+                p.peak_live,
+                p.peak_tracked,
+                p.instances
+            );
+        }
         assert!(
-            big.peak_tracked * 20 <= big.events,
-            "peak tracked {} vs {} events — validator state must be bounded by \
-             in-flight instances, not execution length",
-            big.peak_tracked,
-            big.events
-        );
-        assert!(
-            big.peak_live <= big.peak_tracked && big.peak_tracked < big.instances / 10,
-            "peak live {} / tracked {} vs {} instances",
-            big.peak_live,
+            big.peak_tracked * 2 < big.instances,
+            "peak tracked {} vs {} instances — no full-trace retention",
             big.peak_tracked,
             big.instances
+        );
+        // Sub-linear growth: 5× the nodes must grow the live frontier by
+        // roughly √5, nowhere near 5×.
+        assert!(
+            big.peak_live < 3 * small.peak_live,
+            "peak live grew {} → {} across a 5× size step — frontier \
+             tracking must be sub-linear",
+            small.peak_live,
+            big.peak_live
+        );
+        assert!(res.aggregate_events_per_sec > 0.0);
+    }
+
+    /// Sharded and sequential sweeps agree on every deterministic workload
+    /// column, and the sharded run reports non-trivial shard diagnostics.
+    #[test]
+    fn sharded_sweep_matches_sequential_workload_columns() {
+        let seq = run(&[600], &TrialRunner::new(1, 2));
+        let sh = run(&[600], &TrialRunner::new(1, 2).with_shards(4));
+        let (s, p) = (&seq.points[0], &sh.points[0]);
+        assert_eq!(
+            (
+                s.events,
+                s.instances,
+                s.completion,
+                s.peak_live,
+                s.peak_tracked,
+                s.violations
+            ),
+            (
+                p.events,
+                p.instances,
+                p.completion,
+                p.peak_live,
+                p.peak_tracked,
+                p.violations
+            ),
+            "sharding must not change any measured workload value"
+        );
+        assert_eq!(s.shards, 0);
+        assert_eq!(p.shards, 4);
+        assert_eq!((s.peak_shard_pending, s.barrier_slack), (0, 0));
+        assert!(
+            p.peak_shard_pending > 0,
+            "sharded run tracks per-shard peaks"
         );
     }
 

@@ -38,10 +38,14 @@ pub struct RecordedTrace {
     pub summary: TraceSummary,
 }
 
-/// Builds the per-experiment trace path and recording options.
-fn recording(dir: &Path, id: &str, seed: u64) -> (PathBuf, RunOptions) {
+/// Builds the per-experiment trace path and recording options. A non-zero
+/// `shards` runs the sharded event queue — the recorded bytes must not
+/// change (see `tests/shard_equivalence.rs`).
+fn recording(dir: &Path, id: &str, seed: u64, shards: usize) -> (PathBuf, RunOptions) {
     let path = dir.join(format!("{id}.amactrace"));
-    let options = RunOptions::default().recording(&path, seed);
+    let options = RunOptions::default()
+        .recording(&path, seed)
+        .with_shards(shards);
     (path, options)
 }
 
@@ -61,9 +65,9 @@ fn summarize(
 
 /// `F1-GG`: BMMB flood on a reliable line under the lazy duplicate-feeding
 /// scheduler.
-pub fn fig1_gg(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn fig1_gg(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (d, k) = if smoke { (8, 4) } else { (32, 8) };
-    let (path, options) = recording(dir, "fig1_gg", 0);
+    let (path, options) = recording(dir, "fig1_gg", 0, shards);
     let dual = DualGraph::reliable(generators::line(d + 1).expect("d >= 1"));
     let report = run_bmmb(
         &dual,
@@ -77,10 +81,10 @@ pub fn fig1_gg(dir: &Path, smoke: bool) -> RecordedTrace {
 
 /// `F1-RR`: BMMB on a line with a seeded `r`-restricted unreliable
 /// augmentation.
-pub fn fig1_r_restricted(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn fig1_r_restricted(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (d, k) = if smoke { (8, 4) } else { (32, 8) };
     let seed = 0xF1_22;
-    let (path, options) = recording(dir, "fig1_r_restricted", seed);
+    let (path, options) = recording(dir, "fig1_r_restricted", seed, shards);
     let g = generators::line(d + 1).expect("d >= 1");
     let mut rng = SimRng::seed(seed);
     let dual = generators::r_restricted_augment(g, 2, 0.5, &mut rng).expect("valid parameters");
@@ -96,9 +100,9 @@ pub fn fig1_r_restricted(dir: &Path, smoke: bool) -> RecordedTrace {
 
 /// `F1-ARB`: BMMB on a line with evenly spaced long-range unreliable
 /// shortcuts.
-pub fn fig1_arbitrary(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn fig1_arbitrary(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (d, k) = if smoke { (8, 4) } else { (32, 8) };
-    let (path, options) = recording(dir, "fig1_arbitrary", 0);
+    let (path, options) = recording(dir, "fig1_arbitrary", 0, shards);
     let g = generators::line(d + 1).expect("d >= 1");
     let dual = generators::long_range_augment(g, d / 4).expect("valid augment");
     let report = run_bmmb(
@@ -113,9 +117,9 @@ pub fn fig1_arbitrary(dir: &Path, smoke: bool) -> RecordedTrace {
 
 /// `LB`: the Lemma 3.18 choke star under the lazy duplicate-feeding
 /// scheduler (the `Ω(k·F_ack)` witness).
-pub fn lower_bounds(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn lower_bounds(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let k = if smoke { 6 } else { 16 };
-    let (path, options) = recording(dir, "lower_bounds", 0);
+    let (path, options) = recording(dir, "lower_bounds", 0, shards);
     let (dual, assignment) = choke_star_instance(k);
     let report = run_bmmb(
         &dual,
@@ -139,10 +143,10 @@ fn grey_zone(n: usize, seed: u64) -> (DualGraph, SimRng) {
 
 /// `F1-ENH`: FMMB (MIS + gather + spread) on a seeded grey-zone dual in
 /// the enhanced model.
-pub fn fig1_fmmb(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn fig1_fmmb(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (n, k) = if smoke { (24, 3) } else { (64, 6) };
     let seed = 0xE0_14;
-    let (path, options) = recording(dir, "fig1_fmmb", seed);
+    let (path, options) = recording(dir, "fig1_fmmb", seed, shards);
     let (dual, mut rng) = grey_zone(n, seed);
     let assignment = Assignment::random(n, k, &mut rng);
     let params = FmmbParams::new(k, dual.diameter());
@@ -161,10 +165,10 @@ pub fn fig1_fmmb(dir: &Path, smoke: bool) -> RecordedTrace {
 /// `SUB-*`: the subroutine experiment's instrumented runner takes no
 /// [`RunOptions`], so the canonical trace is the underlying FMMB execution
 /// the milestones are carved from — same dual, same schedule.
-pub fn subroutines(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn subroutines(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (n, k) = if smoke { (24, 3) } else { (64, 6) };
     let seed = 0x50_B5;
-    let (path, options) = recording(dir, "subroutines", seed);
+    let (path, options) = recording(dir, "subroutines", seed, shards);
     let (dual, mut rng) = grey_zone(n, seed);
     let assignment = Assignment::random(n, k, &mut rng);
     let params = FmmbParams::new(k, dual.diameter());
@@ -181,10 +185,10 @@ pub fn subroutines(dir: &Path, smoke: bool) -> RecordedTrace {
 }
 
 /// `ABL`: FMMB with the enhanced-layer abort interface disabled.
-pub fn ablation_abort(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn ablation_abort(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (n, k) = if smoke { (24, 3) } else { (64, 6) };
     let seed = 0xAB_07;
-    let (path, options) = recording(dir, "ablation_abort", seed);
+    let (path, options) = recording(dir, "ablation_abort", seed, shards);
     let (dual, mut rng) = grey_zone(n, seed);
     let assignment = Assignment::random(n, k, &mut rng);
     let params = FmmbParams::new(k, dual.diameter()).without_abort();
@@ -203,10 +207,10 @@ pub fn ablation_abort(dir: &Path, smoke: bool) -> RecordedTrace {
 /// `CONS`: crash-tolerant flooding consensus on a complete reliable dual
 /// with a seeded random crash plan — the one canonical trace whose
 /// fault-plan section is non-empty.
-pub fn consensus_crash(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn consensus_crash(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let (n, crashes) = if smoke { (8, 2) } else { (16, 4) };
     let seed = 0xC0_45;
-    let (path, options) = recording(dir, "consensus_crash", seed);
+    let (path, options) = recording(dir, "consensus_crash", seed, shards);
     let config = MacConfig::from_ticks(2, 16).enhanced();
     let params = ConsensusParams::for_crashes(crashes, &config);
     let mut rng = SimRng::seed(seed);
@@ -227,10 +231,10 @@ pub fn consensus_crash(dir: &Path, smoke: bool) -> RecordedTrace {
 }
 
 /// `ELECT`: randomized wake-up/leader election on a seeded grey-zone dual.
-pub fn election(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn election(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let n = if smoke { 16 } else { 48 };
     let seed = 0xE1_EC;
-    let (path, options) = recording(dir, "election", seed);
+    let (path, options) = recording(dir, "election", seed, shards);
     let (dual, mut rng) = grey_zone(n, seed);
     let report = run_election(
         &dual,
@@ -246,9 +250,9 @@ pub fn election(dir: &Path, smoke: bool) -> RecordedTrace {
 
 /// `SCALE`: the throughput workload — an eager BMMB line flood — at a
 /// recordable size.
-pub fn scale(dir: &Path, smoke: bool) -> RecordedTrace {
+pub fn scale(dir: &Path, smoke: bool, shards: usize) -> RecordedTrace {
     let n = if smoke { 200 } else { 1000 };
-    let (path, options) = recording(dir, "scale", 0);
+    let (path, options) = recording(dir, "scale", 0, shards);
     let dual = DualGraph::reliable(generators::line(n).expect("n >= 2"));
     let report = run_bmmb(
         &dual,
@@ -275,7 +279,7 @@ mod tests {
     fn every_registry_experiment_records_and_replays_identically() {
         let dir = temp_dir("all");
         for spec in crate::experiments::registry() {
-            let recorded = spec.record(&dir, true);
+            let recorded = spec.record(&dir, true, 0);
             let replayed = replay_validate(TraceReader::open(&recorded.path).unwrap())
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
             assert_eq!(
@@ -291,7 +295,7 @@ mod tests {
     #[test]
     fn consensus_trace_stores_its_fault_plan_digest() {
         let dir = temp_dir("cons");
-        let recorded = consensus_crash(&dir, true);
+        let recorded = consensus_crash(&dir, true, 0);
         assert_ne!(recorded.summary.header.fault_plan_digest, 0);
         assert!(recorded.summary.faults > 0, "crashes must be recorded");
         std::fs::remove_file(&recorded.path).ok();

@@ -177,38 +177,84 @@ fn captured_outlier_traces_pass_the_validator() {
     assert_eq!(captured, plain.table.to_string());
 }
 
+/// Drops the named columns from a rendered table, keeping everything else
+/// (cell-level masking — no regex, just header-name lookup).
+fn strip_columns(
+    table: &amac_bench::table::Table,
+    exempt: &[&str],
+) -> (Vec<String>, Vec<Vec<String>>) {
+    let cols: Vec<usize> = exempt
+        .iter()
+        .map(|name| {
+            table
+                .headers()
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("column {name} present"))
+        })
+        .collect();
+    let keep = |i: &usize| !cols.contains(i);
+    let headers: Vec<String> = table
+        .headers()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep(i))
+        .map(|(_, h)| h.clone())
+        .collect();
+    let rows: Vec<Vec<String>> = table
+        .rows()
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|(i, _)| keep(i))
+                .map(|(_, c)| c.clone())
+                .collect()
+        })
+        .collect();
+    (headers, rows)
+}
+
 #[test]
 fn scale_tables_are_jobs_invariant_modulo_wall_clock() {
     // The scale experiment's `events/s` column is wall clock and exempt
     // from the byte-identity contract (like the JSON wall clock); every
-    // other cell — events, instances, completion, validator peaks,
-    // violations — must be byte-identical across worker counts.
-    let strip = |table: &amac_bench::table::Table| {
-        let col = table
-            .headers()
-            .iter()
-            .position(|h| h == "events/s")
-            .expect("events/s column present");
-        let rows: Vec<Vec<String>> = table
-            .rows()
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != col)
-                    .map(|(_, c)| c.clone())
-                    .collect()
-            })
-            .collect();
-        (table.headers().to_vec(), rows)
-    };
+    // other cell — events, instances, completion, validator peaks, shard
+    // diagnostics, violations — must be byte-identical across worker
+    // counts.
     let serial = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 1));
     let parallel = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 8));
     assert_eq!(
-        strip(&serial.table),
-        strip(&parallel.table),
+        strip_columns(&serial.table, &["events/s"]),
+        strip_columns(&parallel.table, &["events/s"]),
         "SCALE: jobs=1 and jobs=8 must agree on every deterministic cell"
     );
+}
+
+#[test]
+fn scale_tables_are_shards_invariant_modulo_diagnostics() {
+    // `--shards K` replays the identical event sequence (proven trace-level
+    // in tests/shard_equivalence.rs), so every workload cell — events,
+    // instances, completion, validator peaks, violations — must be
+    // byte-identical across the jobs × shards grid. Only the wall-clock
+    // `events/s` cells and the three shard-diagnostic columns (which
+    // describe the engine configuration itself) are exempt.
+    const EXEMPT: &[&str] = &["events/s", "shards", "peak shard q", "barrier slack"];
+    let render = |jobs: usize, shards: usize| {
+        let runner = TrialRunner::new(4, jobs).with_shards(shards);
+        strip_columns(&experiments::scale::run(&[200, 600], &runner).table, EXEMPT)
+    };
+    let reference = render(1, 0);
+    for jobs in [1usize, 8] {
+        for shards in [0usize, 1, 4, 7] {
+            assert_eq!(
+                reference,
+                render(jobs, shards),
+                "SCALE: jobs={jobs} shards={shards} must agree with the sequential \
+                 run on every workload cell"
+            );
+        }
+    }
 }
 
 #[test]

@@ -156,6 +156,9 @@ pub fn run_fmmb<P: Policy>(
         .collect();
 
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if options.shards > 0 {
+        rt = rt.with_shards(options.shards);
+    }
     let validator = options
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));

@@ -41,6 +41,12 @@ pub struct RunOptions {
     /// identifies which seeded execution the file holds). Ignored without
     /// [`record`](RunOptions::record).
     pub record_seed: u64,
+    /// Number of event-queue shards: `0` (the default) runs the classic
+    /// sequential runtime; `k ≥ 1` runs the sharded runtime
+    /// ([`Runtime::with_shards`]) with `k` conservative time-windowed
+    /// shards. The execution is byte-identical either way — sharding
+    /// changes how events are queued, never what happens.
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -52,6 +58,7 @@ impl Default for RunOptions {
             horizon: Time::MAX,
             record: None,
             record_seed: 0,
+            shards: 0,
         }
     }
 }
@@ -92,6 +99,13 @@ impl RunOptions {
     pub fn recording(mut self, path: impl AsRef<Path>, seed: u64) -> RunOptions {
         self.record = Some(path.as_ref().to_path_buf());
         self.record_seed = seed;
+        self
+    }
+
+    /// Runs on `shards` event-queue shards (see [`RunOptions::shards`]);
+    /// `0` restores the sequential runtime.
+    pub fn with_shards(mut self, shards: usize) -> RunOptions {
+        self.shards = shards;
         self
     }
 }
@@ -158,6 +172,9 @@ pub struct MmbReport {
     /// The recorded execution trace, when [`RunOptions::keep_trace`] was
     /// set.
     pub trace: Option<Trace>,
+    /// Per-shard execution statistics when the run was sharded
+    /// ([`RunOptions::shards`] ≥ 1), `None` for sequential runs.
+    pub shard_stats: Option<amac_sim::ShardStats>,
 }
 
 impl MmbReport {
@@ -213,6 +230,9 @@ where
     let mut make_node = make_node;
     let nodes = (0..dual.len()).map(|i| make_node(NodeId::new(i))).collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if options.shards > 0 {
+        rt = rt.with_shards(options.shards);
+    }
     let validator = options
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
@@ -261,6 +281,7 @@ where
         validation,
         validator_stats,
         trace,
+        shard_stats: rt.shard_stats(),
     }
 }
 

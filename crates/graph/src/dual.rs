@@ -56,6 +56,29 @@ impl DualGraph {
     /// [`GraphError::NodeCountMismatch`] if the layers have different sizes;
     /// [`GraphError::NotSupergraph`] if a reliable edge is absent from `G′`.
     pub fn new(g: Graph, g_prime: Graph) -> Result<DualGraph, GraphError> {
+        let diameter = algo::diameter(&g);
+        DualGraph::with_diameter(g, g_prime, diameter)
+    }
+
+    /// Creates a dual graph like [`DualGraph::new`] but trusting a
+    /// caller-supplied diameter for `G`, skipping the all-pairs BFS.
+    ///
+    /// `DualGraph::new` costs `O(n · |E|)` to compute the diameter, which is
+    /// prohibitive for the 10⁵–10⁶-node networks the sharded simulator
+    /// targets. Generators whose topology has an analytically known diameter
+    /// (e.g. [`crate::generators::grid_grey_zone_network`]) use this
+    /// constructor instead. The supergraph invariant is still validated; the
+    /// diameter is not (callers must supply the exact value, since the MMB
+    /// bound checks depend on it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DualGraph::new`].
+    pub fn with_diameter(
+        g: Graph,
+        g_prime: Graph,
+        diameter: usize,
+    ) -> Result<DualGraph, GraphError> {
         if g.len() != g_prime.len() {
             return Err(GraphError::NodeCountMismatch {
                 g: g.len(),
@@ -70,7 +93,6 @@ impl DualGraph {
         let extra: Vec<Vec<NodeId>> = (0..g.len())
             .map(|i| g_prime.extra_neighbors(&g, NodeId::new(i)))
             .collect();
-        let diameter = algo::diameter(&g);
         Ok(DualGraph {
             g: Arc::new(g),
             g_prime: Arc::new(g_prime),

@@ -177,6 +177,115 @@ pub fn connected_grey_zone_network<R: Rng + ?Sized>(
     })
 }
 
+/// Grid spacing for [`grid_grey_zone_network`]. With jitter below
+/// [`GRID_JITTER`], axis-aligned grid neighbors stay within unit distance
+/// (reliable) while diagonal neighbors land in `(1, 2]` (grey zone).
+const GRID_SPACING: f64 = 0.9;
+/// Maximum per-coordinate jitter for [`grid_grey_zone_network`].
+const GRID_JITTER: f64 = 0.02;
+
+/// Samples a scalable jittered-grid grey-zone network in `O(n)` time:
+/// node `i` sits near grid cell `(i % cols, i / cols)` (with `cols ≈ √n`)
+/// at spacing 0.9 with per-coordinate jitter below 0.02, so
+///
+/// * `G` — the unit disk graph — is **exactly** the 4-neighbor grid
+///   (axis-aligned neighbors are at distance ≤ 0.95, everything else is at
+///   distance ≥ 1.21), hence connected by construction with diameter
+///   `(rows − 1) + (cols − 1)`;
+/// * diagonal grid neighbors are at distance in `[1.21, 1.33] ⊆ (1, 2]`,
+///   and each becomes a `G′ \ G` grey-zone edge independently with
+///   probability `grey_edge_probability`.
+///
+/// Unlike [`grey_zone_network`] (rejection-sampled uniform points, `O(n²)`
+/// pair scan, `O(n · |E|)` diameter), this generator needs no connectivity
+/// rejection and no all-pairs BFS, so it scales to the 10⁵–10⁶-node duals
+/// the sharded simulator targets. The grey-zone constraint (`c = 2`) holds
+/// by construction and is spot-checked in debug builds for small `n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for `n == 0` or a probability
+/// outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::generators::grid_grey_zone_network;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let net = grid_grey_zone_network(1000, 0.5, &mut rng)?;
+/// assert_eq!(net.dual.len(), 1000);
+/// net.dual.check_grey_zone(&net.embedding, net.c)?;
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+pub fn grid_grey_zone_network<R: Rng + ?Sized>(
+    n: usize,
+    grey_edge_probability: f64,
+    rng: &mut R,
+) -> Result<GreyZoneNetwork, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "grid grey zone network needs at least 1 node".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&grey_edge_probability) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("grey edge probability {grey_edge_probability} outside [0, 1]"),
+        });
+    }
+
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let cols = cols.max(1);
+    let rows = n.div_ceil(cols);
+
+    let positions: Vec<Point> = (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            let jx = (rng.gen::<f64>() * 2.0 - 1.0) * GRID_JITTER;
+            let jy = (rng.gen::<f64>() * 2.0 - 1.0) * GRID_JITTER;
+            Point::new(c as f64 * GRID_SPACING + jx, r as f64 * GRID_SPACING + jy)
+        })
+        .collect();
+    let embedding = Embedding::new(positions);
+
+    let mut bg = GraphBuilder::new(n);
+    let mut bp = GraphBuilder::new(n);
+    for i in 0..n {
+        let c = i % cols;
+        if c + 1 < cols && i + 1 < n {
+            bg.try_add_edge_idx(i, i + 1)?;
+            bp.try_add_edge_idx(i, i + 1)?;
+        }
+        if i + cols < n {
+            bg.try_add_edge_idx(i, i + cols)?;
+            bp.try_add_edge_idx(i, i + cols)?;
+        }
+        // Diagonal (grey zone) candidates, consumed in deterministic order.
+        if c + 1 < cols && i + cols + 1 < n && rng.gen_bool(grey_edge_probability) {
+            bp.try_add_edge_idx(i, i + cols + 1)?;
+        }
+        if c > 0 && i + cols - 1 < n && rng.gen_bool(grey_edge_probability) {
+            bp.try_add_edge_idx(i, i + cols - 1)?;
+        }
+    }
+
+    let diameter = if rows == 1 {
+        n - 1
+    } else {
+        (rows - 1) + (cols - 1)
+    };
+    let dual = DualGraph::with_diameter(bg.build(), bp.build(), diameter)?;
+    debug_assert!(n > 2048 || dual.check_grey_zone(&embedding, 2.0).is_ok());
+    debug_assert!(n > 2048 || dual.diameter() == crate::algo::diameter(dual.g()));
+    Ok(GreyZoneNetwork {
+        dual,
+        embedding,
+        c: 2.0,
+    })
+}
+
 /// A deterministic embedded line with the given spacing: node `i` at
 /// `(i · spacing, 0)`. With `spacing ≤ 1` the unit disk graph is the path;
 /// useful for grey-zone variants of line topologies.
@@ -274,6 +383,61 @@ mod tests {
         let cfg = GreyZoneConfig::new(50, 4.0);
         let net = connected_grey_zone_network(&cfg, 100, &mut rng).unwrap();
         assert!(crate::algo::is_connected(net.dual.g()));
+    }
+
+    #[test]
+    fn grid_network_satisfies_grey_zone_and_is_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = grid_grey_zone_network(200, 0.6, &mut rng).unwrap();
+        assert_eq!(net.dual.len(), 200);
+        net.dual.check_grey_zone(&net.embedding, net.c).unwrap();
+        assert!(crate::algo::is_connected(net.dual.g()));
+        assert!(net.dual.unreliable_edge_count() > 0);
+        // Cached diameter matches the all-pairs BFS ground truth.
+        assert_eq!(net.dual.diameter(), crate::algo::diameter(net.dual.g()));
+    }
+
+    #[test]
+    fn grid_network_reliable_layer_is_four_neighbor_grid() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // 12 nodes, cols = 4: a 3x4 grid.
+        let net = grid_grey_zone_network(12, 0.0, &mut rng).unwrap();
+        assert!(net.dual.is_reliable_only());
+        // Interior node 5 = (row 1, col 1) has 4 reliable neighbors.
+        assert_eq!(net.dual.reliable_neighbors(NodeId::new(5)).len(), 4);
+        // Corner node 0 has 2.
+        assert_eq!(net.dual.reliable_neighbors(NodeId::new(0)).len(), 2);
+        assert_eq!(net.dual.diameter(), 5); // (3-1) + (4-1)
+    }
+
+    #[test]
+    fn grid_network_handles_partial_last_row_and_tiny_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 2, 3, 5, 7, 10, 11] {
+            let net = grid_grey_zone_network(n, 0.5, &mut rng).unwrap();
+            assert_eq!(net.dual.len(), n);
+            assert!(crate::algo::is_connected(net.dual.g()));
+            assert_eq!(net.dual.diameter(), crate::algo::diameter(net.dual.g()));
+            net.dual.check_grey_zone(&net.embedding, net.c).unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_network_is_deterministic_per_seed() {
+        let a = grid_grey_zone_network(80, 0.5, &mut StdRng::seed_from_u64(6)).unwrap();
+        let b = grid_grey_zone_network(80, 0.5, &mut StdRng::seed_from_u64(6)).unwrap();
+        assert_eq!(a.embedding, b.embedding);
+        assert_eq!(
+            a.dual.g_prime().edges().collect::<Vec<_>>(),
+            b.dual.g_prime().edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_network_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(grid_grey_zone_network(0, 0.5, &mut rng).is_err());
+        assert!(grid_grey_zone_network(10, 1.5, &mut rng).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod lower_bound;
 pub use augment::{arbitrary_augment, long_range_augment, r_restricted_augment};
 pub use classic::{barbell, choke_star, complete, grid, line, ring, star, tree};
 pub use geometric::{
-    connected_grey_zone_network, embedded_line, grey_zone_network, GreyZoneConfig, GreyZoneNetwork,
+    connected_grey_zone_network, embedded_line, grey_zone_network, grid_grey_zone_network,
+    GreyZoneConfig, GreyZoneNetwork,
 };
 pub use lower_bound::{dual_line, DualLineNetwork, DUAL_LINE_C};

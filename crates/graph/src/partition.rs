@@ -1,0 +1,346 @@
+//! Graph partitioning for the sharded simulator.
+//!
+//! The sharded MAC runtime splits the dual graph's nodes into `K` shards,
+//! each driven by its own event queue, with conservative time-windowed
+//! synchronization at shard boundaries. The partitioner's job is to keep
+//! most `G′` edges *internal* to a shard (internal deliveries never cross
+//! the window barrier) while staying fully deterministic: the same dual
+//! graph and `K` must always yield the same partition, because shard
+//! assignment feeds the cross-shard merge order that the byte-identical
+//! determinism policy pins.
+//!
+//! [`contiguous`] grows shards as contiguous BFS blocks over the `G′`
+//! layer: breadth-first growth keeps geometric duals (grids, grey-zone
+//! networks) in compact patches, so boundary edges scale with the patch
+//! perimeter rather than its area.
+
+use crate::dual::DualGraph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// A disjoint assignment of every node in a dual graph to one of `k` shards,
+/// with the cross-shard (`G′`) boundary edges precomputed.
+///
+/// Produced by [`contiguous`]; consumed by the sharded MAC runtime to route
+/// per-node events to per-shard queues.
+///
+/// # Examples
+///
+/// ```
+/// use amac_graph::{generators, partition, DualGraph};
+///
+/// let dual = DualGraph::reliable(generators::line(10)?);
+/// let part = partition::contiguous(&dual, 3);
+/// assert_eq!(part.k(), 3);
+/// // Every node lands in exactly one shard.
+/// let total: usize = (0..3).map(|s| part.nodes(s).len()).sum();
+/// assert_eq!(total, 10);
+/// # Ok::<(), amac_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Shard index per node, indexed by `NodeId::index()`.
+    shard_of: Vec<u32>,
+    /// Node lists per shard, each sorted ascending.
+    shards: Vec<Vec<NodeId>>,
+    /// Cross-shard `G′` edges as `(u, v)` with `u < v`, sorted.
+    boundary: Vec<(NodeId, NodeId)>,
+}
+
+impl Partition {
+    /// Number of shards (including empty ones when `k > n`).
+    pub fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the partitioned graph.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_of[node.index()] as usize
+    }
+
+    /// The nodes owned by `shard`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.k()`.
+    pub fn nodes(&self, shard: usize) -> &[NodeId] {
+        &self.shards[shard]
+    }
+
+    /// All cross-shard `G′` edges as `(u, v)` pairs with `u < v`, sorted.
+    pub fn boundary_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.boundary
+    }
+
+    /// Returns `true` if `node` has at least one `G′` neighbor in another
+    /// shard.
+    pub fn is_boundary(&self, node: NodeId) -> bool {
+        self.boundary.iter().any(|&(u, v)| u == node || v == node)
+    }
+
+    /// The full shard-index-per-node map, indexed by `NodeId::index()`.
+    pub fn shard_map(&self) -> &[u32] {
+        &self.shard_of
+    }
+}
+
+/// Partitions `dual` into `k` contiguous BFS blocks over the `G′` layer.
+///
+/// Deterministic: shards are grown in node-id order — shard `s` starts a
+/// breadth-first search from the lowest-id unassigned node and absorbs
+/// nodes in BFS discovery order until it reaches its size quota
+/// (`n / k`, with the first `n mod k` shards one node larger). When a
+/// connected component is exhausted before the quota is met, growth
+/// restarts from the next lowest unassigned node, so disconnected duals
+/// partition cleanly.
+///
+/// When `k > n` the trailing shards are empty; `k = 1` yields the trivial
+/// partition with no boundary edges.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn contiguous(dual: &DualGraph, k: usize) -> Partition {
+    assert!(k >= 1, "shard count must be at least 1");
+    let n = dual.len();
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let mut shards: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    let base = n / k;
+    let rem = n % k;
+    let mut next_seed = 0usize;
+    let mut queue = VecDeque::new();
+
+    for (s, members) in shards.iter_mut().enumerate() {
+        let quota = base + usize::from(s < rem);
+        members.reserve(quota);
+        queue.clear();
+        while members.len() < quota {
+            if queue.is_empty() {
+                while next_seed < n && shard_of[next_seed] != UNASSIGNED {
+                    next_seed += 1;
+                }
+                debug_assert!(next_seed < n, "quota accounting exhausted the graph");
+                shard_of[next_seed] = u32::try_from(s).expect("shard count fits in u32");
+                members.push(NodeId::new(next_seed));
+                queue.push_back(NodeId::new(next_seed));
+                continue;
+            }
+            let v = queue.pop_front().expect("queue is non-empty");
+            for &u in dual.all_neighbors(v) {
+                if members.len() >= quota {
+                    break;
+                }
+                if shard_of[u.index()] == UNASSIGNED {
+                    shard_of[u.index()] = u32::try_from(s).expect("shard count fits in u32");
+                    members.push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        members.sort_unstable();
+    }
+
+    let mut boundary = Vec::new();
+    for i in 0..n {
+        let v = NodeId::new(i);
+        for &u in dual.all_neighbors(v) {
+            if v < u && shard_of[v.index()] != shard_of[u.index()] {
+                boundary.push((v, u));
+            }
+        }
+    }
+    boundary.sort_unstable();
+
+    Partition {
+        shard_of,
+        shards,
+        boundary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line_dual(n: usize) -> DualGraph {
+        DualGraph::reliable(generators::line(n).unwrap())
+    }
+
+    fn random_dual(n: usize, seed: u64) -> DualGraph {
+        // A connected ring plus random unreliable chords.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        let mut b = crate::graph::GraphBuilder::new(n);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        for i in 0..n {
+            if rng.gen_bool(0.3) {
+                let j = rng.gen_range(0..n as u64) as usize;
+                if i != j {
+                    let _ = b.try_add_edge_idx(i, j);
+                }
+            }
+        }
+        DualGraph::new(g, b.build()).unwrap()
+    }
+
+    fn check_partition(dual: &DualGraph, part: &Partition, k: usize) {
+        assert_eq!(part.k(), k);
+        // Every node in exactly one shard; shard lists match the map.
+        let mut seen = vec![false; dual.len()];
+        for s in 0..k {
+            for &v in part.nodes(s) {
+                assert!(!seen[v.index()], "node {v:?} in two shards");
+                seen[v.index()] = true;
+                assert_eq!(part.shard_of(v), s);
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "node missing from all shards");
+        // Balanced sizes: every shard holds n/k or n/k + 1 nodes.
+        let base = dual.len() / k;
+        for s in 0..k {
+            let len = part.nodes(s).len();
+            assert!(
+                len == base || len == base + 1,
+                "shard {s} has {len} nodes, expected {base} or {}",
+                base + 1
+            );
+        }
+        // Boundary edges complete and symmetric vs brute force.
+        let mut brute = Vec::new();
+        for i in 0..dual.len() {
+            let v = NodeId::new(i);
+            for &u in dual.all_neighbors(v) {
+                if v < u && part.shard_of(v) != part.shard_of(u) {
+                    brute.push((v, u));
+                }
+            }
+        }
+        brute.sort_unstable();
+        assert_eq!(part.boundary_edges(), brute.as_slice());
+        for &(u, v) in part.boundary_edges() {
+            assert!(part.is_boundary(u));
+            assert!(part.is_boundary(v));
+        }
+    }
+
+    #[test]
+    fn line_partition_is_contiguous_blocks() {
+        let dual = line_dual(10);
+        let part = contiguous(&dual, 3);
+        check_partition(&dual, &part, 3);
+        // BFS from node 0 over a line yields contiguous id ranges.
+        assert_eq!(
+            part.nodes(0),
+            &[
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
+        assert_eq!(
+            part.nodes(1),
+            &[NodeId::new(4), NodeId::new(5), NodeId::new(6)]
+        );
+        assert_eq!(
+            part.nodes(2),
+            &[NodeId::new(7), NodeId::new(8), NodeId::new(9)]
+        );
+        // Exactly two cut edges on a line split into three blocks.
+        assert_eq!(part.boundary_edges().len(), 2);
+    }
+
+    #[test]
+    fn k_equal_one_is_trivial() {
+        let dual = random_dual(20, 7);
+        let part = contiguous(&dual, 1);
+        check_partition(&dual, &part, 1);
+        assert!(part.boundary_edges().is_empty());
+        assert!(!part.is_boundary(NodeId::new(0)));
+    }
+
+    #[test]
+    fn k_larger_than_n_leaves_empty_shards() {
+        let dual = line_dual(3);
+        let part = contiguous(&dual, 7);
+        check_partition(&dual, &part, 7);
+        assert_eq!(part.nodes(0), &[NodeId::new(0)]);
+        assert!(part.nodes(5).is_empty());
+        assert!(part.nodes(6).is_empty());
+    }
+
+    #[test]
+    fn disconnected_duals_partition_cleanly() {
+        // Two disjoint 4-node paths.
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
+        let dual = DualGraph::reliable(g);
+        for k in 1..=8 {
+            let part = contiguous(&dual, k);
+            check_partition(&dual, &part, k);
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        for seed in [1u64, 2, 3] {
+            let dual = random_dual(40, seed);
+            for k in [1, 2, 4, 7] {
+                let a = contiguous(&dual, k);
+                let b = contiguous(&dual, k);
+                assert_eq!(a.shard_map(), b.shard_map());
+                assert_eq!(a.boundary_edges(), b.boundary_edges());
+            }
+        }
+    }
+
+    #[test]
+    fn random_duals_always_form_valid_partitions() {
+        for seed in 0..10u64 {
+            let n = 10 + (seed as usize) * 7;
+            let dual = random_dual(n, seed);
+            for k in [1, 2, 3, 4, 7, n, n + 3] {
+                let part = contiguous(&dual, k);
+                check_partition(&dual, &part, k);
+            }
+        }
+    }
+
+    #[test]
+    fn grey_zone_partition_has_small_boundary() {
+        let net = generators::connected_grey_zone_network(
+            &generators::GreyZoneConfig::new(120, 6.0),
+            32,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+        let dual = net.dual;
+        let part = contiguous(&dual, 4);
+        check_partition(&dual, &part, 4);
+        // BFS blocks over a geometric graph keep most edges internal.
+        let total_edges = dual.g_prime().edge_count();
+        assert!(
+            part.boundary_edges().len() * 2 < total_edges,
+            "boundary {} of {} edges",
+            part.boundary_edges().len(),
+            total_edges
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        let dual = line_dual(4);
+        let _ = contiguous(&dual, 0);
+    }
+}

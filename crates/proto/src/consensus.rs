@@ -451,7 +451,11 @@ pub fn run_consensus<P: Policy>(
         .map(|&v| ConsensusNode::new(v, *params))
         .collect();
     let recorder_store = amac_core::attach_recorder(options, dual, config, Some(&faults));
-    let mut rt = Runtime::new(dual.clone(), config, nodes, policy).with_faults(faults);
+    let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if options.shards > 0 {
+        rt = rt.with_shards(options.shards);
+    }
+    let mut rt = rt.with_faults(faults);
     let validator = options
         .validate
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));

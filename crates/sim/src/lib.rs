@@ -13,6 +13,10 @@
 //!   equal timestamps, so zero-delay step chains have a well-defined,
 //!   reproducible order, plus O(1) lazy cancellation (needed for the
 //!   enhanced MAC layer's `abort`);
+//! * [`ShardedEventQueue`] — the same total order over K per-shard queues
+//!   with a shared sequence counter and conservative time-windowed
+//!   cross-shard outboxes: the substrate of the sharded MAC runtime,
+//!   byte-identical to [`EventQueue`] by construction for every K;
 //! * [`SimRng`] — a splittable deterministic PRNG so each node and each
 //!   scheduler gets its own replayable random stream, mirroring the paper's
 //!   "random bits handed out at the start" convention;
@@ -44,6 +48,6 @@ pub mod stats;
 mod time;
 
 pub use hash::{FastHashMap, FastHashSet, FastHasher};
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, ShardStats, ShardedEventQueue, MAX_SHARDS};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -136,6 +136,17 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        let id = self.alloc_slot();
+        self.push_entry(at, seq, id, event);
+        id
+    }
+
+    /// Reserves a slot (stamped with its current generation) without
+    /// pushing a heap entry — the caller owns delivering the entry later
+    /// via [`push_entry`](EventQueue::push_entry). Used by the sharded
+    /// queue's outboxes, where the id must exist (for cancellation) before
+    /// the event is merged into the heap at the next barrier.
+    fn alloc_slot(&mut self) -> EventId {
         let slot = match self.free.pop() {
             Some(slot) => slot,
             None => {
@@ -145,15 +156,24 @@ impl<E> EventQueue<E> {
                 slot
             }
         };
-        let generation = self.generations[slot as usize];
+        EventId {
+            slot,
+            generation: self.generations[slot as usize],
+        }
+    }
+
+    /// Pushes a fully specified heap entry for a slot reserved with
+    /// [`alloc_slot`](EventQueue::alloc_slot). The `(at, seq)` pair is the
+    /// caller's: the sharded queue assigns sequence numbers from a single
+    /// shared counter so the merged order equals the sequential one.
+    fn push_entry(&mut self, at: Time, seq: u64, id: EventId, event: E) {
         self.heap.push(Entry {
             at,
             seq,
-            slot,
-            generation,
+            slot: id.slot,
+            generation: id.generation,
             event,
         });
-        EventId { slot, generation }
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -223,13 +243,19 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next pending event without removing it.
     pub fn peek_time(&mut self) -> Option<Time> {
+        self.peek_key().map(|(at, _)| at)
+    }
+
+    /// `(time, sequence)` key of the next pending event without removing
+    /// it — the total order the sharded queue's K-way merge selects on.
+    fn peek_key(&mut self) -> Option<(Time, u64)> {
         while let Some(entry) = self.heap.peek() {
             if self.generations[entry.slot as usize] != entry.generation {
                 self.heap.pop();
                 self.stale -= 1;
                 continue;
             }
-            return Some(entry.at);
+            return Some((entry.at, entry.seq));
         }
         None
     }
@@ -258,6 +284,405 @@ impl<E> fmt::Debug for EventQueue<E> {
             .field("now", &self.now)
             .field("pending", &self.heap.len())
             .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+/// Shard index bits in a sharded [`EventId`]'s slot word: the top
+/// [`SHARD_BITS`] identify the shard, the low bits the slot within it.
+const SHARD_BITS: u32 = 8;
+const SHARD_SHIFT: u32 = 32 - SHARD_BITS;
+const LOCAL_SLOT_MASK: u32 = (1 << SHARD_SHIFT) - 1;
+
+/// Maximum shard count a [`ShardedEventQueue`] supports (the shard index
+/// must fit in the top [`SHARD_BITS`] bits of an [`EventId`] slot).
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// One cross-shard event parked until the next window barrier: it already
+/// owns its global sequence number and a reserved slot in the destination
+/// shard (so cancellation works while parked), but its heap entry is only
+/// merged at the barrier.
+struct Outboxed<E> {
+    dest: u32,
+    at: Time,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+/// Synchronization statistics of a [`ShardedEventQueue`], all in simulated
+/// ticks and event counts — fully deterministic, byte-identical across
+/// machines (no wall clock).
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Conservative lookahead window width, in ticks.
+    pub window_ticks: u64,
+    /// Window barriers crossed (outbox flushes).
+    pub barriers: u64,
+    /// Cross-shard events scheduled at or beyond the next barrier —
+    /// batched in an outbox and merged at the barrier in canonical
+    /// `(tick, shard, sequence)` order.
+    pub outboxed: u64,
+    /// Cross-shard events scheduled *inside* the current window — the
+    /// conservative lookahead `min(F_prog, F_ack)` cannot defer these, so
+    /// the fused coordinator routes them immediately. In a thread-per-shard
+    /// deployment each one is a synchronization point; the counter
+    /// quantifies how conservative the windowing is for a workload.
+    pub lookahead_misses: u64,
+    /// Per shard: peak pending events (heap entries plus parked outbox
+    /// entries destined for the shard).
+    pub peak_pending: Vec<usize>,
+    /// Per shard: accumulated idle ticks at window barriers — for each
+    /// barrier, how long before the window's end the shard ran out of its
+    /// own events (the simulated-time analogue of barrier-wait).
+    pub barrier_slack_ticks: Vec<u64>,
+}
+
+impl ShardStats {
+    /// Largest per-shard peak pending count.
+    pub fn max_peak_pending(&self) -> usize {
+        self.peak_pending.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total barrier-slack ticks summed over all shards.
+    pub fn total_slack_ticks(&self) -> u64 {
+        self.barrier_slack_ticks.iter().sum()
+    }
+}
+
+/// A sharded pending-event queue that reproduces the sequential
+/// [`EventQueue`]'s total order **exactly**, for every schedule/cancel
+/// pattern and every shard count.
+///
+/// Structure: one inner [`EventQueue`] per shard, but a **single shared
+/// sequence counter** — every `schedule` call draws the same sequence
+/// number it would have drawn from one global queue, so the `(time, seq)`
+/// key of every event is identical to the sequential execution's.
+/// [`pop`](ShardedEventQueue::pop) is a K-way merge: the argmin over the
+/// shard heads by `(time, seq)`. Byte-identical event order versus the
+/// sequential queue is therefore a property *by construction*, not a
+/// property of the workload — the differential suite
+/// (`tests/shard_equivalence.rs`) checks it end to end anyway.
+///
+/// ## Conservative time windows
+///
+/// Shards advance through windows of a fixed lookahead `L` (the MAC
+/// layer passes `min(F_prog, F_ack)`): within the window `[w, w+L)` every
+/// popped event has time `< w+L`, and a cross-shard event scheduled at or
+/// beyond `w+L` is **not** inserted into the destination heap immediately
+/// — it is parked in an outbox and merged at the barrier, batched with
+/// everything else that crossed shards this window, in canonical
+/// `(tick, destination shard, sequence)` order. Parking is order-safe
+/// precisely because of the window invariant: nothing with time `≥ w+L`
+/// can be popped before the barrier, so deferring the heap insertion is
+/// unobservable. Cross-shard events *inside* the window (zero-delay
+/// chains, deliveries faster than the lookahead) are routed immediately
+/// and counted as [`lookahead_misses`](ShardStats::lookahead_misses).
+///
+/// # Examples
+///
+/// ```
+/// use amac_sim::{Duration, ShardedEventQueue, Time};
+///
+/// let mut q = ShardedEventQueue::new(2, Duration::from_ticks(4));
+/// q.schedule(0, Time::from_ticks(2), "left");
+/// q.schedule(1, Time::from_ticks(1), "right");
+/// assert_eq!(q.pop(), Some((Time::from_ticks(1), "right")));
+/// assert_eq!(q.pop(), Some((Time::from_ticks(2), "left")));
+/// ```
+pub struct ShardedEventQueue<E> {
+    shards: Vec<EventQueue<E>>,
+    outbox: Vec<Outboxed<E>>,
+    /// Outbox entries per destination shard (for peak-pending tracking).
+    outboxed_per_shard: Vec<usize>,
+    window: Duration,
+    window_start: Time,
+    window_end: Time,
+    now: Time,
+    next_seq: u64,
+    popped: u64,
+    /// Shard of the most recently popped event: the *source* shard of any
+    /// schedule call made while processing it.
+    current_shard: Option<usize>,
+    /// Per shard: time of its last popped event (for barrier slack).
+    last_pop: Vec<Time>,
+    /// Successful cancels since the outbox was last compacted — an upper
+    /// bound on the cancelled entries parked there, driving the same
+    /// stale-versus-live compaction policy as the heaps.
+    outbox_cancels: usize,
+    stats: ShardStats,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Creates an empty `k`-shard queue with conservative lookahead
+    /// `window`, clock at [`Time::ZERO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ MAX_SHARDS` and `window ≥ 1` tick.
+    pub fn new(k: usize, window: Duration) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&k),
+            "shard count {k} outside 1..={MAX_SHARDS}"
+        );
+        assert!(
+            window.ticks() >= 1,
+            "conservative window must be at least one tick"
+        );
+        ShardedEventQueue {
+            shards: (0..k).map(|_| EventQueue::new()).collect(),
+            outbox: Vec::new(),
+            outboxed_per_shard: vec![0; k],
+            window,
+            window_start: Time::ZERO,
+            window_end: Time::ZERO + window,
+            now: Time::ZERO,
+            next_seq: 0,
+            popped: 0,
+            current_shard: None,
+            last_pop: vec![Time::ZERO; k],
+            outbox_cancels: 0,
+            stats: ShardStats {
+                shards: k,
+                window_ticks: window.ticks(),
+                peak_pending: vec![0; k],
+                barrier_slack_ticks: vec![0; k],
+                ..ShardStats::default()
+            },
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// A snapshot of the synchronization statistics.
+    pub fn stats(&self) -> ShardStats {
+        self.stats.clone()
+    }
+
+    /// Schedules `event` on `shard` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at < now()`, `shard` is out of range, or the shard
+    /// exceeds its 2²⁴-slot capacity of concurrently scheduled events.
+    pub fn schedule(&mut self, shard: usize, at: Time, event: E) -> EventId {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at:?}, current time is {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let local = self.shards[shard].alloc_slot();
+        assert!(
+            local.slot <= LOCAL_SLOT_MASK,
+            "shard {shard} exceeded its concurrent-event capacity"
+        );
+        let cross = self.current_shard.is_some_and(|src| src != shard);
+        if cross && at >= self.window_end {
+            // Order-safe to park: nothing at or beyond the barrier can be
+            // popped before the outbox is flushed there.
+            self.outbox.push(Outboxed {
+                dest: shard as u32,
+                at,
+                seq,
+                id: local,
+                event,
+            });
+            self.outboxed_per_shard[shard] += 1;
+            self.stats.outboxed += 1;
+        } else {
+            if cross {
+                self.stats.lookahead_misses += 1;
+            }
+            self.shards[shard].push_entry(at, seq, local, event);
+        }
+        let pending = self.shards[shard].pending_upper_bound() + self.outboxed_per_shard[shard];
+        if pending > self.stats.peak_pending[shard] {
+            self.stats.peak_pending[shard] = pending;
+        }
+        EventId {
+            slot: ((shard as u32) << SHARD_SHIFT) | local.slot,
+            generation: local.generation,
+        }
+    }
+
+    /// Schedules `event` on `shard` after a relative delay from now.
+    pub fn schedule_after(&mut self, shard: usize, delay: Duration, event: E) -> EventId {
+        self.schedule(shard, self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event (parked or heap-resident).
+    /// Same semantics as [`EventQueue::cancel`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let shard = (id.slot >> SHARD_SHIFT) as usize;
+        if shard >= self.shards.len() {
+            return false;
+        }
+        let cancelled = self.shards[shard].cancel(EventId {
+            slot: id.slot & LOCAL_SLOT_MASK,
+            generation: id.generation,
+        });
+        if cancelled {
+            // The cancel may have hit a parked outbox entry; compact the
+            // outbox once cancels could account for half of it (amortized
+            // O(1) per cancel, same policy as the heap compaction), so
+            // schedule/cancel churn of parked events cannot grow memory.
+            self.outbox_cancels += 1;
+            if self.outbox.len() >= COMPACT_MIN && self.outbox_cancels * 2 >= self.outbox.len() {
+                self.compact_outbox();
+            }
+        }
+        cancelled
+    }
+
+    /// Drops outbox entries whose slot generation no longer matches (they
+    /// were cancelled while parked), rebalancing the per-shard stale
+    /// counters exactly like the barrier flush does.
+    fn compact_outbox(&mut self) {
+        let mut kept = Vec::with_capacity(self.outbox.len());
+        for o in std::mem::take(&mut self.outbox) {
+            let dest = o.dest as usize;
+            if self.shards[dest].generations[o.id.slot as usize] == o.id.generation {
+                kept.push(o);
+            } else {
+                self.outboxed_per_shard[dest] -= 1;
+                self.shards[dest].stale = self.shards[dest].stale.saturating_sub(1);
+            }
+        }
+        self.outbox = kept;
+        self.outbox_cancels = 0;
+    }
+
+    /// Removes and returns the earliest pending event across all shards,
+    /// advancing the clock. The total order is exactly the sequential
+    /// queue's `(time, sequence)` order.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let shard = self.settle()?;
+        let (at, event) = self.shards[shard]
+            .pop()
+            .expect("settle returned a shard with a live head");
+        self.now = at;
+        self.popped += 1;
+        self.current_shard = Some(shard);
+        self.last_pop[shard] = at;
+        Some((at, event))
+    }
+
+    /// Timestamp of the next pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.settle()
+            .and_then(|s| self.shards[s].peek_key())
+            .map(|(at, _)| at)
+    }
+
+    /// Returns `true` if no deliverable events remain anywhere.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Pending entries across all shards and outboxes, **including**
+    /// not-yet-reclaimed cancellations (an upper bound on deliverable
+    /// events).
+    pub fn pending_upper_bound(&self) -> usize {
+        self.shards
+            .iter()
+            .map(EventQueue::pending_upper_bound)
+            .sum::<usize>()
+            + self.outbox.len()
+    }
+
+    /// Selects the shard holding the globally earliest live event,
+    /// advancing windows (flushing outboxes) as needed. Returns `None`
+    /// only when every heap and the outbox are exhausted.
+    fn settle(&mut self) -> Option<usize> {
+        loop {
+            let mut best: Option<(Time, u64, usize)> = None;
+            for s in 0..self.shards.len() {
+                if let Some((at, seq)) = self.shards[s].peek_key() {
+                    if best.map_or(true, |(bt, bs, _)| (at, seq) < (bt, bs)) {
+                        best = Some((at, seq, s));
+                    }
+                }
+            }
+            match best {
+                Some((at, _, s)) if at < self.window_end => return Some(s),
+                None if self.outbox.is_empty() => return None,
+                _ => self.advance_window(best.map(|(at, _, _)| at)),
+            }
+        }
+    }
+
+    /// Crosses the window barrier: accounts per-shard slack, flushes the
+    /// outbox in canonical `(tick, destination shard, sequence)` order,
+    /// and opens the next window at the earliest remaining event.
+    fn advance_window(&mut self, next_heap_time: Option<Time>) {
+        self.stats.barriers += 1;
+        for s in 0..self.shards.len() {
+            let busy_until = self.last_pop[s].max(self.window_start);
+            self.stats.barrier_slack_ticks[s] +=
+                self.window_end.saturating_since(busy_until).ticks();
+        }
+        // Canonical cross-shard merge order (determinism rule 5). The sort
+        // key is total — sequence numbers are unique — so the batch order
+        // is independent of outbox insertion order. Heap insertion order
+        // does not affect pop order (the heap sorts by `(time, seq)`), but
+        // the canonical batch order is part of the documented contract and
+        // keeps any future batched side effects deterministic.
+        self.outbox.sort_by_key(|o| (o.at, o.dest, o.seq));
+        let mut earliest_flushed: Option<Time> = None;
+        for o in std::mem::take(&mut self.outbox) {
+            let dest = o.dest as usize;
+            self.outboxed_per_shard[dest] -= 1;
+            if self.shards[dest].generations[o.id.slot as usize] == o.id.generation {
+                if earliest_flushed.map_or(true, |t| o.at < t) {
+                    earliest_flushed = Some(o.at);
+                }
+                self.shards[dest].push_entry(o.at, o.seq, o.id, o.event);
+            } else {
+                // Cancelled while parked: the cancel bumped the slot
+                // generation and counted a stale heap entry that was never
+                // pushed — rebalance the destination's stale counter.
+                self.shards[dest].stale = self.shards[dest].stale.saturating_sub(1);
+            }
+        }
+        // The next window starts at the earliest remaining event; when
+        // nothing remains the window still moves forward so the loop in
+        // `settle` terminates.
+        let next = match (next_heap_time, earliest_flushed) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        self.window_start = next.unwrap_or(self.window_end);
+        self.window_end = self.window_start + self.window;
+    }
+}
+
+impl<E> fmt::Debug for ShardedEventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEventQueue")
+            .field("shards", &self.shards.len())
+            .field("now", &self.now)
+            .field("pending", &self.pending_upper_bound())
+            .field("delivered", &self.popped)
+            .field("barriers", &self.stats.barriers)
             .finish()
     }
 }
@@ -431,6 +856,169 @@ mod tests {
         assert!(q.generations.len() <= COMPACT_MIN.max(4));
         assert_eq!(q.pop().map(|(_, e)| e), Some(0));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_pop_order_matches_example() {
+        let mut q = ShardedEventQueue::new(3, Duration::from_ticks(2));
+        q.schedule(0, Time::from_ticks(5), 'c');
+        q.schedule(2, Time::from_ticks(1), 'a');
+        q.schedule(1, Time::from_ticks(5), 'b'); // same tick as 'c': FIFO by seq
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'c', 'b']);
+        assert_eq!(q.now(), Time::from_ticks(5));
+        assert_eq!(q.delivered(), 3);
+    }
+
+    #[test]
+    fn sharded_cancel_works_while_parked_in_outbox() {
+        let mut q = ShardedEventQueue::new(2, Duration::from_ticks(2));
+        q.schedule(0, Time::from_ticks(1), 0u32);
+        q.pop(); // current shard = 0, window now anchored
+                 // Cross-shard, beyond the window: parked in the outbox.
+        let parked = q.schedule(1, Time::from_ticks(100), 7u32);
+        assert!(q.cancel(parked), "parked events must be cancellable");
+        assert!(!q.cancel(parked), "double cancel reports false");
+        q.schedule(0, Time::from_ticks(200), 9u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![9], "cancelled outbox entry must never surface");
+    }
+
+    #[test]
+    fn sharded_cancelled_slot_is_not_resurrected_after_flush() {
+        let mut q = ShardedEventQueue::new(2, Duration::from_ticks(2));
+        q.schedule(0, Time::from_ticks(1), 0u32);
+        q.pop();
+        let parked = q.schedule(1, Time::from_ticks(50), 1u32);
+        assert!(q.cancel(parked));
+        // Recycle the same destination slot with a live event.
+        let live = q.schedule(1, Time::from_ticks(60), 2u32);
+        assert!(
+            !q.cancel(parked),
+            "stale id must not cancel the recycled slot"
+        );
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2]);
+        assert!(!q.cancel(live), "already delivered");
+    }
+
+    /// The load-bearing property, checked differentially: an adversarial
+    /// schedule/cancel/pop interleaving produces the **identical** event
+    /// stream from the sharded queue (any K) and the sequential queue —
+    /// same events, same timestamps, same tie-break order.
+    #[test]
+    fn sharded_order_is_identical_to_sequential_under_random_workloads() {
+        use crate::rng::SimRng;
+        for &k in &[1usize, 2, 3, 5, 8] {
+            for seed in 0..6u64 {
+                let mut rng = SimRng::seed(0x5EED_0000 + seed);
+                let mut single = EventQueue::new();
+                let mut sharded = ShardedEventQueue::new(k, Duration::from_ticks(3));
+                // Outstanding ids, tracked pairwise so the same logical
+                // event is cancelled in both queues.
+                let mut live: Vec<(EventId, EventId)> = Vec::new();
+                let mut payload = 0u64;
+                let mut single_stream = Vec::new();
+                let mut sharded_stream = Vec::new();
+                for _ in 0..2000 {
+                    match rng.below(10) {
+                        // Schedule: same (time, payload) into both; the
+                        // shard is a function of the payload, like the
+                        // runtime's node-based routing.
+                        0..=4 => {
+                            let at = sharded.now() + Duration::from_ticks(rng.below(9));
+                            let shard = (payload % k as u64) as usize;
+                            let a = single.schedule(at.max(single.now()), payload);
+                            let b = sharded.schedule(shard, at, payload);
+                            live.push((a, b));
+                            payload += 1;
+                        }
+                        5..=6 => {
+                            if !live.is_empty() {
+                                let i = (rng.below(live.len() as u64)) as usize;
+                                let (a, b) = live.swap_remove(i);
+                                assert_eq!(single.cancel(a), sharded.cancel(b));
+                            }
+                        }
+                        _ => {
+                            single_stream.extend(single.pop());
+                            sharded_stream.extend(sharded.pop());
+                        }
+                    }
+                }
+                single_stream.extend(std::iter::from_fn(|| single.pop()));
+                sharded_stream.extend(std::iter::from_fn(|| sharded.pop()));
+                assert_eq!(
+                    single_stream, sharded_stream,
+                    "k={k} seed={seed}: sharded order diverged from sequential"
+                );
+            }
+        }
+    }
+
+    /// Satellite regression: slot-generation state stays bounded *per
+    /// shard* across a million cross-shard schedule/cancel cycles — the
+    /// outbox parking path must recycle destination slots exactly like the
+    /// direct path does.
+    #[test]
+    fn sharded_memory_stays_bounded_across_a_million_cross_shard_cycles() {
+        let mut q = ShardedEventQueue::new(4, Duration::from_ticks(4));
+        // Anchor events so pops keep shard 0 "current" and the queue is
+        // never empty.
+        for i in 0..4u64 {
+            q.schedule(0, Time::from_ticks(i), i);
+        }
+        q.pop(); // current shard = 0
+        for i in 0..1_000_000u64 {
+            // Far-future cross-shard event: parked in the outbox, then
+            // cancelled before any barrier flushes it.
+            let id = q.schedule(1 + (i % 3) as usize, Time::from_ticks((1 << 30) + i), i);
+            assert!(q.cancel(id));
+            assert!(
+                q.pending_upper_bound() <= COMPACT_MIN + 8,
+                "pending grew to {} entries after {} cycles",
+                q.pending_upper_bound(),
+                i + 1
+            );
+        }
+        for s in &q.shards {
+            assert!(
+                s.generations.len() <= COMPACT_MIN.max(8),
+                "slot table grew to {} entries",
+                s.generations.len()
+            );
+        }
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sharded_stats_count_barriers_and_cross_shard_traffic() {
+        let mut q = ShardedEventQueue::new(2, Duration::from_ticks(2));
+        q.schedule(0, Time::ZERO, 0u32);
+        q.pop();
+        q.schedule(1, Time::from_ticks(10), 1u32); // cross, beyond window: outboxed
+        q.schedule(1, Time::from_ticks(1), 2u32); // cross, inside window: miss
+        q.schedule(0, Time::from_ticks(1), 3u32); // same shard
+        while q.pop().is_some() {}
+        let stats = q.stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.window_ticks, 2);
+        assert_eq!(stats.outboxed, 1);
+        assert_eq!(stats.lookahead_misses, 1);
+        assert!(stats.barriers >= 1, "reaching t=10 must cross a barrier");
+        assert!(stats.max_peak_pending() >= 2);
+        assert!(
+            stats.total_slack_ticks() > 0,
+            "shard 1 idles before its barrier"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn sharded_rejects_zero_shards() {
+        let _ = ShardedEventQueue::<u32>::new(0, Duration::TICK);
     }
 
     #[test]
