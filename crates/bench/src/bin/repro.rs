@@ -51,15 +51,24 @@
 //! shrinker self-test). Exit status 1 signals an unexpected verdict —
 //! a violation in a certified space, or a clean run under `--broken`.
 //!
-//! `--record DIR` switches from sweeps to **trace recording**: each
+//! `--record DIR` switches from sweeps to **canonical executions**: each
 //! selected experiment runs its canonical fixed-seed execution once with a
 //! streaming store observer attached, writing `DIR/<id>.amactrace` (format:
-//! `docs/TRACE_FORMAT.md`) and printing the live validator's summary. The
-//! `replay` subcommand re-reads such files — `repro replay FILE` re-runs a
-//! fresh `OnlineValidator` over the stored stream and prints the same
-//! summary block (byte-identical to the recording run's, for a faithful
-//! file); `--observer counter|trace` feeds the stream to a
-//! [`CounterObserver`] or a [`TraceObserver`] instead.
+//! `docs/TRACE_FORMAT.md`) and printing the live validator's summary.
+//! `--metrics DIR` runs the same canonical executions with a deterministic
+//! sim-time metrics observer attached and writes one `METRICS_<id>.json`
+//! per experiment (latency/slack histograms, per-node counters, in-flight
+//! depth — see `docs/OBSERVABILITY.md`); `--chrome-trace FILE` exports the
+//! single selected experiment's span timeline as Perfetto-loadable Chrome
+//! trace-event JSON. The three outputs compose freely and may run sharded
+//! (`--shards K`); every deterministic byte is identical either way. The
+//! `replay` subcommand re-reads stored trace files — `repro replay FILE`
+//! re-runs a fresh `OnlineValidator` over the stored stream and prints the
+//! same summary block (byte-identical to the recording run's, for a
+//! faithful file); `--observer counter|trace|metrics|spans` feeds the
+//! stream to a [`CounterObserver`], a [`TraceObserver`], a metrics
+//! observer (prints the `METRICS` JSON document), or a span observer
+//! (prints the Chrome trace-event JSON) instead.
 //!
 //! Usage:
 //!
@@ -71,7 +80,9 @@
 //! cargo run --release -p amac-bench --bin repro -- --trials 8 --target-ci 0.05 --max-trials 128
 //! cargo run --release -p amac-bench --bin repro -- consensus_crash --trials 8 --json out/
 //! cargo run --release -p amac-bench --bin repro -- consensus_crash --record traces/
+//! cargo run --release -p amac-bench --bin repro -- scale --shards 4 --metrics out/ --chrome-trace out/scale.trace.json
 //! cargo run --release -p amac-bench --bin repro -- replay traces/consensus_crash.amactrace
+//! cargo run --release -p amac-bench --bin repro -- replay traces/consensus_crash.amactrace --observer metrics
 //! cargo run --release -p amac-bench --bin repro -- check consensus --nodes 3 --depth full
 //! cargo run --release -p amac-bench --bin repro -- check consensus --broken --fixture cx.amactrace
 //! cargo run --release -p amac-bench --bin repro -- check --smoke  # CI blocking gate
@@ -89,10 +100,11 @@ fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--list] [--markdown] [--smoke] [--trials N] [--jobs J] \
          [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR] \
-         [--record DIR] [--shards K]"
+         [--record DIR] [--metrics DIR] [--chrome-trace FILE] [--shards K]"
     );
     eprintln!(
-        "       repro replay FILE [FILE ...] [--observer validator|counter|trace|check] [--json DIR]"
+        "       repro replay FILE [FILE ...] \
+         [--observer validator|counter|trace|check|metrics|spans] [--json DIR]"
     );
     eprintln!(
         "       repro check [SCENARIO ...] [--nodes N] [--crashes C] [--messages K] \
@@ -171,6 +183,8 @@ fn main() {
     let mut plots = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut record_dir: Option<PathBuf> = None;
+    let mut metrics_dir: Option<PathBuf> = None;
+    let mut chrome_trace: Option<PathBuf> = None;
     let mut shards = 0usize;
     let mut replay_mode = false;
     let mut replay_files: Vec<PathBuf> = Vec::new();
@@ -214,15 +228,19 @@ fn main() {
             "--plots" => plots = true,
             "--json" => json_dir = Some(dir_arg(&mut args, "--json")),
             "--record" => record_dir = Some(dir_arg(&mut args, "--record")),
+            "--metrics" => metrics_dir = Some(dir_arg(&mut args, "--metrics")),
+            "--chrome-trace" => chrome_trace = Some(dir_arg(&mut args, "--chrome-trace")),
             "--shards" => shards = count_arg(&mut args, "--shards"),
             "--observer" => {
                 observer = args.next().unwrap_or_else(|| {
-                    eprintln!("--observer needs one of: validator, counter, trace, check");
+                    eprintln!(
+                        "--observer needs one of: validator, counter, trace, check, metrics, spans"
+                    );
                     usage_exit()
                 });
                 if !matches!(
                     observer.as_str(),
-                    "validator" | "counter" | "trace" | "check"
+                    "validator" | "counter" | "trace" | "check" | "metrics" | "spans"
                 ) {
                     eprintln!("unknown observer: {observer}");
                     usage_exit()
@@ -297,8 +315,16 @@ fn main() {
         selected
     };
 
-    if let Some(dir) = &record_dir {
-        record_canonical(dir, &specs, smoke, shards, json_dir.as_deref());
+    if record_dir.is_some() || metrics_dir.is_some() || chrome_trace.is_some() {
+        record_canonical(
+            &specs,
+            smoke,
+            shards,
+            record_dir.as_deref(),
+            metrics_dir.as_deref(),
+            chrome_trace.as_deref(),
+            json_dir.as_deref(),
+        );
         return;
     }
 
@@ -432,47 +458,82 @@ fn write_named_json(dir: &Path, docs: &[(String, String)]) {
     );
 }
 
-/// `--record DIR`: runs each selected experiment's canonical fixed-seed
-/// execution once with a streaming store observer attached
-/// (`amac_bench::record`) and prints the live run's summary — the exact
-/// block a later `repro replay` must reproduce.
+/// `--record DIR` / `--metrics DIR` / `--chrome-trace FILE`: runs each
+/// selected experiment's canonical fixed-seed execution once with the
+/// requested observers attached (`amac_bench::record`). Recording prints
+/// the live run's summary — the exact block a later `repro replay` must
+/// reproduce; metrics land as `METRICS_<id>.json` under the metrics
+/// directory; the chrome trace is written by the harness as the run
+/// finishes.
 fn record_canonical(
-    dir: &Path,
     specs: &[&'static ExperimentSpec],
     smoke: bool,
     shards: usize,
+    record_dir: Option<&Path>,
+    metrics_dir: Option<&Path>,
+    chrome_trace: Option<&Path>,
     json_dir: Option<&Path>,
 ) {
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create {}: {e}", dir.display());
-        std::process::exit(1);
+    if chrome_trace.is_some() && specs.len() != 1 {
+        eprintln!("--chrome-trace needs exactly one experiment (later runs would overwrite it)");
+        usage_exit()
+    }
+    for dir in [record_dir, metrics_dir].into_iter().flatten() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
     }
     let mut json_docs: Vec<(String, String)> = Vec::new();
+    let mut metrics_docs: Vec<(String, String)> = Vec::new();
     for spec in specs {
         let started = Instant::now();
-        let recorded = spec.record(dir, smoke, shards);
-        println!("recorded {}", recorded.path.display());
-        println!("{}", recorded.summary);
-        if json_dir.is_some() {
-            json_docs.push((
-                format!("TRACE_{}.json", sanitize(spec.id)),
-                amac_bench::json::trace_json(
-                    "record",
-                    &recorded.path.display().to_string(),
-                    &recorded.summary,
-                    started.elapsed().as_secs_f64(),
-                ),
+        let opts = amac_bench::CanonicalOpts {
+            smoke,
+            shards,
+            record: record_dir.map(Path::to_path_buf),
+            metrics: metrics_dir.is_some(),
+            chrome_trace: chrome_trace.map(Path::to_path_buf),
+        };
+        let run = spec.canonical(&opts);
+        if let Some(recorded) = &run.trace {
+            println!("recorded {}", recorded.path.display());
+            println!("{}", recorded.summary);
+            if json_dir.is_some() {
+                json_docs.push((
+                    format!("TRACE_{}.json", sanitize(spec.id)),
+                    amac_bench::json::trace_json(
+                        "record",
+                        &recorded.path.display().to_string(),
+                        &recorded.summary,
+                        started.elapsed().as_secs_f64(),
+                    ),
+                ));
+            }
+        }
+        if let Some(report) = &run.metrics {
+            metrics_docs.push((
+                format!("METRICS_{}.json", sanitize(spec.id)),
+                report.to_json(spec.id),
             ));
         }
+        if let Some(path) = chrome_trace {
+            println!("chrome trace {}", path.display());
+        }
+    }
+    if let Some(out) = metrics_dir {
+        write_named_json(out, &metrics_docs);
     }
     if let Some(out) = json_dir {
         write_named_json(out, &json_docs);
     }
-    eprintln!(
-        "recorded {} canonical trace(s) to {}",
-        specs.len(),
-        dir.display()
-    );
+    if let Some(dir) = record_dir {
+        eprintln!(
+            "recorded {} canonical trace(s) to {}",
+            specs.len(),
+            dir.display()
+        );
+    }
 }
 
 /// `check [SCENARIO ...]`: bounded exhaustive exploration via
@@ -571,7 +632,11 @@ fn run_replay(files: &[PathBuf], observer: &str, json_dir: Option<&Path>) {
             Ok(r) => r,
             Err(e) => replay_fail(path, e),
         };
-        println!("replayed {}", path.display());
+        // The metrics/spans observers print a machine-readable JSON
+        // document; keep stdout clean so it can be redirected to a file.
+        if !matches!(observer, "metrics" | "spans") {
+            println!("replayed {}", path.display());
+        }
         match observer {
             "validator" => match replay_validate(reader) {
                 Ok(summary) => {
@@ -621,6 +686,42 @@ fn run_replay(files: &[PathBuf], observer: &str, json_dir: Option<&Path>) {
                         println!("  header: {header}");
                         println!("  quiescent: {}", trailer.quiescent);
                         println!("{}", tracer.into_trace());
+                    }
+                    Err(e) => replay_fail(path, e),
+                }
+            }
+            // Deterministic sim-time metrics rebuilt from the stored
+            // stream alone: the header carries F_prog/F_ack, so the
+            // latency/slack histograms come out exactly as a live
+            // `--metrics` run of the same execution would produce them.
+            "metrics" => {
+                let header = *reader.header();
+                let mut metrics = amac_obs::MetricsObserver::new(header.config());
+                match replay_into(&mut reader, &mut metrics) {
+                    Ok(_trailer) => {
+                        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+                        let doc = metrics.into_report().to_json(stem);
+                        print!("{doc}");
+                        if json_dir.is_some() {
+                            json_docs.push((format!("METRICS_{}.json", sanitize(stem)), doc));
+                        }
+                    }
+                    Err(e) => replay_fail(path, e),
+                }
+            }
+            // Span timeline rebuilt from the stored stream: prints the
+            // Perfetto-loadable Chrome trace-event JSON (redirect or use
+            // --json to capture it as a file).
+            "spans" => {
+                let mut spans = amac_obs::SpanObserver::new();
+                match replay_into(&mut reader, &mut spans) {
+                    Ok(_trailer) => {
+                        let doc = spans.to_chrome_json();
+                        print!("{doc}");
+                        if json_dir.is_some() {
+                            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+                            json_docs.push((format!("SPANS_{}.json", sanitize(stem)), doc));
+                        }
                     }
                     Err(e) => replay_fail(path, e),
                 }

@@ -71,7 +71,7 @@
 use amac_mac::trace::Trace;
 use amac_mac::ValidationReport;
 use amac_sim::stats::Aggregate;
-use amac_sim::SimRng;
+use amac_sim::{ShardStats, SimRng};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -150,6 +150,7 @@ pub struct CellCapture {
 pub struct CellResult {
     values: Vec<f64>,
     capture: Option<CellCapture>,
+    shard_stats: Option<ShardStats>,
 }
 
 impl CellResult {
@@ -158,6 +159,7 @@ impl CellResult {
         CellResult {
             values: vec![value],
             capture: None,
+            shard_stats: None,
         }
     }
 
@@ -167,6 +169,7 @@ impl CellResult {
         CellResult {
             values,
             capture: None,
+            shard_stats: None,
         }
     }
 
@@ -175,6 +178,15 @@ impl CellResult {
     /// experiments can pass `report.trace`-derived options unconditionally).
     pub fn with_capture(mut self, capture: Option<CellCapture>) -> CellResult {
         self.capture = capture;
+        self
+    }
+
+    /// Attaches the cell's sharded-queue statistics; the engine folds them
+    /// across all cells via [`ShardStats::merge`] and surfaces the total on
+    /// [`SweepRun::shard_stats`]. `None` (a sequential run) is a no-op, so
+    /// experiments can pass `report.shard_stats` unconditionally.
+    pub fn with_shard_stats(mut self, stats: Option<ShardStats>) -> CellResult {
+        self.shard_stats = stats;
         self
     }
 }
@@ -284,12 +296,22 @@ impl PointRun {
 #[derive(Clone, Debug)]
 pub struct SweepRun {
     points: Vec<PointRun>,
+    shard_stats: Option<ShardStats>,
 }
 
 impl SweepRun {
     /// All sweep points in declaration order.
     pub fn points(&self) -> &[PointRun] {
         &self.points
+    }
+
+    /// Sharded-queue statistics merged over every measured cell
+    /// ([`ShardStats::merge`] is commutative, so the total is independent
+    /// of `--jobs`), or `None` when no cell reported any (sequential
+    /// runs). Outlier-capture replays are excluded — they re-run cells
+    /// already counted.
+    pub fn shard_stats(&self) -> Option<&ShardStats> {
+        self.shard_stats.as_ref()
     }
 
     /// One sweep point.
@@ -519,6 +541,7 @@ impl TrialRunner {
             .collect();
         let mut lane0: Vec<Vec<f64>> = vec![Vec::new(); points];
         let mut converged = vec![false; points];
+        let mut shard_stats: Option<ShardStats> = None;
 
         let mut done = 0usize;
         for target in batch_boundaries(self.trials, self.max_trials, self.target_ci.is_some()) {
@@ -555,6 +578,11 @@ impl TrialRunner {
                     for (aggregate, &x) in aggregates[p].iter_mut().zip(&cell.values) {
                         aggregate.record(x);
                     }
+                    if let Some(stats) = &cell.shard_stats {
+                        shard_stats
+                            .get_or_insert_with(ShardStats::default)
+                            .merge(stats);
+                    }
                 }
             }
             done = target;
@@ -585,6 +613,7 @@ impl TrialRunner {
                     outliers,
                 })
                 .collect(),
+            shard_stats,
         }
     }
 

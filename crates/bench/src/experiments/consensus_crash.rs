@@ -111,6 +111,7 @@ pub fn run(
     // Three lanes per point: decision time, the per-trial violation
     // count, and the MAC broadcast count.
     let widths = vec![3usize; fractions.len() + ns.len()];
+    let shards = runner.shards();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -128,7 +129,7 @@ pub fn run(
                 &params,
                 faults,
                 LazyPolicy::new().prefer_duplicates(),
-                &super::cell_options(cell.capture_requested()),
+                &super::cell_options(cell.capture_requested(), shards),
             );
             let ticks = super::ticks_or_end(report.completion, report.end_time) as f64;
             let violations = report.violation_count() as f64;
@@ -140,7 +141,9 @@ pub fn run(
                     trace,
                     validation: report.validation.clone(),
                 });
-            CellResult::vector(vec![ticks, violations, broadcasts]).with_capture(capture)
+            CellResult::vector(vec![ticks, violations, broadcasts])
+                .with_capture(capture)
+                .with_shard_stats(report.shard_stats.clone())
         },
     );
     let label = |i: usize| {
@@ -222,6 +225,7 @@ pub fn run(
          exactly there (w.h.p. analogue of NR18 Thm 2, deterministic in this FloodSet variant)",
     );
     super::append_plots(&mut table, runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     ConsensusCrash {
         f_sweep,

@@ -83,6 +83,7 @@ pub fn run(
     let config = MacConfig::from_ticks(f_prog, f_ack).enhanced();
     // Four lanes: convergence, claimants, violations, per-trial bound.
     let widths = vec![4usize; ns.len()];
+    let shards = runner.shards();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -112,7 +113,7 @@ pub fn run(
                 rng.next(),
                 FaultPlan::new(),
                 LazyPolicy::new(),
-                &super::cell_options(cell.capture_requested()),
+                &super::cell_options(cell.capture_requested(), shards),
             );
             let d = net.dual.diameter() as u64;
             let bound = window + 2 * (d + 1) * (f_prog + 1);
@@ -135,6 +136,7 @@ pub fn run(
                 bound as f64,
             ])
             .with_capture(capture)
+            .with_shard_stats(report.shard_stats.clone())
         },
     );
     let label = |i: usize| format!("n={}", ns[i]);
@@ -189,6 +191,7 @@ pub fn run(
          later back-off timers — the wake-up argument of NR18",
     );
     super::append_plots(&mut table, runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     Election {
         n_sweep,

@@ -103,6 +103,7 @@ pub fn run(
         }
     };
     let widths = vec![1usize; ds.len() + ks.len()];
+    let shards = runner.shards();
     let run = runner.run_sweep(
         0,
         &widths,
@@ -114,10 +115,11 @@ pub fn run(
                 k,
                 config,
                 shortcuts(d),
-                &super::cell_options(cell.capture_requested()),
+                &super::cell_options(cell.capture_requested(), shards),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::mmb_capture(&report))
+                .with_shard_stats(report.shard_stats.clone())
         },
     );
     let label = |i: usize| {
@@ -242,6 +244,7 @@ pub fn run(
     );
 
     super::append_plots(&mut table, &runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     Fig1Arbitrary {
         d_sweep,

@@ -98,6 +98,7 @@ pub fn run(
         .take(2 * f_acks.len())
         .chain(std::iter::repeat(2).take(ns.len()))
         .collect();
+    let shards = runner.shards();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -142,7 +143,8 @@ pub fn run(
             }
         },
         |setup, cell| {
-            let options = super::cell_options(cell.capture_requested()).stopping_on_completion();
+            let options =
+                super::cell_options(cell.capture_requested(), shards).stopping_on_completion();
             if cell.point < 2 * f_acks.len() {
                 let f_ack = f_acks[cell.point / 2];
                 let cfg = MacConfig::from_ticks(f_prog, f_ack);
@@ -156,6 +158,7 @@ pub fn run(
                     );
                     CellResult::scalar(bmmb.completion_ticks() as f64)
                         .with_capture(super::mmb_capture(&bmmb))
+                        .with_shard_stats(bmmb.shard_stats.clone())
                 } else {
                     let fmmb = run_fmmb(
                         &setup.cross_net.dual,
@@ -172,6 +175,7 @@ pub fn run(
                     // a lower bound on the true completion time.
                     CellResult::scalar(super::ticks_or_end(fmmb.completion, fmmb.end_time) as f64)
                         .with_capture(super::fmmb_capture(&fmmb))
+                        .with_shard_stats(fmmb.shard_stats.clone())
                 }
             } else {
                 // Size sweep (fixed moderate F_ack; FMMB does not depend
@@ -194,6 +198,7 @@ pub fn run(
                     bounds::fmmb_enhanced(n, s.d, k, &cfg).ticks().max(1) as f64,
                 ])
                 .with_capture(super::fmmb_capture(&report))
+                .with_shard_stats(report.shard_stats.clone())
             }
         },
     );
@@ -287,6 +292,7 @@ pub fn run(
     ));
 
     super::append_plots(&mut table, runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     Fig1Fmmb {
         crossover,

@@ -73,6 +73,7 @@ pub fn run(
     runner: &TrialRunner,
 ) -> Fig1RRestricted {
     let widths = vec![1usize; rs.len()];
+    let shards = runner.shards();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -85,10 +86,11 @@ pub fn run(
                 rs[cell.point],
                 edge_probability,
                 cell.seed(seed),
-                &super::cell_options(cell.capture_requested()),
+                &super::cell_options(cell.capture_requested(), shards),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::mmb_capture(&report))
+                .with_shard_stats(report.shard_stats.clone())
         },
     );
     let label = |i: usize| format!("r={}", rs[i]);
@@ -145,6 +147,7 @@ pub fn run(
     table.note("r=1 reproduces the G'=G cell; growing r interpolates toward (D+k)*F_ack");
 
     super::append_plots(&mut table, runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     Fig1RRestricted {
         r_sweep,

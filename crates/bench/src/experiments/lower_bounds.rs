@@ -61,12 +61,13 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
         *runner
     };
     let widths = vec![1usize; ks.len() + ds.len()];
+    let shards = runner.shards();
     let run = runner.run_sweep(
         0,
         &widths,
         |_trial| (),
         |_, cell| {
-            let options = super::cell_options(cell.capture_requested());
+            let options = super::cell_options(cell.capture_requested(), shards);
             let report = if cell.point < ks.len() {
                 run_choke_star(ks[cell.point], config, &options)
             } else {
@@ -74,6 +75,7 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
             };
             CellResult::scalar(report.completion_ticks as f64)
                 .with_capture(super::mmb_capture(&report.run))
+                .with_shard_stats(report.run.shard_stats.clone())
         },
     );
     let label = |i: usize| {
@@ -152,6 +154,7 @@ pub fn run(config: MacConfig, ks: &[usize], ds: &[usize], runner: &TrialRunner) 
     ));
 
     super::append_plots(&mut table, &runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     LowerBounds {
         star,

@@ -47,11 +47,36 @@ pub struct LabeledOutlier {
 
 /// Run options for one sweep cell: the fast no-validation path normally,
 /// the trace-capturing path when the engine is replaying an outlier.
-pub(crate) fn cell_options(capture: bool) -> RunOptions {
-    if capture {
+/// `shards` comes from the runner (`--shards K`): every cell of every
+/// experiment runs the sharded event queue, so per-shard diagnostics are
+/// available suite-wide, not just for `scale`.
+pub(crate) fn cell_options(capture: bool, shards: usize) -> RunOptions {
+    let options = if capture {
         RunOptions::fast().capturing_trace()
     } else {
         RunOptions::fast()
+    };
+    options.with_shards(shards)
+}
+
+/// Appends the sweep's merged sharded-queue diagnostics as a table note —
+/// the uniform way every experiment surfaces `ShardStats` in its table
+/// and `BENCH_<id>.json` when `--shards K` is set. No-op on sequential
+/// runs, so tables stay byte-identical without `--shards`. (`scale` skips
+/// this: it reports the same diagnostics as dedicated per-point columns.)
+pub(crate) fn append_shard_note(table: &mut Table, run: &SweepRun) {
+    if let Some(stats) = run.shard_stats() {
+        table.note(format!(
+            "shards: {} x {}-tick windows; {} barrier(s), {} outboxed, {} lookahead miss(es), \
+             peak shard q {}, barrier slack {} tick(s)",
+            stats.shards,
+            stats.window_ticks,
+            stats.barriers,
+            stats.outboxed,
+            stats.lookahead_misses,
+            stats.max_peak_pending(),
+            stats.total_slack_ticks(),
+        ));
     }
 }
 
@@ -216,7 +241,7 @@ pub struct ExperimentSpec {
     /// clamped to a single trial).
     pub deterministic: bool,
     run: fn(bool, &TrialRunner) -> ExperimentOutput,
-    record: fn(&std::path::Path, bool, usize) -> crate::record::RecordedTrace,
+    canonical: fn(&crate::record::CanonicalOpts) -> crate::record::CanonicalRun,
 }
 
 impl ExperimentSpec {
@@ -224,6 +249,13 @@ impl ExperimentSpec {
     /// parameterisation) on the given engine.
     pub fn run(&self, smoke: bool, runner: &TrialRunner) -> ExperimentOutput {
         (self.run)(smoke, runner)
+    }
+
+    /// Runs the experiment's canonical execution with the given options —
+    /// see [`crate::record`]. Recording, metrics, and chrome-trace export
+    /// are all opt-in through [`CanonicalOpts`](crate::record::CanonicalOpts).
+    pub fn canonical(&self, opts: &crate::record::CanonicalOpts) -> crate::record::CanonicalRun {
+        (self.canonical)(opts)
     }
 
     /// Records the experiment's canonical execution (`smoke` picks the
@@ -236,7 +268,8 @@ impl ExperimentSpec {
         smoke: bool,
         shards: usize,
     ) -> crate::record::RecordedTrace {
-        (self.record)(dir, smoke, shards)
+        let run = (self.canonical)(&crate::record::CanonicalOpts::recording(dir, smoke, shards));
+        run.trace.expect("recording was requested")
     }
 }
 
@@ -278,7 +311,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB on reliable lines: completion tracks O(D*F_prog + k*F_ack) (Fig. 1, KLN11 row)",
             deterministic: fig1_gg::DETERMINISTIC,
             run: run_fig1_gg,
-            record: crate::record::fig1_gg,
+            canonical: crate::record::fig1_gg,
         },
         ExperimentSpec {
             id: "fig1_r_restricted",
@@ -287,7 +320,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB under r-restricted unreliable augmentation: Thm 3.2/3.16 bound, exact t1 deadline",
             deterministic: false,
             run: run_fig1_r_restricted,
-            record: crate::record::fig1_r_restricted,
+            canonical: crate::record::fig1_r_restricted,
         },
         ExperimentSpec {
             id: "fig1_arbitrary",
@@ -296,7 +329,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB with arbitrary unreliable links: the O((D+k)*F_ack) slowdown of Thm 3.1",
             deterministic: fig1_arbitrary::DETERMINISTIC,
             run: run_fig1_arbitrary,
-            record: crate::record::fig1_arbitrary,
+            canonical: crate::record::fig1_arbitrary,
         },
         ExperimentSpec {
             id: "lower_bounds",
@@ -305,7 +338,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "choke-star Omega(k*F_ack) and grey-zone Omega(D*F_ack) adversary constructions",
             deterministic: lower_bounds::DETERMINISTIC,
             run: run_lower_bounds,
-            record: crate::record::lower_bounds,
+            canonical: crate::record::lower_bounds,
         },
         ExperimentSpec {
             id: "fig1_fmmb",
@@ -314,7 +347,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "FMMB (MIS + gather + spread) beats BMMB on grey-zone duals: Thm 4.1 regime",
             deterministic: false,
             run: run_fig1_fmmb,
-            record: crate::record::fig1_fmmb,
+            canonical: crate::record::fig1_fmmb,
         },
         ExperimentSpec {
             id: "subroutines",
@@ -323,7 +356,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "MIS O(log^3 n) rounds, gather O(k+log n) periods, spread O((D+k) log n) rounds",
             deterministic: false,
             run: run_subroutines,
-            record: crate::record::subroutines,
+            canonical: crate::record::subroutines,
         },
         ExperimentSpec {
             id: "ablation_abort",
@@ -332,7 +365,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "FMMB with the enhanced-layer abort disabled: what the interface buys (and costs)",
             deterministic: false,
             run: run_ablation_abort,
-            record: crate::record::ablation_abort,
+            canonical: crate::record::ablation_abort,
         },
         ExperimentSpec {
             id: "consensus_crash",
@@ -341,7 +374,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "timed flooding consensus under node crashes: agreement/validity, (f+1)-phase deadline",
             deterministic: false,
             run: run_consensus_crash,
-            record: crate::record::consensus_crash,
+            canonical: crate::record::consensus_crash,
         },
         ExperimentSpec {
             id: "election",
@@ -350,7 +383,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "randomized wake-up/election: convergence vs W + 2(D+1)(F_prog+1), claimant suppression",
             deterministic: false,
             run: run_election,
-            record: crate::record::election,
+            canonical: crate::record::election,
         },
         ExperimentSpec {
             id: "scale",
@@ -359,7 +392,7 @@ pub fn registry() -> &'static [ExperimentSpec] {
             detail: "BMMB floods on 1k..1M-node grid duals (sharded with --shards K): events/s, validator and shard peaks",
             deterministic: scale::DETERMINISTIC,
             run: run_scale,
-            record: crate::record::scale,
+            canonical: crate::record::scale,
         },
     ]
 }

@@ -43,6 +43,8 @@ pub struct InstrumentedRun {
     pub milestones: Milestones,
     /// The MAC trace and validator verdict, when capture was requested.
     pub capture: Option<CellCapture>,
+    /// Sharded-queue statistics when the run was sharded.
+    pub shard_stats: Option<amac_sim::ShardStats>,
 }
 
 /// Runs FMMB while checking node-state milestones once per round
@@ -55,13 +57,13 @@ pub fn run_instrumented<P: Policy>(
     seed: u64,
     policy: P,
 ) -> Milestones {
-    run_instrumented_traced(dual, config, assignment, params, seed, policy, false).milestones
+    run_instrumented_traced(dual, config, assignment, params, seed, policy, 0, false).milestones
 }
 
 /// Runs FMMB while checking node-state milestones once per round; with
-/// `capture` set, also records the MAC trace and validates it post-hoc.
-/// Trace recording never disturbs the execution, so the milestones are
-/// identical either way.
+/// `capture` set, also records the MAC trace and validates it post-hoc,
+/// and a non-zero `shards` runs the sharded event queue. Neither disturbs
+/// the execution, so the milestones are identical either way.
 #[allow(clippy::too_many_arguments)]
 pub fn run_instrumented_traced<P: Policy>(
     dual: &DualGraph,
@@ -70,6 +72,7 @@ pub fn run_instrumented_traced<P: Policy>(
     params: &FmmbParams,
     seed: u64,
     policy: P,
+    shards: usize,
     capture: bool,
 ) -> InstrumentedRun {
     assert!(config.is_enhanced(), "FMMB requires the enhanced model");
@@ -87,6 +90,9 @@ pub fn run_instrumented_traced<P: Policy>(
         })
         .collect();
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
+    if shards > 0 {
+        rt = rt.with_shards(shards);
+    }
     if capture {
         rt = rt.tracing();
     }
@@ -154,6 +160,7 @@ pub fn run_instrumented_traced<P: Policy>(
     InstrumentedRun {
         milestones,
         capture,
+        shard_stats: rt.shard_stats(),
     }
 }
 
@@ -228,6 +235,7 @@ pub fn run(
         .chain(std::iter::repeat(1).take(ks.len()))
         .chain(std::iter::repeat(3).take(ns.len()))
         .collect();
+    let shards = runner.shards();
     let run = runner.run_sweep(
         1234,
         &widths,
@@ -303,6 +311,7 @@ pub fn run(
                 // this point's trial, unlike the other sweeps where the
                 // trace is exactly the run behind the statistic.
                 let mut capture = None;
+                let mut shard_stats: Option<amac_sim::ShardStats> = None;
                 for (si, &seed) in seeds.iter().enumerate() {
                     let traced = run_instrumented_traced(
                         &net.dual,
@@ -311,11 +320,17 @@ pub fn run(
                         params,
                         seed ^ setup.salt,
                         amac_mac::policies::LazyPolicy::new(),
+                        shards,
                         cell.capture_requested() && si == 0,
                     );
                     let m = traced.milestones;
                     if si == 0 {
                         capture = traced.capture;
+                    }
+                    if let Some(stats) = &traced.shard_stats {
+                        shard_stats
+                            .get_or_insert_with(amac_sim::ShardStats::default)
+                            .merge(stats);
                     }
                     decided_sum += m.all_decided_round.unwrap_or(m.mis_segment_rounds) as f64;
                     valid += usize::from(m.mis_valid);
@@ -326,6 +341,7 @@ pub fn run(
                     params.schedule(n).mis_rounds() as f64,
                 ])
                 .with_capture(capture)
+                .with_shard_stats(shard_stats)
             } else if cell.point < ns.len() + ks.len() {
                 // --- SUB-GATHER: sweep k on the fixed network ---
                 let (params, assignment) = &setup.gather[cell.point - ns.len()];
@@ -336,6 +352,7 @@ pub fn run(
                     params,
                     seeds[0] ^ setup.salt,
                     amac_mac::policies::LazyPolicy::new(),
+                    shards,
                     cell.capture_requested(),
                 );
                 let m = traced.milestones;
@@ -347,7 +364,9 @@ pub fn run(
                     .gather_done_round
                     .map(|g| g.saturating_sub(m.gather_start_round) as f64)
                     .unwrap_or(f64::NAN);
-                CellResult::scalar(used).with_capture(traced.capture)
+                CellResult::scalar(used)
+                    .with_capture(traced.capture)
+                    .with_shard_stats(traced.shard_stats)
             } else {
                 // --- SUB-SPREAD: sweep n (D grows with sqrt n) ---
                 let idx = cell.point - ns.len() - ks.len();
@@ -359,6 +378,7 @@ pub fn run(
                     params,
                     seeds[0] ^ setup.salt,
                     amac_mac::policies::LazyPolicy::new(),
+                    shards,
                     cell.capture_requested(),
                 );
                 let m = traced.milestones;
@@ -374,6 +394,7 @@ pub fn run(
                     ((*d as u64 + k_fixed as u64) * lg) as f64,
                 ])
                 .with_capture(traced.capture)
+                .with_shard_stats(traced.shard_stats)
             }
         },
     );
@@ -485,6 +506,7 @@ pub fn run(
     table.note("rounds used are until the milestone, not the (longer) fixed schedule");
 
     super::append_plots(&mut table, runner, &run, label);
+    super::append_shard_note(&mut table, &run);
 
     Subroutines {
         mis,

@@ -273,7 +273,10 @@ mod tests {
     fn trace_document_shape_is_valid_enough() {
         let dir = std::env::temp_dir().join("amac-bench-json-trace-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let recorded = crate::record::consensus_crash(&dir, true, 0);
+        let opts = crate::record::CanonicalOpts::recording(&dir, true, 0);
+        let recorded = crate::record::consensus_crash(&opts)
+            .trace
+            .expect("recording was requested");
         let doc = trace_json("recorded", "traces/x.amactrace", &recorded.summary, 0.5);
         assert!(doc.starts_with("{\n"));
         assert!(doc.ends_with("}\n"));

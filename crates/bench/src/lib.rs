@@ -31,4 +31,4 @@ pub mod table;
 
 pub use engine::{TrialRunner, TrialStats};
 pub use experiments::SweepPoint;
-pub use record::RecordedTrace;
+pub use record::{CanonicalOpts, CanonicalRun, RecordedTrace};

@@ -257,6 +257,120 @@ fn scale_tables_are_shards_invariant_modulo_diagnostics() {
     }
 }
 
+/// Runs an experiment's canonical execution with metrics enabled (and,
+/// when `trace` is set, a chrome-trace export written to that path).
+fn canonical_obs(
+    id: &str,
+    shards: usize,
+    trace: Option<std::path::PathBuf>,
+) -> amac_bench::CanonicalRun {
+    let spec = experiments::find(id).expect("registry id");
+    spec.canonical(&amac_bench::CanonicalOpts {
+        smoke: true,
+        shards,
+        metrics: true,
+        chrome_trace: trace,
+        ..amac_bench::CanonicalOpts::default()
+    })
+}
+
+#[test]
+fn metrics_payloads_are_shards_invariant() {
+    // Canonical executions are single runs — the jobs knob never applies
+    // to them, so the observability grid collapses to the shard axis.
+    // tests/shard_equivalence.rs pins trace-level equality; this pins the
+    // *rendered* METRICS document. deterministic_payload strips the
+    // clearly-labelled "nondeterministic" member (wall-clock shard
+    // profiling); everything else must be byte-identical, per the
+    // acceptance criterion on `repro scale --shards 4 --metrics`.
+    for id in ["scale", "consensus_crash"] {
+        let reference = amac_obs::deterministic_payload(
+            &canonical_obs(id, 0, None)
+                .metrics
+                .expect("metrics were requested")
+                .to_json(id),
+        );
+        for shards in [1usize, 4] {
+            let sharded = amac_obs::deterministic_payload(
+                &canonical_obs(id, shards, None)
+                    .metrics
+                    .expect("metrics were requested")
+                    .to_json(id),
+            );
+            assert_eq!(
+                reference, sharded,
+                "{id}: shards={shards} must produce the sequential metrics payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_metrics_respect_the_ack_bound() {
+    // Every fault-free canonical run must deliver within F_ack: the
+    // delivery-latency histogram's upper edge is bounded by the model's
+    // ack deadline (consensus_crash injects crashes and is exempt).
+    for id in ["fig1_gg", "fig1_fmmb", "scale"] {
+        let metrics = canonical_obs(id, 0, None)
+            .metrics
+            .expect("metrics were requested");
+        assert!(metrics.bcasts > 0, "{id}: empty run");
+        assert!(
+            metrics.delivery_within_ack_bound(),
+            "{id}: fault-free delivery latency exceeded F_ack"
+        );
+    }
+}
+
+/// Rewrites every `"tid":N` to `"tid":0` — the track id is the one field
+/// that legitimately varies with `--shards` (it *is* the shard index).
+fn strip_track_ids(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    while let Some(at) = rest.find("\"tid\":") {
+        let digits_at = at + "\"tid\":".len();
+        out.push_str(&rest[..digits_at]);
+        out.push('0');
+        rest = rest[digits_at..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn chrome_traces_are_shards_invariant_modulo_track_ids() {
+    // The span timeline observes the identical execution at every shard
+    // count, so the exported chrome trace must be byte-identical except
+    // for `tid`, which deliberately encodes the shard lane.
+    let dir = std::env::temp_dir().join("amac-bench-determinism-spans");
+    std::fs::create_dir_all(&dir).unwrap();
+    let render = |shards: usize| {
+        let path = dir.join(format!("trace-{shards}.json"));
+        canonical_obs("scale", shards, Some(path.clone()));
+        let doc = std::fs::read_to_string(&path).expect("chrome trace written");
+        std::fs::remove_file(&path).ok();
+        doc
+    };
+    let sequential = render(0);
+    assert!(sequential.starts_with("{\"traceEvents\":["));
+    assert!(sequential.contains("\"ph\":\"X\""), "spans present");
+    let reference = strip_track_ids(&sequential);
+    for shards in [1usize, 4] {
+        let sharded = render(shards);
+        assert_eq!(
+            reference,
+            strip_track_ids(&sharded),
+            "SCALE: shards={shards} chrome trace must match modulo track ids"
+        );
+        if shards > 1 {
+            assert_ne!(
+                sequential, sharded,
+                "sharded spans must actually ride shard lanes"
+            );
+        }
+    }
+}
+
 #[test]
 fn single_trial_reproduces_historical_seed_behaviour() {
     // Trial 0 is seeded with the experiment's historical base seed, so a

@@ -68,9 +68,9 @@ pub trait Scenario {
     fn run(&self, source: &mut ReplaySource, record: Option<&Path>) -> RunVerdict;
 }
 
-/// Fingerprint of a recorded trace: FNV-1a (the `amac-store` stream
-/// digest function) over every entry's canonical byte encoding, in
-/// emission order.
+/// Fingerprint of a recorded trace: FNV-1a (the workspace's canonical
+/// digest function, [`amac_sim::fnv1a64`]) over every entry's canonical
+/// byte encoding, in emission order.
 pub fn trace_fingerprint(trace: &Trace) -> u64 {
     let mut bytes = Vec::with_capacity(trace.entries().len() * 29);
     for e in trace.entries() {
@@ -80,7 +80,7 @@ pub fn trace_fingerprint(trace: &Trace) -> u64 {
         bytes.push(e.kind.code());
         bytes.extend_from_slice(&e.key.0.to_le_bytes());
     }
-    amac_store::format::fnv1a64(&bytes)
+    amac_sim::fnv1a64(&bytes)
 }
 
 fn mac_verdict(validation: Option<&ValidationReport>) -> Option<String> {

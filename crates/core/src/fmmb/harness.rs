@@ -45,6 +45,13 @@ pub struct FmmbReport {
     pub trace: Option<Trace>,
     /// Total rounds in the schedule (for round-based accounting).
     pub schedule_rounds: u64,
+    /// Per-shard execution statistics when the run was sharded
+    /// ([`RunOptions::shards`] ≥ 1), `None` for sequential runs.
+    pub shard_stats: Option<amac_sim::ShardStats>,
+    /// Deterministic sim-time metrics when [`RunOptions::metrics`] was
+    /// set (with the shard diagnostics side channel attached on sharded
+    /// runs).
+    pub metrics: Option<amac_obs::MetricsReport>,
 }
 
 impl FmmbReport {
@@ -165,6 +172,11 @@ pub fn run_fmmb<P: Policy>(
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
     let recorder =
         crate::harness::attach_recorder(options, dual, config, None).map(|store| rt.attach(store));
+    let metrics = crate::harness::make_metrics(options, config).map(|m| rt.attach(m));
+    let spans = crate::harness::make_spans(options, dual).map(|s| rt.attach(s));
+    if options.metrics {
+        rt.enable_shard_profiling();
+    }
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -202,6 +214,14 @@ pub fn run_fmmb<P: Policy>(
     if let Some(handle) = recorder {
         crate::harness::finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
     }
+    let metrics = metrics.map(|handle| {
+        rt.detach(handle)
+            .into_report()
+            .with_shard_diagnostics(rt.shard_stats(), rt.shard_profile())
+    });
+    if let (Some(handle), Some(path)) = (spans, options.chrome_trace.as_deref()) {
+        crate::harness::finish_spans(&rt.detach(handle), path);
+    }
 
     FmmbReport {
         completion: tracker.completed_at(),
@@ -216,6 +236,8 @@ pub fn run_fmmb<P: Policy>(
         validator_stats,
         trace,
         schedule_rounds: schedule.total_rounds(),
+        shard_stats: rt.shard_stats(),
+        metrics,
     }
 }
 

@@ -47,6 +47,17 @@ pub struct RunOptions {
     /// shards. The execution is byte-identical either way — sharding
     /// changes how events are queued, never what happens.
     pub shards: usize,
+    /// Attach a streaming [`amac_obs::MetricsObserver`] and return its
+    /// [`amac_obs::MetricsReport`] in the report: sim-time latency/slack
+    /// histograms,
+    /// per-node counters, and the in-flight depth series. On sharded runs
+    /// this also enables the queue's wall-clock self-profiling, delivered
+    /// in the report's nondeterministic side channel.
+    pub metrics: bool,
+    /// Attach an [`amac_obs::SpanObserver`] and export the execution's
+    /// span timeline as Chrome trace-event JSON (Perfetto-loadable) to
+    /// this file when the run finishes.
+    pub chrome_trace: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -59,6 +70,8 @@ impl Default for RunOptions {
             record: None,
             record_seed: 0,
             shards: 0,
+            metrics: false,
+            chrome_trace: None,
         }
     }
 }
@@ -108,6 +121,20 @@ impl RunOptions {
         self.shards = shards;
         self
     }
+
+    /// Collects deterministic sim-time metrics (see
+    /// [`RunOptions::metrics`]).
+    pub fn with_metrics(mut self) -> RunOptions {
+        self.metrics = true;
+        self
+    }
+
+    /// Exports the span timeline as Chrome trace-event JSON to `path`
+    /// when the run finishes (see [`RunOptions::chrome_trace`]).
+    pub fn with_chrome_trace(mut self, path: impl AsRef<Path>) -> RunOptions {
+        self.chrome_trace = Some(path.as_ref().to_path_buf());
+        self
+    }
 }
 
 /// Attaches a [`StoreObserver`](amac_store::StoreObserver) per
@@ -146,6 +173,53 @@ pub fn finish_recorder(store: amac_store::StoreObserver, quiescent: bool) {
     }
 }
 
+/// Builds a [`MetricsObserver`](amac_obs::MetricsObserver) per
+/// `options.metrics`; shared by every harness.
+#[doc(hidden)]
+pub fn make_metrics(options: &RunOptions, config: MacConfig) -> Option<amac_obs::MetricsObserver> {
+    options
+        .metrics
+        .then(|| amac_obs::MetricsObserver::new(config))
+}
+
+/// Builds a [`SpanObserver`](amac_obs::SpanObserver) per
+/// `options.chrome_trace`. On sharded runs the observer gets the same
+/// contiguous node partition [`Runtime::with_shards`] uses, so spans
+/// render one Perfetto track per shard.
+#[doc(hidden)]
+pub fn make_spans(
+    options: &RunOptions,
+    dual: &amac_graph::DualGraph,
+) -> Option<amac_obs::SpanObserver> {
+    options.chrome_trace.as_ref().map(|_| {
+        let mut spans = amac_obs::SpanObserver::new();
+        if options.shards > 0 {
+            let k = options.shards.min(amac_sim::MAX_SHARDS);
+            let part = amac_graph::partition::contiguous(dual, k);
+            let tracks = (0..dual.len())
+                .map(|i| part.shard_of(NodeId::new(i)) as u32)
+                .collect();
+            spans = spans.with_tracks(tracks);
+        }
+        spans
+    })
+}
+
+/// Writes a detached [`SpanObserver`](amac_obs::SpanObserver)'s Chrome
+/// trace-event export to the file requested by
+/// [`RunOptions::chrome_trace`].
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — the export was explicitly
+/// requested.
+#[doc(hidden)]
+pub fn finish_spans(spans: &amac_obs::SpanObserver, path: &Path) {
+    if let Err(e) = std::fs::write(path, spans.to_chrome_json()) {
+        panic!("cannot write chrome trace to {}: {e}", path.display());
+    }
+}
+
 /// Result of one MMB run.
 #[derive(Clone, Debug)]
 pub struct MmbReport {
@@ -175,6 +249,10 @@ pub struct MmbReport {
     /// Per-shard execution statistics when the run was sharded
     /// ([`RunOptions::shards`] ≥ 1), `None` for sequential runs.
     pub shard_stats: Option<amac_sim::ShardStats>,
+    /// Deterministic sim-time metrics when [`RunOptions::metrics`] was
+    /// set (with the shard diagnostics side channel attached on sharded
+    /// runs).
+    pub metrics: Option<amac_obs::MetricsReport>,
 }
 
 impl MmbReport {
@@ -238,6 +316,11 @@ where
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
     let recorder = attach_recorder(options, dual, config, None).map(|store| rt.attach(store));
+    let metrics = make_metrics(options, config).map(|m| rt.attach(m));
+    let spans = make_spans(options, dual).map(|s| rt.attach(s));
+    if options.metrics {
+        rt.enable_shard_profiling();
+    }
     for (node, msg) in assignment.arrivals() {
         rt.inject(*node, *msg);
     }
@@ -269,6 +352,14 @@ where
     if let Some(handle) = recorder {
         finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
     }
+    let metrics = metrics.map(|handle| {
+        rt.detach(handle)
+            .into_report()
+            .with_shard_diagnostics(rt.shard_stats(), rt.shard_profile())
+    });
+    if let (Some(handle), Some(path)) = (spans, options.chrome_trace.as_deref()) {
+        finish_spans(&rt.detach(handle), path);
+    }
 
     MmbReport {
         completion: tracker.completed_at(),
@@ -282,6 +373,7 @@ where
         validator_stats,
         trace,
         shard_stats: rt.shard_stats(),
+        metrics,
     }
 }
 

@@ -48,5 +48,8 @@ mod mmb;
 
 pub use bmmb::Bmmb;
 pub use fmmb::{run_fmmb, Fmmb, FmmbPacket, FmmbParams, FmmbReport, MisStatus, Schedule, Segment};
-pub use harness::{attach_recorder, finish_recorder, run_bmmb, run_mmb, MmbReport, RunOptions};
+pub use harness::{
+    attach_recorder, finish_recorder, finish_spans, make_metrics, make_spans, run_bmmb, run_mmb,
+    MmbReport, RunOptions,
+};
 pub use mmb::{Assignment, CompletionTracker, Delivered, MessageId, MmbMessage};

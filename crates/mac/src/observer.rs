@@ -21,6 +21,12 @@
 //!   the in-flight state rather than the execution length (see
 //!   [`online`](crate::online)).
 //!
+//! Downstream crates plug further observers into the same pipeline:
+//! `amac-store`'s `StoreObserver` streams the execution to a durable
+//! `.amactrace` file, and `amac-obs` adds `MetricsObserver` (sim-time
+//! latency/slack histograms, per-node counters) and `SpanObserver`
+//! (per-instance span timelines as Chrome trace-event JSON).
+//!
 //! Observers are attached with [`Runtime::attach`](crate::Runtime::attach),
 //! which returns a typed [`ObserverHandle`]; after (or during) the run the
 //! observer is borrowed back with

@@ -379,8 +379,9 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
     ///
     /// # Panics
     ///
-    /// Panics if `k == 0`, or if called after [`with_faults`]
-    /// (`Runtime::with_faults`), [`inject`](Runtime::inject), or the first
+    /// Panics if `k == 0`, or if called after
+    /// [`with_faults`](Runtime::with_faults),
+    /// [`inject`](Runtime::inject), or the first
     /// step — sharding must be decided before any event beyond the initial
     /// node starts is scheduled, so the shared sequence numbering matches
     /// the sequential runtime's.
@@ -416,6 +417,26 @@ impl<A: Automaton, P: Policy> Runtime<A, P> {
         match &self.queue {
             Queue::Single(_) => None,
             Queue::Sharded { q, .. } => Some(q.stats()),
+        }
+    }
+
+    /// Turns on the sharded queue's wall-clock self-profiling (see
+    /// [`amac_sim::ShardProfile`]). No-op in sequential mode; off by
+    /// default so deterministic runs pay nothing for it.
+    pub fn enable_shard_profiling(&mut self) {
+        if let Queue::Sharded { q, .. } = &mut self.queue {
+            q.enable_profiling();
+        }
+    }
+
+    /// The sharded queue's wall-clock self-profile — a nondeterministic
+    /// side channel, `None` unless
+    /// [`enable_shard_profiling`](Runtime::enable_shard_profiling) was
+    /// called on a sharded runtime.
+    pub fn shard_profile(&self) -> Option<amac_sim::ShardProfile> {
+        match &self.queue {
+            Queue::Single(_) => None,
+            Queue::Sharded { q, .. } => q.profile(),
         }
     }
 

@@ -1,0 +1,213 @@
+//! Fixed-bucket power-of-two histograms (HDR-style, one-significant-bit
+//! resolution).
+//!
+//! Latencies in this workspace are small integers of simulated ticks, and
+//! the determinism contract forbids anything allocation- or order-
+//! sensitive on the output path — so the histogram is a fixed array of 65
+//! buckets: bucket 0 holds the value 0 and bucket `i ≥ 1` holds the range
+//! `[2^(i-1), 2^i - 1]`. Recording is O(1) (a leading-zeros count),
+//! merging is elementwise addition, and the rendered JSON lists only the
+//! non-empty buckets, so the encoding is compact at any magnitude.
+
+use std::fmt;
+
+/// Number of buckets: the zero bucket plus one per bit of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A power-of-two bucket histogram of `u64` samples with exact count,
+/// sum, min, and max.
+///
+/// # Examples
+///
+/// ```
+/// use amac_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 2, 3, 9] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), Some(9));
+/// assert_eq!(h.bucket_count(2), 2, "2 and 3 share the [2,3] bucket");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket holding `value`: 0 for 0, else
+    /// `64 - leading_zeros(value)`.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `(low, high)` range of bucket `index`.
+    fn bucket_range(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 0)
+        } else {
+            let low = 1u64 << (index - 1);
+            (low, low + (low - 1))
+        }
+    }
+
+    /// Records one sample. The sum saturates instead of overflowing.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Samples in the bucket containing `value`.
+    pub fn bucket_count(&self, value: u64) -> u64 {
+        self.counts[Self::bucket_of(value)]
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, &c)| {
+            if c == 0 {
+                return None;
+            }
+            let (low, high) = Self::bucket_range(i);
+            Some((low, high, c))
+        })
+    }
+
+    /// Renders the histogram as a deterministic JSON object:
+    /// `{"count":..,"sum":..,"min":..,"max":..,"buckets":[[lo,hi,n],..]}`
+    /// (`min`/`max` are `null` when empty; only non-empty buckets appear).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        for (low, high, c) in self.buckets() {
+            if !buckets.is_empty() {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{low},{high},{c}]"));
+        }
+        let bound =
+            |present: Option<u64>| present.map_or_else(|| "null".to_owned(), |v| v.to_string());
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{buckets}]}}",
+            self.count,
+            self.sum,
+            bound(self.min()),
+            bound(self.max()),
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("sum", &self.sum)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two_with_zero_bucket() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(3), (4, 7));
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [5, 0, 17, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 27);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.bucket_count(5), 2, "4..=7 bucket holds both fives");
+        let triples: Vec<_> = h.buckets().collect();
+        assert_eq!(triples, vec![(0, 0, 1), (4, 7, 2), (16, 31, 1)]);
+    }
+
+    #[test]
+    fn json_is_compact_and_stable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(6);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":2,\"sum\":6,\"min\":0,\"max\":6,\"buckets\":[[0,0,1],[4,7,1]]}"
+        );
+        assert_eq!(
+            Histogram::new().to_json(),
+            "{\"count\":0,\"sum\":0,\"min\":null,\"max\":null,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_bucketing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 63);
+        assert_eq!(h.bucket_count(u64::MAX), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+}

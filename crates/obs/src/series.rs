@@ -1,0 +1,182 @@
+//! Bounded deterministic time series.
+//!
+//! A run can record millions of samples, but a metrics document wants a
+//! sketch. [`TimeSeries`] keeps at most a fixed number of `(tick, value)`
+//! points by sampling on a tick stride that doubles whenever the buffer
+//! fills, keeping the **maximum** value seen within each stride bucket.
+//! The decimation schedule depends only on the sample sequence, so two
+//! identical executions produce byte-identical series — no wall clock,
+//! no allocation-order sensitivity.
+
+/// A bounded `(tick, value)` series tracking the per-bucket maximum, plus
+/// the exact global peak.
+///
+/// # Examples
+///
+/// ```
+/// use amac_obs::TimeSeries;
+///
+/// let mut s = TimeSeries::new(4);
+/// for t in 0..100u64 {
+///     s.record(t, t % 7);
+/// }
+/// assert!(s.points().len() <= 4);
+/// assert_eq!(s.peak(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    capacity: usize,
+    /// Current bucket width in ticks (doubles on overflow).
+    stride: u64,
+    /// Completed `(bucket start tick, bucket max)` points.
+    points: Vec<(u64, u64)>,
+    /// The bucket currently being filled, if any.
+    open: Option<(u64, u64)>,
+    peak: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series keeping at most `capacity ≥ 2` points.
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            capacity: capacity.max(2),
+            stride: 1,
+            points: Vec::new(),
+            open: None,
+            peak: 0,
+        }
+    }
+
+    /// Start tick of the stride bucket holding `tick`.
+    fn bucket(&self, tick: u64) -> u64 {
+        tick - tick % self.stride
+    }
+
+    /// Records `value` at `tick`. Ticks must be non-decreasing (event
+    /// order); a violating tick is clamped into the open bucket.
+    pub fn record(&mut self, tick: u64, value: u64) {
+        self.peak = self.peak.max(value);
+        let bucket = self.bucket(tick);
+        match &mut self.open {
+            Some((start, max)) if bucket <= *start => *max = (*max).max(value),
+            _ => {
+                if let Some(done) = self.open.take() {
+                    self.points.push(done);
+                }
+                // Doubling terminates: once the stride exceeds the tick
+                // span every kept point lands in bucket 0 and merges.
+                while self.points.len() >= self.capacity {
+                    self.halve();
+                }
+                // Re-bucket under the (possibly doubled) stride.
+                self.open = Some((self.bucket(tick), value));
+            }
+        }
+    }
+
+    /// Doubles the stride and re-buckets the kept points, merging
+    /// neighbours that now share a bucket (max-within-bucket).
+    fn halve(&mut self) {
+        self.stride *= 2;
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.points.len() / 2 + 1);
+        for &(tick, value) in &self.points {
+            let bucket = tick - tick % self.stride;
+            match merged.last_mut() {
+                Some((start, max)) if *start == bucket => *max = (*max).max(value),
+                _ => merged.push((bucket, value)),
+            }
+        }
+        self.points = merged;
+    }
+
+    /// The kept `(bucket start tick, bucket max value)` points in tick
+    /// order, the open bucket included.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        let mut out = self.points.clone();
+        if let Some((start, max)) = self.open {
+            // A stride doubling can re-bucket the open point onto the last
+            // completed one; fold them so starts stay strictly increasing.
+            match out.last_mut() {
+                Some((last, lmax)) if *last >= start => *lmax = (*lmax).max(max),
+                _ => out.push((start, max)),
+            }
+        }
+        out
+    }
+
+    /// The exact maximum value ever recorded (not subject to decimation).
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Renders `{"peak":..,"stride":..,"points":[[t,v],..]}`.
+    pub fn to_json(&self) -> String {
+        let mut body = String::new();
+        for (t, v) in self.points() {
+            if !body.is_empty() {
+                body.push(',');
+            }
+            body.push_str(&format!("[{t},{v}]"));
+        }
+        format!(
+            "{{\"peak\":{},\"stride\":{},\"points\":[{body}]}}",
+            self.peak, self.stride
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_every_point_while_under_capacity() {
+        let mut s = TimeSeries::new(8);
+        s.record(0, 1);
+        s.record(1, 5);
+        s.record(2, 3);
+        assert_eq!(s.points(), vec![(0, 1), (1, 5), (2, 3)]);
+        assert_eq!(s.peak(), 5);
+    }
+
+    #[test]
+    fn stays_bounded_and_keeps_bucket_maxima() {
+        let mut s = TimeSeries::new(4);
+        for t in 0..1000u64 {
+            s.record(t, if t == 777 { 99 } else { 1 });
+        }
+        let pts = s.points();
+        assert!(pts.len() <= 4, "kept {} points", pts.len());
+        assert_eq!(s.peak(), 99, "peak survives decimation exactly");
+        assert!(
+            pts.iter().any(|&(_, v)| v == 99),
+            "the spike's bucket keeps its max"
+        );
+        for pair in pts.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "points stay in tick order");
+        }
+    }
+
+    #[test]
+    fn same_input_same_series() {
+        let run = || {
+            let mut s = TimeSeries::new(8);
+            for t in 0..500u64 {
+                s.record(t / 3, t % 11);
+            }
+            s.to_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut s = TimeSeries::new(4);
+        s.record(0, 2);
+        s.record(5, 7);
+        assert_eq!(
+            s.to_json(),
+            "{\"peak\":7,\"stride\":1,\"points\":[[0,2],[5,7]]}"
+        );
+    }
+}

@@ -351,6 +351,13 @@ pub struct ConsensusReport {
     pub validator_stats: Option<OnlineStats>,
     /// The recorded MAC trace, when [`RunOptions::keep_trace`] was set.
     pub trace: Option<Trace>,
+    /// Per-shard execution statistics when the run was sharded
+    /// ([`RunOptions::shards`] ≥ 1), `None` for sequential runs.
+    pub shard_stats: Option<amac_sim::ShardStats>,
+    /// Deterministic sim-time metrics when [`RunOptions::metrics`] was
+    /// set (with the shard diagnostics side channel attached on sharded
+    /// runs).
+    pub metrics: Option<amac_obs::MetricsReport>,
 }
 
 impl ConsensusReport {
@@ -461,6 +468,11 @@ pub fn run_consensus<P: Policy>(
         .then(|| rt.attach(OnlineValidator::new(dual.clone(), config)));
     let tracer = options.keep_trace.then(|| rt.attach(TraceObserver::new()));
     let recorder = recorder_store.map(|store| rt.attach(store));
+    let metrics = amac_core::make_metrics(options, config).map(|m| rt.attach(m));
+    let spans = amac_core::make_spans(options, dual).map(|s| rt.attach(s));
+    if options.metrics {
+        rt.enable_shard_profiling();
+    }
 
     let mut decisions: Vec<Option<(Time, bool)>> = vec![None; n];
     let mut duplicates: Vec<NodeId> = Vec::new();
@@ -504,6 +516,14 @@ pub fn run_consensus<P: Policy>(
     if let Some(handle) = recorder {
         amac_core::finish_recorder(rt.detach(handle), outcome == RunOutcome::Idle);
     }
+    let metrics = metrics.map(|handle| {
+        rt.detach(handle)
+            .into_report()
+            .with_shard_diagnostics(rt.shard_stats(), rt.shard_profile())
+    });
+    if let (Some(handle), Some(path)) = (spans, options.chrome_trace.as_deref()) {
+        amac_core::finish_spans(&rt.detach(handle), path);
+    }
 
     ConsensusReport {
         decisions,
@@ -517,6 +537,8 @@ pub fn run_consensus<P: Policy>(
         validation,
         validator_stats,
         trace,
+        shard_stats: rt.shard_stats(),
+        metrics,
     }
 }
 

@@ -73,6 +73,60 @@ pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 /// `HashSet` of small integers, hashed with [`FastHasher`].
 pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 
+// FNV-1a 64-bit parameters (public-domain hash; stable by definition).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit digest — the workspace's one canonical
+/// content-fingerprint function.
+///
+/// Chosen for being trivially reimplementable from its published spec (no
+/// dependency, no seed): it guards against corruption and drift, not
+/// adversaries. The `amac-store` on-disk integrity digest, the
+/// `amac-check` schedule fingerprints, and the golden canonical-trace
+/// pins are all this function; keeping a single implementation here is
+/// what makes those digests comparable across crates.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh digest (the FNV-1a offset basis).
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Resumes a digest from a previously captured [`value`](Fnv1a::value).
+    pub fn from_value(value: u64) -> Fnv1a {
+        Fnv1a(value)
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// FNV-1a 64-bit digest of a complete byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut d = Fnv1a::new();
+    d.update(bytes);
+    d.value()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +149,25 @@ mod tests {
             assert!(s.contains(&(i * 0x9E37_79B9)));
         }
         assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv1a_streaming_equals_oneshot_and_resumes() {
+        let mut d = Fnv1a::new();
+        d.update(b"foo");
+        let resumed = Fnv1a::from_value(d.value());
+        let mut d2 = resumed;
+        d2.update(b"bar");
+        assert_eq!(d2.value(), fnv1a64(b"foobar"));
+        assert_eq!(Fnv1a::default().value(), fnv1a64(b""));
     }
 
     #[test]

@@ -47,7 +47,9 @@ mod rng;
 pub mod stats;
 mod time;
 
-pub use hash::{FastHashMap, FastHashSet, FastHasher};
-pub use queue::{EventId, EventQueue, ShardStats, ShardedEventQueue, MAX_SHARDS};
+pub use hash::{fnv1a64, FastHashMap, FastHashSet, FastHasher, Fnv1a};
+pub use queue::{
+    EventId, EventQueue, ShardProfile, ShardSample, ShardStats, ShardedEventQueue, MAX_SHARDS,
+};
 pub use rng::SimRng;
 pub use time::{Duration, Time};

@@ -295,7 +295,7 @@ const SHARD_SHIFT: u32 = 32 - SHARD_BITS;
 const LOCAL_SLOT_MASK: u32 = (1 << SHARD_SHIFT) - 1;
 
 /// Maximum shard count a [`ShardedEventQueue`] supports (the shard index
-/// must fit in the top [`SHARD_BITS`] bits of an [`EventId`] slot).
+/// must fit in the top `SHARD_BITS` bits of an [`EventId`] slot).
 pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
 
 /// One cross-shard event parked until the next window barrier: it already
@@ -350,6 +350,103 @@ impl ShardStats {
     pub fn total_slack_ticks(&self) -> u64 {
         self.barrier_slack_ticks.iter().sum()
     }
+
+    /// Folds another run's statistics into this one — used by the bench
+    /// engine to aggregate per-trial stats across a sweep. Counters sum,
+    /// peaks take the elementwise maximum, and the configuration fields
+    /// (`shards`, `window_ticks`) take the maximum so a default-initialised
+    /// accumulator is the identity. Commutative and associative, so the
+    /// fold result is independent of trial scheduling.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.shards = self.shards.max(other.shards);
+        self.window_ticks = self.window_ticks.max(other.window_ticks);
+        self.barriers += other.barriers;
+        self.outboxed += other.outboxed;
+        self.lookahead_misses += other.lookahead_misses;
+        if self.peak_pending.len() < other.peak_pending.len() {
+            self.peak_pending.resize(other.peak_pending.len(), 0);
+        }
+        for (mine, theirs) in self.peak_pending.iter_mut().zip(&other.peak_pending) {
+            *mine = (*mine).max(*theirs);
+        }
+        if self.barrier_slack_ticks.len() < other.barrier_slack_ticks.len() {
+            self.barrier_slack_ticks
+                .resize(other.barrier_slack_ticks.len(), 0);
+        }
+        for (mine, theirs) in self
+            .barrier_slack_ticks
+            .iter_mut()
+            .zip(&other.barrier_slack_ticks)
+        {
+            *mine += *theirs;
+        }
+    }
+}
+
+/// Wall-clock self-profiling of a [`ShardedEventQueue`], captured only
+/// when [`enable_profiling`](ShardedEventQueue::enable_profiling) was
+/// called.
+///
+/// **Nondeterministic side channel.** Everything here is measured with
+/// [`std::time::Instant`] and varies run to run and machine to machine —
+/// it must never feed back into execution or into any deterministic
+/// output surface (the metrics layer emits it under a clearly-labelled
+/// `"nondeterministic"` member; see `docs/OBSERVABILITY.md`).
+#[derive(Clone, Debug, Default)]
+pub struct ShardProfile {
+    /// Wall-clock nanoseconds spent *between* pops inside windows — the
+    /// caller's event-processing time, the phase a thread-per-shard
+    /// deployment would parallelise.
+    pub drain_nanos: u64,
+    /// Wall-clock nanoseconds spent in barrier slack accounting.
+    pub barrier_nanos: u64,
+    /// Wall-clock nanoseconds spent sorting and flushing the cross-shard
+    /// outbox at barriers (the K-way merge phase).
+    pub merge_nanos: u64,
+    /// Per shard: drain nanoseconds attributed to events popped from the
+    /// shard. `busy_nanos[s] / drain_nanos` is the shard's busy fraction.
+    pub busy_nanos: Vec<u64>,
+    /// Decimated [`ShardStats`] time series sampled at window barriers
+    /// (at most [`ShardProfile::MAX_SAMPLES`] entries; the sampling
+    /// stride doubles when full).
+    pub samples: Vec<ShardSample>,
+}
+
+impl ShardProfile {
+    /// Upper bound on the length of [`samples`](ShardProfile::samples).
+    pub const MAX_SAMPLES: usize = 64;
+
+    /// Total profiled wall-clock nanoseconds across all three phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.drain_nanos + self.barrier_nanos + self.merge_nanos
+    }
+}
+
+/// One sample of the sharded queue's state, taken at a window barrier.
+/// The sampled values are simulated-time quantities (deterministic); the
+/// *existence* of the sample rides in the profiling side channel.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSample {
+    /// Simulated tick of the barrier (the closing window's end).
+    pub at_ticks: u64,
+    /// Barriers crossed so far, this one included.
+    pub barriers: u64,
+    /// Pending events across all shards just after the outbox flush.
+    pub pending: usize,
+    /// Cross-shard events outboxed so far.
+    pub outboxed: u64,
+}
+
+/// Internal wall-clock profiling state, boxed so the default
+/// (profiling off) costs one pointer and one branch per pop.
+struct ProfileState {
+    profile: ShardProfile,
+    /// Instant the last pop returned, plus the popped event's shard: the
+    /// gap to the next pop is the caller's processing time for that
+    /// shard's event.
+    last: Option<(std::time::Instant, usize)>,
+    /// Current sampling stride in barriers (doubles when full).
+    stride: u64,
 }
 
 /// A sharded pending-event queue that reproduces the sequential
@@ -413,6 +510,8 @@ pub struct ShardedEventQueue<E> {
     /// stale-versus-live compaction policy as the heaps.
     outbox_cancels: usize,
     stats: ShardStats,
+    /// Wall-clock self-profiling, opt-in (see [`ShardProfile`]).
+    profiling: Option<Box<ProfileState>>,
 }
 
 impl<E> ShardedEventQueue<E> {
@@ -444,6 +543,7 @@ impl<E> ShardedEventQueue<E> {
             current_shard: None,
             last_pop: vec![Time::ZERO; k],
             outbox_cancels: 0,
+            profiling: None,
             stats: ShardStats {
                 shards: k,
                 window_ticks: window.ticks(),
@@ -472,6 +572,29 @@ impl<E> ShardedEventQueue<E> {
     /// A snapshot of the synchronization statistics.
     pub fn stats(&self) -> ShardStats {
         self.stats.clone()
+    }
+
+    /// Turns on wall-clock self-profiling (phase breakdown, per-shard
+    /// busy time, a decimated [`ShardStats`] timeline). Off by default:
+    /// the deterministic execution pays nothing for the instrumentation.
+    pub fn enable_profiling(&mut self) {
+        if self.profiling.is_none() {
+            self.profiling = Some(Box::new(ProfileState {
+                profile: ShardProfile {
+                    busy_nanos: vec![0; self.shards.len()],
+                    ..ShardProfile::default()
+                },
+                last: None,
+                stride: 1,
+            }));
+        }
+    }
+
+    /// A snapshot of the wall-clock self-profile, or `None` when
+    /// [`enable_profiling`](ShardedEventQueue::enable_profiling) was
+    /// never called.
+    pub fn profile(&self) -> Option<ShardProfile> {
+        self.profiling.as_ref().map(|p| p.profile.clone())
     }
 
     /// Schedules `event` on `shard` at absolute time `at`.
@@ -574,6 +697,16 @@ impl<E> ShardedEventQueue<E> {
     /// advancing the clock. The total order is exactly the sequential
     /// queue's `(time, sequence)` order.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        if let Some(p) = &mut self.profiling {
+            // The gap since the previous pop returned is the caller's
+            // processing time for that pop's event — the drain phase,
+            // attributed to the previously popped shard.
+            if let Some((then, prev_shard)) = p.last.take() {
+                let gap = u64::try_from(then.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                p.profile.drain_nanos += gap;
+                p.profile.busy_nanos[prev_shard] += gap;
+            }
+        }
         let shard = self.settle()?;
         let (at, event) = self.shards[shard]
             .pop()
@@ -582,6 +715,9 @@ impl<E> ShardedEventQueue<E> {
         self.popped += 1;
         self.current_shard = Some(shard);
         self.last_pop[shard] = at;
+        if let Some(p) = &mut self.profiling {
+            p.last = Some((std::time::Instant::now(), shard));
+        }
         Some((at, event))
     }
 
@@ -633,6 +769,8 @@ impl<E> ShardedEventQueue<E> {
     /// outbox in canonical `(tick, destination shard, sequence)` order,
     /// and opens the next window at the earliest remaining event.
     fn advance_window(&mut self, next_heap_time: Option<Time>) {
+        let barrier_start = self.profiling.is_some().then(std::time::Instant::now);
+        let barrier_tick = self.window_end.ticks();
         self.stats.barriers += 1;
         for s in 0..self.shards.len() {
             let busy_until = self.last_pop[s].max(self.window_start);
@@ -645,6 +783,7 @@ impl<E> ShardedEventQueue<E> {
         // does not affect pop order (the heap sorts by `(time, seq)`), but
         // the canonical batch order is part of the documented contract and
         // keeps any future batched side effects deterministic.
+        let merge_start = self.profiling.is_some().then(std::time::Instant::now);
         self.outbox.sort_by_key(|o| (o.at, o.dest, o.seq));
         let mut earliest_flushed: Option<Time> = None;
         for o in std::mem::take(&mut self.outbox) {
@@ -672,6 +811,41 @@ impl<E> ShardedEventQueue<E> {
         };
         self.window_start = next.unwrap_or(self.window_end);
         self.window_end = self.window_start + self.window;
+        if let (Some(bs), Some(ms)) = (barrier_start, merge_start) {
+            let pending = self.pending_upper_bound();
+            let end = std::time::Instant::now();
+            let barriers = self.stats.barriers;
+            let outboxed = self.stats.outboxed;
+            let p = self
+                .profiling
+                .as_mut()
+                .expect("timers are armed only while profiling");
+            p.profile.barrier_nanos +=
+                u64::try_from(ms.duration_since(bs).as_nanos()).unwrap_or(u64::MAX);
+            p.profile.merge_nanos +=
+                u64::try_from(end.duration_since(ms).as_nanos()).unwrap_or(u64::MAX);
+            // Decimated timeline: keep at most MAX_SAMPLES entries by
+            // doubling the barrier stride and dropping every other kept
+            // sample whenever the buffer fills.
+            if barriers % p.stride == 0 {
+                if p.profile.samples.len() == ShardProfile::MAX_SAMPLES {
+                    let mut keep = 0;
+                    p.profile.samples.retain(|_| {
+                        keep += 1;
+                        keep % 2 == 1
+                    });
+                    p.stride *= 2;
+                }
+                if barriers % p.stride == 0 {
+                    p.profile.samples.push(ShardSample {
+                        at_ticks: barrier_tick,
+                        barriers,
+                        pending,
+                        outboxed,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -1019,6 +1193,92 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn sharded_rejects_zero_shards() {
         let _ = ShardedEventQueue::<u32>::new(0, Duration::TICK);
+    }
+
+    #[test]
+    fn shard_stats_merge_is_commutative_with_identity() {
+        let a = ShardStats {
+            shards: 2,
+            window_ticks: 4,
+            barriers: 3,
+            outboxed: 5,
+            lookahead_misses: 1,
+            peak_pending: vec![7, 2],
+            barrier_slack_ticks: vec![10, 20],
+        };
+        let b = ShardStats {
+            shards: 2,
+            window_ticks: 4,
+            barriers: 1,
+            outboxed: 2,
+            lookahead_misses: 4,
+            peak_pending: vec![3, 9],
+            barrier_slack_ticks: vec![1, 2],
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(format!("{ab:?}"), format!("{ba:?}"));
+        assert_eq!(ab.barriers, 4);
+        assert_eq!(ab.peak_pending, vec![7, 9]);
+        assert_eq!(ab.barrier_slack_ticks, vec![11, 22]);
+        // Default-initialised accumulator is the identity.
+        let mut acc = ShardStats::default();
+        acc.merge(&a);
+        assert_eq!(format!("{acc:?}"), format!("{a:?}"));
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_does_not_perturb_order() {
+        let run = |profile: bool| {
+            let mut q = ShardedEventQueue::new(2, Duration::from_ticks(2));
+            if profile {
+                q.enable_profiling();
+            }
+            q.schedule(0, Time::ZERO, 0u32);
+            q.schedule(1, Time::from_ticks(3), 1u32);
+            q.schedule(0, Time::from_ticks(5), 2u32);
+            let mut order = Vec::new();
+            while let Some((at, e)) = q.pop() {
+                order.push((at.ticks(), e));
+            }
+            (order, q.profile(), q.stats())
+        };
+        let (plain_order, plain_profile, plain_stats) = run(false);
+        let (prof_order, prof_profile, prof_stats) = run(true);
+        assert!(plain_profile.is_none(), "profiling is opt-in");
+        assert_eq!(plain_order, prof_order);
+        assert_eq!(plain_stats.barriers, prof_stats.barriers);
+        let profile = prof_profile.expect("profiling was enabled");
+        assert_eq!(profile.busy_nanos.len(), 2);
+        assert!(
+            !profile.samples.is_empty(),
+            "barriers were crossed, so the timeline has samples"
+        );
+        assert!(profile.samples.len() <= ShardProfile::MAX_SAMPLES);
+        let last = profile.samples.last().unwrap();
+        assert_eq!(last.barriers, prof_stats.barriers);
+    }
+
+    #[test]
+    fn profile_timeline_stays_bounded_under_many_barriers() {
+        let mut q = ShardedEventQueue::new(2, Duration::TICK);
+        q.enable_profiling();
+        // One event per tick, alternating shards: every tick is a barrier.
+        for i in 0..1000u64 {
+            q.schedule((i % 2) as usize, Time::from_ticks(i), i);
+        }
+        while q.pop().is_some() {}
+        let profile = q.profile().unwrap();
+        assert!(q.stats().barriers > ShardProfile::MAX_SAMPLES as u64);
+        assert!(profile.samples.len() <= ShardProfile::MAX_SAMPLES);
+        assert!(profile.samples.len() > ShardProfile::MAX_SAMPLES / 4);
+        // Samples are in barrier order and cover the run's tail.
+        for pair in profile.samples.windows(2) {
+            assert!(pair[0].barriers < pair[1].barriers);
+            assert!(pair[0].at_ticks <= pair[1].at_ticks);
+        }
     }
 
     #[test]

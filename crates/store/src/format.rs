@@ -28,53 +28,15 @@ pub const END_TAG: u8 = 0xFF;
 /// Longest legal LEB128 encoding of a `u64` (10 groups of 7 bits).
 pub const MAX_VARINT_LEN: usize = 10;
 
-// FNV-1a 64-bit parameters (public-domain hash; stable by definition).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Streaming FNV-1a 64-bit digest, the format's integrity check — an
+/// alias of the workspace-wide canonical implementation in
+/// [`amac_sim::hash`]. It guards against corruption, not adversaries.
+pub type Digest = amac_sim::Fnv1a;
 
-/// Streaming FNV-1a 64-bit digest, the format's integrity check. Chosen
-/// for being trivially reimplementable from the spec (no dependency) —
-/// it guards against corruption, not adversaries.
-#[derive(Clone, Copy, Debug)]
-pub struct Digest(u64);
-
-impl Digest {
-    /// A fresh digest (FNV-1a offset basis).
-    pub fn new() -> Digest {
-        Digest(FNV_OFFSET)
-    }
-
-    /// Resumes a digest from a previously captured [`value`](Digest::value).
-    pub fn from_value(value: u64) -> Digest {
-        Digest(value)
-    }
-
-    /// Folds `bytes` into the digest.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// The current digest value.
-    pub fn value(&self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Digest {
-    fn default() -> Digest {
-        Digest::new()
-    }
-}
-
-/// FNV-1a 64-bit digest of a complete byte string.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut d = Digest::new();
-    d.update(bytes);
-    d.value()
-}
+/// FNV-1a 64-bit digest of a complete byte string (re-export of the
+/// canonical [`amac_sim::fnv1a64`], kept here because the digest is part
+/// of this crate's on-disk format contract).
+pub use amac_sim::fnv1a64;
 
 /// Digest of a [`FaultPlan`]: FNV-1a over each scheduled event's
 /// `(time, node, kind code)` triple as LEB128 varints, in plan order. The
@@ -503,7 +465,10 @@ mod tests {
     #[test]
     fn fault_plan_digest_distinguishes_plans() {
         let empty = fault_plan_digest(&FaultPlan::new());
-        assert_eq!(empty, FNV_OFFSET, "empty plan digests to the offset basis");
+        assert_eq!(
+            empty, 0xcbf2_9ce4_8422_2325,
+            "empty plan digests to the offset basis"
+        );
         let a = FaultPlan::new().crash_at(NodeId::new(1), Time::from_ticks(5));
         let b = FaultPlan::new().crash_at(NodeId::new(1), Time::from_ticks(6));
         assert_ne!(fault_plan_digest(&a), fault_plan_digest(&b));

@@ -30,7 +30,7 @@
 //!
 //! [`amac_mac::ChoicePoint`]: amac::mac::ChoicePoint
 
-use amac::store::format::fnv1a64;
+use amac::sim::fnv1a64;
 
 /// `(experiment id, FNV-1a digest of the smoke-scale canonical trace)`.
 const GOLDEN: &[(&str, u64)] = &[
