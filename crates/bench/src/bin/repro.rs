@@ -27,7 +27,11 @@
 //! workload (sweeps and `--record`) on the sharded event queue with `K`
 //! shards; sharded execution is byte-identical to sequential
 //! (`tests/shard_equivalence.rs`), so only wall-clock-exempt cells may
-//! change.
+//! change. `--shard-threads T` additionally drains the shards' time
+//! windows on up to `T` scoped worker threads per trial — still
+//! byte-identical, and capped against `--jobs` so the two pools never
+//! multiply past the available cores (threads only unfold when jobs
+//! leave cores idle, e.g. `--jobs 1`).
 //!
 //! Stdout is **byte-identical for any `J`** — including adaptive trial
 //! counts and plot lines: trial `i` is seeded by `SimRng::split(i)`,
@@ -100,7 +104,7 @@ fn usage_exit() -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--list] [--markdown] [--smoke] [--trials N] [--jobs J] \
          [--target-ci FRAC] [--max-trials M] [--dump-traces DIR] [--plots] [--json DIR] \
-         [--record DIR] [--metrics DIR] [--chrome-trace FILE] [--shards K]"
+         [--record DIR] [--metrics DIR] [--chrome-trace FILE] [--shards K] [--shard-threads T]"
     );
     eprintln!(
         "       repro replay FILE [FILE ...] \
@@ -186,6 +190,7 @@ fn main() {
     let mut metrics_dir: Option<PathBuf> = None;
     let mut chrome_trace: Option<PathBuf> = None;
     let mut shards = 0usize;
+    let mut shard_threads = 0usize;
     let mut replay_mode = false;
     let mut replay_files: Vec<PathBuf> = Vec::new();
     let mut observer = "validator".to_string();
@@ -231,6 +236,7 @@ fn main() {
             "--metrics" => metrics_dir = Some(dir_arg(&mut args, "--metrics")),
             "--chrome-trace" => chrome_trace = Some(dir_arg(&mut args, "--chrome-trace")),
             "--shards" => shards = count_arg(&mut args, "--shards"),
+            "--shard-threads" => shard_threads = count_arg(&mut args, "--shard-threads"),
             "--observer" => {
                 observer = args.next().unwrap_or_else(|| {
                     eprintln!(
@@ -320,6 +326,7 @@ fn main() {
             &specs,
             smoke,
             shards,
+            shard_threads,
             record_dir.as_deref(),
             metrics_dir.as_deref(),
             chrome_trace.as_deref(),
@@ -331,7 +338,8 @@ fn main() {
     let mut runner = TrialRunner::new(trials, jobs)
         .with_trace_capture(dump_traces.is_some())
         .with_plots(plots)
-        .with_shards(shards);
+        .with_shards(shards)
+        .with_shard_threads(shard_threads);
     if let Some(frac) = target_ci {
         // Adaptive mode needs headroom above the floor; default the cap to
         // 8x the floor when --max-trials is not given.
@@ -465,10 +473,12 @@ fn write_named_json(dir: &Path, docs: &[(String, String)]) {
 /// reproduce; metrics land as `METRICS_<id>.json` under the metrics
 /// directory; the chrome trace is written by the harness as the run
 /// finishes.
+#[allow(clippy::too_many_arguments)]
 fn record_canonical(
     specs: &[&'static ExperimentSpec],
     smoke: bool,
     shards: usize,
+    shard_threads: usize,
     record_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
     chrome_trace: Option<&Path>,
@@ -491,6 +501,7 @@ fn record_canonical(
         let opts = amac_bench::CanonicalOpts {
             smoke,
             shards,
+            shard_threads,
             record: record_dir.map(Path::to_path_buf),
             metrics: metrics_dir.is_some(),
             chrome_trace: chrome_trace.map(Path::to_path_buf),

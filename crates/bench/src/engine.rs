@@ -347,6 +347,7 @@ pub struct TrialRunner {
     capture: bool,
     plots: bool,
     shards: usize,
+    shard_threads: usize,
 }
 
 impl TrialRunner {
@@ -362,6 +363,7 @@ impl TrialRunner {
             capture: false,
             plots: false,
             shards: 0,
+            shard_threads: 0,
         }
     }
 
@@ -432,6 +434,7 @@ impl TrialRunner {
             capture: self.capture,
             plots: self.plots,
             shards: self.shards,
+            shard_threads: self.shard_threads,
         }
     }
 
@@ -483,6 +486,40 @@ impl TrialRunner {
     /// The event-queue shard count (0 = sequential).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Sets the *requested* per-trial shard worker-thread count (0 = the
+    /// fused single-core drain). Like `--shards`, threading never changes
+    /// a measured value or a delivered byte, so the effective count may be
+    /// capped (see
+    /// [`effective_shard_threads`](Self::effective_shard_threads)) without
+    /// perturbing any output.
+    pub fn with_shard_threads(mut self, threads: usize) -> TrialRunner {
+        self.shard_threads = threads;
+        self
+    }
+
+    /// The requested shard worker-thread count (0 = fused drain).
+    pub fn shard_threads(&self) -> usize {
+        self.shard_threads
+    }
+
+    /// The shard worker-thread count each trial actually runs with.
+    ///
+    /// **Oversubscription policy:** the engine already fans `--jobs`
+    /// workers out over the cores, and every one of those workers would
+    /// spawn `--shard-threads` scoped shard workers of its own — the
+    /// product, not the max, hits the scheduler. The effective per-trial
+    /// count is therefore capped at `max(1, cores / jobs)`: with the pool
+    /// saturated (`--jobs` = cores) trials run the fused drain's
+    /// single-core equivalent (1 thread), and shard threads only unfold
+    /// when jobs leave cores idle (e.g. `--jobs 1`, the `scale` default).
+    /// Capping is output-invariant: thread count never changes bytes.
+    pub fn effective_shard_threads(&self) -> usize {
+        if self.shards == 0 || self.shard_threads == 0 {
+            return 0;
+        }
+        self.shard_threads.min((default_jobs() / self.jobs).max(1))
     }
 
     /// Runs a sweep of `widths.len()` points, each measuring `widths[p]`

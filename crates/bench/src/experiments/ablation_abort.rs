@@ -76,6 +76,7 @@ pub fn run(
     // Points: 2i = with abort @ f_acks[i], 2i+1 = without abort.
     let widths = vec![1usize; 2 * f_acks.len()];
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -113,7 +114,8 @@ pub fn run(
                 &params,
                 setup.trial_seed ^ 0xAB,
                 LazyPolicy::new(),
-                &super::cell_options(cell.capture_requested(), shards).stopping_on_completion(),
+                &super::cell_options(cell.capture_requested(), shards, shard_threads)
+                    .stopping_on_completion(),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::fmmb_capture(&report))

@@ -112,6 +112,7 @@ pub fn run(
     // count, and the MAC broadcast count.
     let widths = vec![3usize; fractions.len() + ns.len()];
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -129,7 +130,7 @@ pub fn run(
                 &params,
                 faults,
                 LazyPolicy::new().prefer_duplicates(),
-                &super::cell_options(cell.capture_requested(), shards),
+                &super::cell_options(cell.capture_requested(), shards, shard_threads),
             );
             let ticks = super::ticks_or_end(report.completion, report.end_time) as f64;
             let violations = report.violation_count() as f64;

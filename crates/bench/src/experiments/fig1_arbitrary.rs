@@ -104,6 +104,7 @@ pub fn run(
     };
     let widths = vec![1usize; ds.len() + ks.len()];
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         0,
         &widths,
@@ -115,7 +116,7 @@ pub fn run(
                 k,
                 config,
                 shortcuts(d),
-                &super::cell_options(cell.capture_requested(), shards),
+                &super::cell_options(cell.capture_requested(), shards, shard_threads),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::mmb_capture(&report))

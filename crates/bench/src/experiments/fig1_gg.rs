@@ -86,6 +86,7 @@ pub fn run(
     };
     let widths = vec![1usize; ds.len() + ks.len()];
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         0,
         &widths,
@@ -96,7 +97,7 @@ pub fn run(
                 d,
                 k,
                 config,
-                &super::cell_options(cell.capture_requested(), shards),
+                &super::cell_options(cell.capture_requested(), shards, shard_threads),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::mmb_capture(&report))

@@ -74,6 +74,7 @@ pub fn run(
 ) -> Fig1RRestricted {
     let widths = vec![1usize; rs.len()];
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         seed,
         &widths,
@@ -86,7 +87,7 @@ pub fn run(
                 rs[cell.point],
                 edge_probability,
                 cell.seed(seed),
-                &super::cell_options(cell.capture_requested(), shards),
+                &super::cell_options(cell.capture_requested(), shards, shard_threads),
             );
             CellResult::scalar(report.completion_ticks() as f64)
                 .with_capture(super::mmb_capture(&report))

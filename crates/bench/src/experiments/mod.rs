@@ -49,14 +49,17 @@ pub struct LabeledOutlier {
 /// the trace-capturing path when the engine is replaying an outlier.
 /// `shards` comes from the runner (`--shards K`): every cell of every
 /// experiment runs the sharded event queue, so per-shard diagnostics are
-/// available suite-wide, not just for `scale`.
-pub(crate) fn cell_options(capture: bool, shards: usize) -> RunOptions {
+/// available suite-wide, not just for `scale`. `threads` is the runner's
+/// *effective* shard worker-thread count
+/// ([`TrialRunner::effective_shard_threads`]) — already capped against
+/// `--jobs` oversubscription, and output-invariant either way.
+pub(crate) fn cell_options(capture: bool, shards: usize, threads: usize) -> RunOptions {
     let options = if capture {
         RunOptions::fast().capturing_trace()
     } else {
         RunOptions::fast()
     };
-    options.with_shards(shards)
+    options.with_shards(shards).with_shard_threads(threads)
 }
 
 /// Appends the sweep's merged sharded-queue diagnostics as a table note —
@@ -261,14 +264,21 @@ impl ExperimentSpec {
     /// Records the experiment's canonical execution (`smoke` picks the
     /// small parameterisation) to `dir/<id>.amactrace` — see
     /// [`crate::record`]. A non-zero `shards` records through the sharded
-    /// event queue; the bytes are identical by construction.
+    /// event queue and a non-zero `shard_threads` drains it on scoped
+    /// worker threads; the bytes are identical by construction either way.
     pub fn record(
         &self,
         dir: &std::path::Path,
         smoke: bool,
         shards: usize,
+        shard_threads: usize,
     ) -> crate::record::RecordedTrace {
-        let run = (self.canonical)(&crate::record::CanonicalOpts::recording(dir, smoke, shards));
+        let run = (self.canonical)(&crate::record::CanonicalOpts::recording(
+            dir,
+            smoke,
+            shards,
+            shard_threads,
+        ));
         run.trace.expect("recording was requested")
     }
 }

@@ -57,7 +57,7 @@ pub fn run_instrumented<P: Policy>(
     seed: u64,
     policy: P,
 ) -> Milestones {
-    run_instrumented_traced(dual, config, assignment, params, seed, policy, 0, false).milestones
+    run_instrumented_traced(dual, config, assignment, params, seed, policy, 0, 0, false).milestones
 }
 
 /// Runs FMMB while checking node-state milestones once per round; with
@@ -73,6 +73,7 @@ pub fn run_instrumented_traced<P: Policy>(
     seed: u64,
     policy: P,
     shards: usize,
+    shard_threads: usize,
     capture: bool,
 ) -> InstrumentedRun {
     assert!(config.is_enhanced(), "FMMB requires the enhanced model");
@@ -92,6 +93,9 @@ pub fn run_instrumented_traced<P: Policy>(
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
     if shards > 0 {
         rt = rt.with_shards(shards);
+        if shard_threads > 0 {
+            rt = rt.with_shard_threads(shard_threads);
+        }
     }
     if capture {
         rt = rt.tracing();
@@ -236,6 +240,7 @@ pub fn run(
         .chain(std::iter::repeat(3).take(ns.len()))
         .collect();
     let shards = runner.shards();
+    let shard_threads = runner.effective_shard_threads();
     let run = runner.run_sweep(
         1234,
         &widths,
@@ -321,6 +326,7 @@ pub fn run(
                         seed ^ setup.salt,
                         amac_mac::policies::LazyPolicy::new(),
                         shards,
+                        shard_threads,
                         cell.capture_requested() && si == 0,
                     );
                     let m = traced.milestones;
@@ -353,6 +359,7 @@ pub fn run(
                     seeds[0] ^ setup.salt,
                     amac_mac::policies::LazyPolicy::new(),
                     shards,
+                    shard_threads,
                     cell.capture_requested(),
                 );
                 let m = traced.milestones;
@@ -379,6 +386,7 @@ pub fn run(
                     seeds[0] ^ setup.salt,
                     amac_mac::policies::LazyPolicy::new(),
                     shards,
+                    shard_threads,
                     cell.capture_requested(),
                 );
                 let m = traced.milestones;

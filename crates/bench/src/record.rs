@@ -55,6 +55,9 @@ pub struct CanonicalOpts {
     pub smoke: bool,
     /// Event-queue shards: `0` runs the sequential runtime.
     pub shards: usize,
+    /// Shard worker threads: `0` keeps the fused single-core drain.
+    /// Ignored when `shards == 0`; never changes the recorded bytes.
+    pub shard_threads: usize,
     /// Directory receiving `<id>.amactrace`, when recording.
     pub record: Option<PathBuf>,
     /// Collect a deterministic sim-time
@@ -66,10 +69,16 @@ pub struct CanonicalOpts {
 
 impl CanonicalOpts {
     /// Options for plain recording — the historical `--record DIR` shape.
-    pub fn recording(dir: impl AsRef<Path>, smoke: bool, shards: usize) -> CanonicalOpts {
+    pub fn recording(
+        dir: impl AsRef<Path>,
+        smoke: bool,
+        shards: usize,
+        shard_threads: usize,
+    ) -> CanonicalOpts {
         CanonicalOpts {
             smoke,
             shards,
+            shard_threads,
             record: Some(dir.as_ref().to_path_buf()),
             ..CanonicalOpts::default()
         }
@@ -82,7 +91,9 @@ impl CanonicalOpts {
             .record
             .as_deref()
             .map(|dir| dir.join(format!("{id}.amactrace")));
-        let mut options = RunOptions::default().with_shards(self.shards);
+        let mut options = RunOptions::default()
+            .with_shards(self.shards)
+            .with_shard_threads(self.shard_threads);
         if let Some(path) = &path {
             options = options.recording(path, seed);
         }
@@ -403,7 +414,7 @@ mod tests {
     fn every_registry_experiment_records_and_replays_identically() {
         let dir = temp_dir("all");
         for spec in crate::experiments::registry() {
-            let recorded = spec.record(&dir, true, 0);
+            let recorded = spec.record(&dir, true, 0, 0);
             let replayed = replay_validate(TraceReader::open(&recorded.path).unwrap())
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.id));
             assert_eq!(
@@ -419,7 +430,7 @@ mod tests {
     #[test]
     fn consensus_trace_stores_its_fault_plan_digest() {
         let dir = temp_dir("cons");
-        let recorded = consensus_crash(&CanonicalOpts::recording(&dir, true, 0))
+        let recorded = consensus_crash(&CanonicalOpts::recording(&dir, true, 0, 0))
             .trace
             .expect("recording was requested");
         assert_ne!(recorded.summary.header.fault_plan_digest, 0);

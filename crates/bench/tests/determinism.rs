@@ -217,41 +217,55 @@ fn strip_columns(
 
 #[test]
 fn scale_tables_are_jobs_invariant_modulo_wall_clock() {
-    // The scale experiment's `events/s` column is wall clock and exempt
-    // from the byte-identity contract (like the JSON wall clock); every
-    // other cell — events, instances, completion, validator peaks, shard
+    // The scale experiment's four wall-clock throughput columns (and the
+    // speedup ratio derived from two of them) are exempt from the
+    // byte-identity contract (like the JSON wall clock); every other
+    // cell — events, instances, completion, validator peaks, shard
     // diagnostics, violations — must be byte-identical across worker
     // counts.
+    const WALL: &[&str] = &["seq ev/s", "fused ev/s", "thr ev/s", "thr/fused"];
     let serial = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 1));
     let parallel = experiments::scale::run(&[200, 600], &TrialRunner::new(4, 8));
     assert_eq!(
-        strip_columns(&serial.table, &["events/s"]),
-        strip_columns(&parallel.table, &["events/s"]),
+        strip_columns(&serial.table, WALL),
+        strip_columns(&parallel.table, WALL),
         "SCALE: jobs=1 and jobs=8 must agree on every deterministic cell"
     );
 }
 
 #[test]
 fn scale_tables_are_shards_invariant_modulo_diagnostics() {
-    // `--shards K` replays the identical event sequence (proven trace-level
-    // in tests/shard_equivalence.rs), so every workload cell — events,
-    // instances, completion, validator peaks, violations — must be
-    // byte-identical across the jobs × shards grid. Only the wall-clock
-    // `events/s` cells and the three shard-diagnostic columns (which
-    // describe the engine configuration itself) are exempt.
-    const EXEMPT: &[&str] = &["events/s", "shards", "peak shard q", "barrier slack"];
-    let render = |jobs: usize, shards: usize| {
-        let runner = TrialRunner::new(4, jobs).with_shards(shards);
+    // `--shards K` (and `--shard-threads T`) replay the identical event
+    // sequence (proven trace-level in tests/shard_equivalence.rs), so
+    // every workload cell — events, instances, completion, validator
+    // peaks, violations — must be byte-identical across the jobs × shards
+    // × threads grid. Only the wall-clock throughput/speedup cells and
+    // the configuration/diagnostic columns (which describe the engine
+    // setup itself) are exempt.
+    const EXEMPT: &[&str] = &[
+        "seq ev/s",
+        "fused ev/s",
+        "thr ev/s",
+        "thr/fused",
+        "shards",
+        "threads",
+        "peak shard q",
+        "barrier slack",
+    ];
+    let render = |jobs: usize, shards: usize, threads: usize| {
+        let runner = TrialRunner::new(4, jobs)
+            .with_shards(shards)
+            .with_shard_threads(threads);
         strip_columns(&experiments::scale::run(&[200, 600], &runner).table, EXEMPT)
     };
-    let reference = render(1, 0);
+    let reference = render(1, 0, 0);
     for jobs in [1usize, 8] {
-        for shards in [0usize, 1, 4, 7] {
+        for (shards, threads) in [(0usize, 0usize), (1, 2), (4, 0), (4, 4), (7, 3)] {
             assert_eq!(
                 reference,
-                render(jobs, shards),
-                "SCALE: jobs={jobs} shards={shards} must agree with the sequential \
-                 run on every workload cell"
+                render(jobs, shards, threads),
+                "SCALE: jobs={jobs} shards={shards} threads={threads} must agree with \
+                 the sequential run on every workload cell"
             );
         }
     }
@@ -262,12 +276,14 @@ fn scale_tables_are_shards_invariant_modulo_diagnostics() {
 fn canonical_obs(
     id: &str,
     shards: usize,
+    shard_threads: usize,
     trace: Option<std::path::PathBuf>,
 ) -> amac_bench::CanonicalRun {
     let spec = experiments::find(id).expect("registry id");
     spec.canonical(&amac_bench::CanonicalOpts {
         smoke: true,
         shards,
+        shard_threads,
         metrics: true,
         chrome_trace: trace,
         ..amac_bench::CanonicalOpts::default()
@@ -285,14 +301,14 @@ fn metrics_payloads_are_shards_invariant() {
     // acceptance criterion on `repro scale --shards 4 --metrics`.
     for id in ["scale", "consensus_crash"] {
         let reference = amac_obs::deterministic_payload(
-            &canonical_obs(id, 0, None)
+            &canonical_obs(id, 0, 0, None)
                 .metrics
                 .expect("metrics were requested")
                 .to_json(id),
         );
         for shards in [1usize, 4] {
             let sharded = amac_obs::deterministic_payload(
-                &canonical_obs(id, shards, None)
+                &canonical_obs(id, shards, 0, None)
                     .metrics
                     .expect("metrics were requested")
                     .to_json(id),
@@ -306,12 +322,41 @@ fn metrics_payloads_are_shards_invariant() {
 }
 
 #[test]
+fn metrics_payloads_are_shard_thread_invariant() {
+    // The thread-per-shard drain adds the last determinism axis: the
+    // rendered METRICS payload must survive the full threads x shards
+    // grid. (Worker lanes land in the stripped "nondeterministic"
+    // member, so wall-clock profiling never leaks into the comparison.)
+    let reference = amac_obs::deterministic_payload(
+        &canonical_obs("scale", 0, 0, None)
+            .metrics
+            .expect("metrics were requested")
+            .to_json("scale"),
+    );
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4] {
+            let threaded = amac_obs::deterministic_payload(
+                &canonical_obs("scale", shards, threads, None)
+                    .metrics
+                    .expect("metrics were requested")
+                    .to_json("scale"),
+            );
+            assert_eq!(
+                reference, threaded,
+                "scale: shards={shards} threads={threads} must produce the \
+                 sequential metrics payload"
+            );
+        }
+    }
+}
+
+#[test]
 fn fault_free_metrics_respect_the_ack_bound() {
     // Every fault-free canonical run must deliver within F_ack: the
     // delivery-latency histogram's upper edge is bounded by the model's
     // ack deadline (consensus_crash injects crashes and is exempt).
     for id in ["fig1_gg", "fig1_fmmb", "scale"] {
-        let metrics = canonical_obs(id, 0, None)
+        let metrics = canonical_obs(id, 0, 0, None)
             .metrics
             .expect("metrics were requested");
         assert!(metrics.bcasts > 0, "{id}: empty run");
@@ -346,7 +391,7 @@ fn chrome_traces_are_shards_invariant_modulo_track_ids() {
     std::fs::create_dir_all(&dir).unwrap();
     let render = |shards: usize| {
         let path = dir.join(format!("trace-{shards}.json"));
-        canonical_obs("scale", shards, Some(path.clone()));
+        canonical_obs("scale", shards, 0, Some(path.clone()));
         let doc = std::fs::read_to_string(&path).expect("chrome trace written");
         std::fs::remove_file(&path).ok();
         doc

@@ -165,6 +165,9 @@ pub fn run_fmmb<P: Policy>(
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
     if options.shards > 0 {
         rt = rt.with_shards(options.shards);
+        if options.shard_threads > 0 {
+            rt = rt.with_shard_threads(options.shard_threads);
+        }
     }
     let validator = options
         .validate

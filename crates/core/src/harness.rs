@@ -47,6 +47,15 @@ pub struct RunOptions {
     /// shards. The execution is byte-identical either way — sharding
     /// changes how events are queued, never what happens.
     pub shards: usize,
+    /// Worker threads for the sharded queue's window barrier
+    /// ([`Runtime::with_shard_threads`]): `0` (the default) keeps the
+    /// fused single-core drain; `t ≥ 1` integrates and extracts the K
+    /// shards' windows on up to `t` scoped threads (clamped to the shard
+    /// count) with adaptive window widths. Like
+    /// [`shards`](RunOptions::shards), this never changes a delivered
+    /// byte — byte-identity holds for every `(shards, shard_threads)`.
+    /// Ignored when `shards == 0`.
+    pub shard_threads: usize,
     /// Attach a streaming [`amac_obs::MetricsObserver`] and return its
     /// [`amac_obs::MetricsReport`] in the report: sim-time latency/slack
     /// histograms,
@@ -70,6 +79,7 @@ impl Default for RunOptions {
             record: None,
             record_seed: 0,
             shards: 0,
+            shard_threads: 0,
             metrics: false,
             chrome_trace: None,
         }
@@ -119,6 +129,15 @@ impl RunOptions {
     /// `0` restores the sequential runtime.
     pub fn with_shards(mut self, shards: usize) -> RunOptions {
         self.shards = shards;
+        self
+    }
+
+    /// Drains the sharded queue's windows on up to `threads` scoped
+    /// worker threads (see [`RunOptions::shard_threads`]); `0` restores
+    /// the fused single-core drain. No effect unless
+    /// [`with_shards`](RunOptions::with_shards) is also set.
+    pub fn with_shard_threads(mut self, threads: usize) -> RunOptions {
+        self.shard_threads = threads;
         self
     }
 
@@ -310,6 +329,9 @@ where
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
     if options.shards > 0 {
         rt = rt.with_shards(options.shards);
+        if options.shard_threads > 0 {
+            rt = rt.with_shard_threads(options.shard_threads);
+        }
     }
     let validator = options
         .validate

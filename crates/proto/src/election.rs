@@ -448,6 +448,9 @@ pub fn run_election_with_backoffs<P: Policy>(
     let mut rt = Runtime::new(dual.clone(), config, nodes, policy);
     if options.shards > 0 {
         rt = rt.with_shards(options.shards);
+        if options.shard_threads > 0 {
+            rt = rt.with_shard_threads(options.shard_threads);
+        }
     }
     let mut rt = rt.with_faults(faults);
     let validator = options

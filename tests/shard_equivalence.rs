@@ -6,6 +6,11 @@
 //! mid-run). This is the proof obligation behind the sharded simulator:
 //! golden digests, trace replay, and `amac-check` fixtures all assume the
 //! execution order is a function of the seed alone, never of `K`.
+//!
+//! The same obligation extends to the thread-per-shard drain: with `T`
+//! scoped workers servicing the `K` shards' windows, every capture below
+//! must still be byte-identical — the (K, T) grid is exercised alongside
+//! the fused shard counts in every property and fixed case.
 
 use amac::core::{Assignment, Bmmb, Delivered};
 use amac::graph::{generators, DualGraph, GraphBuilder, NodeId};
@@ -28,8 +33,9 @@ struct Capture {
 }
 
 /// Runs BMMB over `dual` with `shards` event-queue shards (0 = the
-/// sequential runtime), recording to `path`, and captures every observable
-/// artifact.
+/// sequential runtime) drained on `threads` scoped workers (0 = the fused
+/// drain), recording to `path`, and captures every observable artifact.
+#[allow(clippy::too_many_arguments)]
 fn capture(
     dual: &DualGraph,
     cfg: MacConfig,
@@ -37,12 +43,16 @@ fn capture(
     faults: &FaultPlan,
     policy_seed: u64,
     shards: usize,
+    threads: usize,
     path: &Path,
 ) -> Capture {
     let nodes = (0..dual.len()).map(|_| Bmmb::new()).collect();
     let mut rt = Runtime::new(dual.clone(), cfg, nodes, RandomPolicy::new(policy_seed));
     if shards > 0 {
         rt = rt.with_shards(shards);
+        if threads > 0 {
+            rt = rt.with_shard_threads(threads);
+        }
     }
     let mut rt = rt.with_faults(faults.clone());
     let validator = rt.attach(OnlineValidator::new(dual.clone(), cfg));
@@ -76,8 +86,30 @@ fn scratch_dir(name: &str) -> PathBuf {
     dir
 }
 
-/// Asserts sequential vs sharded equivalence for every tested `K`,
-/// comparing trace bytes, violation sets, and validator statistics.
+/// The `(shards, threads)` grid every equivalence case runs: the fused
+/// drain over the historical shard counts (including `K` = 7, which never
+/// divides the test sizes evenly), then the threaded drain over the
+/// T ∈ {1, 2, 4} x K ∈ {1, 2, 4} grid plus an uneven threaded case.
+const GRID: &[(usize, usize)] = &[
+    (1, 0),
+    (2, 0),
+    (4, 0),
+    (7, 0),
+    (1, 1),
+    (1, 2),
+    (1, 4),
+    (2, 1),
+    (2, 2),
+    (2, 4),
+    (4, 1),
+    (4, 2),
+    (4, 4),
+    (7, 3),
+];
+
+/// Asserts sequential vs sharded/threaded equivalence for every `(K, T)`
+/// grid point, comparing trace bytes, violation sets, and validator
+/// statistics.
 fn assert_equivalent(
     label: &str,
     dual: &DualGraph,
@@ -88,16 +120,17 @@ fn assert_equivalent(
 ) -> Result<(), TestCaseError> {
     let dir = scratch_dir(label);
     let seq_path = dir.join(format!("s{policy_seed}-seq.amactrace"));
-    let seq = capture(dual, cfg, assignment, faults, policy_seed, 0, &seq_path);
-    for k in [1usize, 2, 4, 7] {
-        let sh_path = dir.join(format!("s{policy_seed}-k{k}.amactrace"));
-        let sh = capture(dual, cfg, assignment, faults, policy_seed, k, &sh_path);
+    let seq = capture(dual, cfg, assignment, faults, policy_seed, 0, 0, &seq_path);
+    for &(k, t) in GRID {
+        let sh_path = dir.join(format!("s{policy_seed}-k{k}t{t}.amactrace"));
+        let sh = capture(dual, cfg, assignment, faults, policy_seed, k, t, &sh_path);
         prop_assert_eq!(
             &seq.trace_bytes,
             &sh.trace_bytes,
-            "trace bytes diverged: {} k={} seed={}",
+            "trace bytes diverged: {} k={} t={} seed={}",
             label,
             k,
+            t,
             policy_seed
         );
         prop_assert_eq!(&seq.validation, &sh.validation);
